@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Error type for graph construction and backpropagation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AutodiffError {
+    /// Two operands had shapes that neither match nor broadcast.
+    ShapeMismatch {
+        /// The operation name.
+        op: &'static str,
+        /// Left operand shape.
+        lhs: (usize, usize),
+        /// Right operand shape.
+        rhs: (usize, usize),
+    },
+    /// `backward` was called on a non-scalar (not `1×1`) node.
+    NonScalarLoss {
+        /// The shape of the offending node.
+        shape: (usize, usize),
+    },
+    /// A class-target index was out of range for the score matrix.
+    InvalidTarget {
+        /// The offending class index.
+        class: usize,
+        /// Number of classes (columns of the score matrix).
+        num_classes: usize,
+    },
+    /// A loss op received a target list whose length differs from the batch.
+    TargetLengthMismatch {
+        /// Number of score rows (batch size).
+        batch: usize,
+        /// Number of targets supplied.
+        targets: usize,
+    },
+}
+
+impl fmt::Display for AutodiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutodiffError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            AutodiffError::NonScalarLoss { shape } => write!(
+                f,
+                "backward requires a 1x1 loss node, got {}x{}",
+                shape.0, shape.1
+            ),
+            AutodiffError::InvalidTarget { class, num_classes } => {
+                write!(f, "target class {class} out of range (< {num_classes})")
+            }
+            AutodiffError::TargetLengthMismatch { batch, targets } => {
+                write!(f, "batch has {batch} rows but {targets} targets were given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutodiffError {}

@@ -1,0 +1,1137 @@
+use crate::AutodiffError;
+use pnc_linalg::Matrix;
+
+/// Handle to a tensor node in a [`Graph`].
+///
+/// `Var`s are cheap copyable indices; they are only meaningful for the graph
+/// that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// The raw tape index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One recorded operation. Parents are stored as `Var` indices, which are
+/// always smaller than the node's own index — the tape is topologically
+/// sorted by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Trainable input (gradient of interest).
+    Leaf,
+    /// Non-trainable input.
+    Constant,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    MatMul(Var, Var),
+    Neg(Var),
+    Abs(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Exp(Var),
+    Ln(Var),
+    Relu(Var),
+    Scale(Var, f64),
+    AddScalar(Var),
+    Powi(Var, i32),
+    Sum(Var),
+    Mean(Var),
+    SumRows(Var),
+    SumCols(Var),
+    SliceCols {
+        parent: Var,
+        start: usize,
+    },
+    ConcatCols(Vec<Var>),
+    /// Straight-through estimator: arbitrary forward projection, identity
+    /// backward.
+    Ste(Var),
+    /// Fused loss with a precomputed gradient template w.r.t. the scores.
+    FusedLoss {
+        scores: Var,
+        grad: Matrix,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var`].
+#[derive(Debug, Clone)]
+pub struct GradStore {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl GradStore {
+    /// The gradient of the loss with respect to `v`, if any gradient flowed
+    /// to it.
+    pub fn get(&self, v: Var) -> Option<&Matrix> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    fn accumulate(&mut self, v: Var, g: Matrix) {
+        match &mut self.grads[v.0] {
+            Some(existing) => {
+                *existing = existing.add(&g).expect("gradient shapes always match");
+            }
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+/// A define-by-run computation tape over dense `f64` matrices.
+///
+/// Operations evaluate eagerly and record themselves; [`Graph::backward`]
+/// replays the tape in reverse. Build a fresh graph per training step (the
+/// usual define-by-run pattern) — leaves take their values from externally
+/// stored [`Parameter`](crate::Parameter)s.
+///
+/// Elementwise binary operations broadcast `1×1` scalars, `1×n` row vectors
+/// and `m×1` column vectors against `m×n` matrices.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_autodiff::Graph;
+/// use pnc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), pnc_autodiff::AutodiffError> {
+/// let mut g = Graph::new();
+/// let w = g.leaf(Matrix::from_rows(&[&[2.0]]).expect("shape"));
+/// let x = g.constant(Matrix::row_vector(&[1.0, 2.0, 3.0]));
+/// let y = g.mul(w, x)?;      // scalar broadcast
+/// let loss = g.sum(y);
+/// let grads = g.backward(loss)?;
+/// assert_eq!(grads.get(w).expect("grad")[(0, 0)], 6.0); // 1 + 2 + 3
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// Broadcast-compatible result shape, if any.
+fn broadcast_shape(a: (usize, usize), b: (usize, usize)) -> Option<(usize, usize)> {
+    let rows = if a.0 == b.0 {
+        a.0
+    } else if a.0 == 1 {
+        b.0
+    } else if b.0 == 1 {
+        a.0
+    } else {
+        return None;
+    };
+    let cols = if a.1 == b.1 {
+        a.1
+    } else if a.1 == 1 {
+        b.1
+    } else if b.1 == 1 {
+        a.1
+    } else {
+        return None;
+    };
+    Some((rows, cols))
+}
+
+/// Evaluates `f` elementwise over broadcast operands.
+fn broadcast_zip(
+    op: &'static str,
+    a: &Matrix,
+    b: &Matrix,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Matrix, AutodiffError> {
+    let shape = broadcast_shape(a.shape(), b.shape()).ok_or(AutodiffError::ShapeMismatch {
+        op,
+        lhs: a.shape(),
+        rhs: b.shape(),
+    })?;
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    Ok(Matrix::from_fn(shape.0, shape.1, |i, j| {
+        let av = a[(if ar == 1 { 0 } else { i }, if ac == 1 { 0 } else { j })];
+        let bv = b[(if br == 1 { 0 } else { i }, if bc == 1 { 0 } else { j })];
+        f(av, bv)
+    }))
+}
+
+/// Sums `grad` down to `shape` over any broadcast dimensions.
+fn reduce_to(grad: &Matrix, shape: (usize, usize)) -> Matrix {
+    let (gr, gc) = grad.shape();
+    let (tr, tc) = shape;
+    if (gr, gc) == (tr, tc) {
+        return grad.clone();
+    }
+    let mut out = Matrix::zeros(tr, tc);
+    for i in 0..gr {
+        for j in 0..gc {
+            let ti = if tr == 1 { 0 } else { i };
+            let tj = if tc == 1 { 0 } else { j };
+            out[(ti, tj)] += grad[(i, j)];
+        }
+    }
+    out
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The shape of a node.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a trainable leaf.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Registers a non-trainable constant.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Constant)
+    }
+
+    /// Registers a `1×1` scalar constant.
+    pub fn scalar(&mut self, value: f64) -> Var {
+        self.constant(Matrix::filled(1, 1, value))
+    }
+
+    fn binary(
+        &mut self,
+        op_name: &'static str,
+        a: Var,
+        b: Var,
+        f: impl Fn(f64, f64) -> f64,
+        op: Op,
+    ) -> Result<Var, AutodiffError> {
+        let value = broadcast_zip(op_name, &self.nodes[a.0].value, &self.nodes[b.0].value, f)?;
+        Ok(self.push(value, op))
+    }
+
+    /// Elementwise (broadcasting) sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if the shapes do not
+    /// broadcast.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var, AutodiffError> {
+        self.binary("add", a, b, |x, y| x + y, Op::Add(a, b))
+    }
+
+    /// Elementwise (broadcasting) difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if the shapes do not
+    /// broadcast.
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var, AutodiffError> {
+        self.binary("sub", a, b, |x, y| x - y, Op::Sub(a, b))
+    }
+
+    /// Elementwise (broadcasting) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if the shapes do not
+    /// broadcast.
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var, AutodiffError> {
+        self.binary("mul", a, b, |x, y| x * y, Op::Mul(a, b))
+    }
+
+    /// Elementwise (broadcasting) quotient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if the shapes do not
+    /// broadcast.
+    pub fn div(&mut self, a: Var, b: Var) -> Result<Var, AutodiffError> {
+        self.binary("div", a, b, |x, y| x / y, Op::Div(a, b))
+    }
+
+    /// Matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if the inner dimensions
+    /// differ.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var, AutodiffError> {
+        let value = self.nodes[a.0]
+            .value
+            .matmul(&self.nodes[b.0].value)
+            .map_err(|_| AutodiffError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(a),
+                rhs: self.shape(b),
+            })?;
+        Ok(self.push(value, Op::MatMul(a, b)))
+    }
+
+    fn unary(&mut self, a: Var, f: impl Fn(f64) -> f64, op: Op) -> Var {
+        let value = self.nodes[a.0].value.map(f);
+        self.push(value, op)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.unary(a, |x| -x, Op::Neg(a))
+    }
+
+    /// Elementwise absolute value (subgradient `sign(x)`, `0` at `0`).
+    pub fn abs(&mut self, a: Var) -> Var {
+        self.unary(a, f64::abs, Op::Abs(a))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        self.unary(a, f64::tanh, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()), Op::Sigmoid(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        self.unary(a, f64::exp, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        self.unary(a, f64::ln, Op::Ln(a))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0), Op::Relu(a))
+    }
+
+    /// Multiplies every element by the literal `s`.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        self.unary(a, |x| x * s, Op::Scale(a, s))
+    }
+
+    /// Adds the literal `s` to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
+        self.unary(a, |x| x + s, Op::AddScalar(a))
+    }
+
+    /// Elementwise integer power.
+    pub fn powi(&mut self, a: Var, k: i32) -> Var {
+        self.unary(a, |x| x.powi(k), Op::Powi(a, k))
+    }
+
+    /// Sum of all elements, as a `1×1` node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.sum();
+        self.push(Matrix::filled(1, 1, s), Op::Sum(a))
+    }
+
+    /// Mean of all elements, as a `1×1` node.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let m = v.sum() / v.len() as f64;
+        self.push(Matrix::filled(1, 1, m), Op::Mean(a))
+    }
+
+    /// Sums over rows: `m×n → 1×n`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let (rows, cols) = v.shape();
+        let out = Matrix::from_fn(1, cols, |_, j| (0..rows).map(|i| v[(i, j)]).sum());
+        self.push(out, Op::SumRows(a))
+    }
+
+    /// Sums over columns: `m×n → m×1`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let (rows, cols) = v.shape();
+        let out = Matrix::from_fn(rows, 1, |i, _| (0..cols).map(|j| v[(i, j)]).sum());
+        self.push(out, Op::SumCols(a))
+    }
+
+    /// Selects the column range `start..start + len` of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if the range exceeds the
+    /// number of columns.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Result<Var, AutodiffError> {
+        let v = &self.nodes[a.0].value;
+        let (rows, cols) = v.shape();
+        if start + len > cols || len == 0 {
+            return Err(AutodiffError::ShapeMismatch {
+                op: "slice_cols",
+                lhs: (rows, cols),
+                rhs: (start, len),
+            });
+        }
+        let out = Matrix::from_fn(rows, len, |i, j| v[(i, start + j)]);
+        Ok(self.push(out, Op::SliceCols { parent: a, start }))
+    }
+
+    /// Concatenates nodes with equal row counts along columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if `parts` is empty or the
+    /// row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Result<Var, AutodiffError> {
+        let first = parts.first().ok_or(AutodiffError::ShapeMismatch {
+            op: "concat_cols",
+            lhs: (0, 0),
+            rhs: (0, 0),
+        })?;
+        let rows = self.shape(*first).0;
+        let mut total_cols = 0;
+        for p in parts {
+            let (r, c) = self.shape(*p);
+            if r != rows {
+                return Err(AutodiffError::ShapeMismatch {
+                    op: "concat_cols",
+                    lhs: (rows, 0),
+                    rhs: (r, c),
+                });
+            }
+            total_cols += c;
+        }
+        let mut out = Matrix::zeros(rows, total_cols);
+        let mut offset = 0;
+        for p in parts {
+            let v = &self.nodes[p.0].value;
+            let (_, c) = v.shape();
+            for i in 0..rows {
+                for j in 0..c {
+                    out[(i, offset + j)] = v[(i, j)];
+                }
+            }
+            offset += c;
+        }
+        Ok(self.push(out, Op::ConcatCols(parts.to_vec())))
+    }
+
+    /// Straight-through estimator: the node's forward value becomes
+    /// `projected` (computed by the caller from [`Graph::value`] in any way,
+    /// e.g. the printable-conductance projection of Sec. II-C), while the
+    /// backward pass treats the op as the identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::ShapeMismatch`] if `projected` has a
+    /// different shape than `a`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnc_autodiff::Graph;
+    /// use pnc_linalg::Matrix;
+    ///
+    /// # fn main() -> Result<(), pnc_autodiff::AutodiffError> {
+    /// let mut g = Graph::new();
+    /// let x = g.leaf(Matrix::row_vector(&[0.4, -3.0]));
+    /// let projected = g.value(x).map(|v| v.clamp(-1.0, 1.0));
+    /// let y = g.ste(x, projected)?;
+    /// let loss = g.sum(y);
+    /// let grads = g.backward(loss)?;
+    /// // Identity gradient despite the clamp in the forward pass.
+    /// assert_eq!(grads.get(x).expect("grad")[(0, 1)], 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn ste(&mut self, a: Var, projected: Matrix) -> Result<Var, AutodiffError> {
+        if projected.shape() != self.shape(a) {
+            return Err(AutodiffError::ShapeMismatch {
+                op: "ste",
+                lhs: self.shape(a),
+                rhs: projected.shape(),
+            });
+        }
+        Ok(self.push(projected, Op::Ste(a)))
+    }
+
+    /// Clamps elementwise to `[lo, hi]` with a straight-through (identity)
+    /// backward pass, as used for the feasible-range projections of Fig. 5.
+    pub fn clamp_ste(&mut self, a: Var, lo: f64, hi: f64) -> Var {
+        let projected = self.nodes[a.0].value.map(|x| x.clamp(lo, hi));
+        self.push(projected, Op::Ste(a))
+    }
+
+    /// Softmax cross-entropy over logit rows, with integer class targets.
+    /// Returns the mean loss as a `1×1` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::TargetLengthMismatch`] or
+    /// [`AutodiffError::InvalidTarget`] on malformed targets.
+    pub fn cross_entropy_logits(
+        &mut self,
+        scores: Var,
+        targets: &[usize],
+    ) -> Result<Var, AutodiffError> {
+        let v = &self.nodes[scores.0].value;
+        let (batch, classes) = v.shape();
+        check_targets(batch, classes, targets)?;
+
+        let mut grad = Matrix::zeros(batch, classes);
+        let mut loss = 0.0;
+        for i in 0..batch {
+            // Stable softmax.
+            let row_max = (0..classes).map(|j| v[(i, j)]).fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = (0..classes).map(|j| (v[(i, j)] - row_max).exp()).collect();
+            let denom: f64 = exps.iter().sum();
+            let y = targets[i];
+            loss += -(exps[y] / denom).ln();
+            for j in 0..classes {
+                let p = exps[j] / denom;
+                grad[(i, j)] = (p - if j == y { 1.0 } else { 0.0 }) / batch as f64;
+            }
+        }
+        loss /= batch as f64;
+        Ok(self.push(Matrix::filled(1, 1, loss), Op::FusedLoss { scores, grad }))
+    }
+
+    /// The pNN margin loss used throughout the printed-neuromorphic line of
+    /// work: `mean_i max(0, margin − s_y + max_{j≠y} s_j)`, encouraging the
+    /// true-class output voltage to exceed every other output by `margin`.
+    /// Returns the mean loss as a `1×1` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::TargetLengthMismatch`] or
+    /// [`AutodiffError::InvalidTarget`] on malformed targets.
+    pub fn margin_loss(
+        &mut self,
+        scores: Var,
+        targets: &[usize],
+        margin: f64,
+    ) -> Result<Var, AutodiffError> {
+        let v = &self.nodes[scores.0].value;
+        let (batch, classes) = v.shape();
+        check_targets(batch, classes, targets)?;
+
+        let mut grad = Matrix::zeros(batch, classes);
+        let mut loss = 0.0;
+        for i in 0..batch {
+            let y = targets[i];
+            let (mut best_j, mut best) = (usize::MAX, f64::NEG_INFINITY);
+            for j in 0..classes {
+                if j != y && v[(i, j)] > best {
+                    best = v[(i, j)];
+                    best_j = j;
+                }
+            }
+            if best_j == usize::MAX {
+                // Single-class degenerate case: loss is zero.
+                continue;
+            }
+            let violation = margin - v[(i, y)] + best;
+            if violation > 0.0 {
+                loss += violation;
+                grad[(i, y)] -= 1.0 / batch as f64;
+                grad[(i, best_j)] += 1.0 / batch as f64;
+            }
+        }
+        loss /= batch as f64;
+        Ok(self.push(Matrix::filled(1, 1, loss), Op::FusedLoss { scores, grad }))
+    }
+
+    /// Renders the tape as a Graphviz `dot` digraph for debugging: one box
+    /// per node labeled with its index, op kind and shape, one edge per
+    /// data dependency.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnc_autodiff::Graph;
+    /// use pnc_linalg::Matrix;
+    ///
+    /// let mut g = Graph::new();
+    /// let x = g.leaf(Matrix::filled(1, 2, 1.0));
+    /// let y = g.tanh(x);
+    /// let _ = g.sum(y);
+    /// let dot = g.to_dot();
+    /// assert!(dot.contains("digraph tape"));
+    /// assert!(dot.contains("Tanh"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph tape {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
+        for (id, node) in self.nodes.iter().enumerate() {
+            let (r, c) = node.value.shape();
+            let kind = match &node.op {
+                Op::Leaf => "Leaf".to_string(),
+                Op::Constant => "Const".to_string(),
+                other => {
+                    let dbg = format!("{other:?}");
+                    dbg.split(['(', ' ', '{'])
+                        .next()
+                        .unwrap_or("Op")
+                        .to_string()
+                }
+            };
+            let _ = writeln!(out, "  n{id} [label=\"#{id} {kind}\\n{r}x{c}\"];");
+            let parents: Vec<usize> = match &node.op {
+                Op::Leaf | Op::Constant => vec![],
+                Op::Add(a, b)
+                | Op::Sub(a, b)
+                | Op::Mul(a, b)
+                | Op::Div(a, b)
+                | Op::MatMul(a, b) => vec![a.0, b.0],
+                Op::Neg(a)
+                | Op::Abs(a)
+                | Op::Tanh(a)
+                | Op::Sigmoid(a)
+                | Op::Exp(a)
+                | Op::Ln(a)
+                | Op::Relu(a)
+                | Op::Scale(a, _)
+                | Op::AddScalar(a)
+                | Op::Powi(a, _)
+                | Op::Sum(a)
+                | Op::Mean(a)
+                | Op::SumRows(a)
+                | Op::SumCols(a)
+                | Op::Ste(a) => vec![a.0],
+                Op::SliceCols { parent, .. } => vec![parent.0],
+                Op::ConcatCols(parts) => parts.iter().map(|p| p.0).collect(),
+                Op::FusedLoss { scores, .. } => vec![scores.0],
+            };
+            for p in parents {
+                let _ = writeln!(out, "  n{p} -> n{id};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Runs reverse-mode accumulation from the scalar node `loss`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::NonScalarLoss`] if `loss` is not `1×1`.
+    pub fn backward(&self, loss: Var) -> Result<GradStore, AutodiffError> {
+        if self.shape(loss) != (1, 1) {
+            return Err(AutodiffError::NonScalarLoss {
+                shape: self.shape(loss),
+            });
+        }
+        let mut store = GradStore {
+            grads: vec![None; self.nodes.len()],
+        };
+        store.grads[loss.0] = Some(Matrix::filled(1, 1, 1.0));
+
+        for id in (0..=loss.0).rev() {
+            let Some(grad) = store.grads[id].clone() else {
+                continue;
+            };
+            let node = &self.nodes[id];
+            match &node.op {
+                Op::Leaf | Op::Constant => {}
+                Op::Add(a, b) => {
+                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)));
+                    store.accumulate(*b, reduce_to(&grad, self.shape(*b)));
+                }
+                Op::Sub(a, b) => {
+                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)));
+                    store.accumulate(*b, reduce_to(&grad.scale(-1.0), self.shape(*b)));
+                }
+                Op::Mul(a, b) => {
+                    let ga = broadcast_zip("mul_bw", &grad, self.value(*b), |g, y| g * y)
+                        .expect("forward shapes validated");
+                    let gb = broadcast_zip("mul_bw", &grad, self.value(*a), |g, x| g * x)
+                        .expect("forward shapes validated");
+                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)));
+                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)));
+                }
+                Op::Div(a, b) => {
+                    let ga = broadcast_zip("div_bw", &grad, self.value(*b), |g, y| g / y)
+                        .expect("forward shapes validated");
+                    // g_b = −g·a/b²; fold a and b in two broadcast passes.
+                    let a_over_b2 =
+                        broadcast_zip("div_bw", self.value(*a), self.value(*b), |x, y| {
+                            -x / (y * y)
+                        })
+                        .expect("forward shapes validated");
+                    let gb = broadcast_zip("div_bw", &grad, &a_over_b2, |g, q| g * q)
+                        .expect("forward shapes validated");
+                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)));
+                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)));
+                }
+                Op::MatMul(a, b) => {
+                    let ga = grad
+                        .matmul(&self.value(*b).transpose())
+                        .expect("forward shapes validated");
+                    let gb = self
+                        .value(*a)
+                        .transpose()
+                        .matmul(&grad)
+                        .expect("forward shapes validated");
+                    store.accumulate(*a, ga);
+                    store.accumulate(*b, gb);
+                }
+                Op::Neg(a) => store.accumulate(*a, grad.scale(-1.0)),
+                Op::Abs(a) => {
+                    let x = self.value(*a);
+                    let g = grad
+                        .zip_with(x, "abs_bw", |g, x| g * sign(x))
+                        .expect("same shape");
+                    store.accumulate(*a, g);
+                }
+                Op::Tanh(a) => {
+                    let g = grad
+                        .zip_with(&node.value, "tanh_bw", |g, t| g * (1.0 - t * t))
+                        .expect("same shape");
+                    store.accumulate(*a, g);
+                }
+                Op::Sigmoid(a) => {
+                    let g = grad
+                        .zip_with(&node.value, "sigmoid_bw", |g, s| g * s * (1.0 - s))
+                        .expect("same shape");
+                    store.accumulate(*a, g);
+                }
+                Op::Exp(a) => {
+                    let g = grad
+                        .zip_with(&node.value, "exp_bw", |g, e| g * e)
+                        .expect("same shape");
+                    store.accumulate(*a, g);
+                }
+                Op::Ln(a) => {
+                    let g = grad
+                        .zip_with(self.value(*a), "ln_bw", |g, x| g / x)
+                        .expect("same shape");
+                    store.accumulate(*a, g);
+                }
+                Op::Relu(a) => {
+                    let g = grad
+                        .zip_with(self.value(*a), "relu_bw", |g, x| if x > 0.0 { g } else { 0.0 })
+                        .expect("same shape");
+                    store.accumulate(*a, g);
+                }
+                Op::Scale(a, s) => store.accumulate(*a, grad.scale(*s)),
+                Op::AddScalar(a) => store.accumulate(*a, grad),
+                Op::Powi(a, k) => {
+                    let g = grad
+                        .zip_with(self.value(*a), "powi_bw", |g, x| {
+                            g * *k as f64 * x.powi(k - 1)
+                        })
+                        .expect("same shape");
+                    store.accumulate(*a, g);
+                }
+                Op::Sum(a) => {
+                    let (r, c) = self.shape(*a);
+                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)]));
+                }
+                Op::Mean(a) => {
+                    let (r, c) = self.shape(*a);
+                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)] / (r * c) as f64));
+                }
+                Op::SumRows(a) => {
+                    let (r, c) = self.shape(*a);
+                    store.accumulate(*a, Matrix::from_fn(r, c, |_, j| grad[(0, j)]));
+                }
+                Op::SumCols(a) => {
+                    let (r, c) = self.shape(*a);
+                    store.accumulate(*a, Matrix::from_fn(r, c, |i, _| grad[(i, 0)]));
+                }
+                Op::SliceCols { parent, start } => {
+                    let (r, c) = self.shape(*parent);
+                    let (_, w) = node.value.shape();
+                    let mut g = Matrix::zeros(r, c);
+                    for i in 0..r {
+                        for j in 0..w {
+                            g[(i, start + j)] = grad[(i, j)];
+                        }
+                    }
+                    store.accumulate(*parent, g);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let (r, c) = self.shape(*p);
+                        let g = Matrix::from_fn(r, c, |i, j| grad[(i, offset + j)]);
+                        store.accumulate(*p, g);
+                        offset += c;
+                    }
+                }
+                Op::Ste(a) => store.accumulate(*a, grad),
+                Op::FusedLoss { scores, grad: template } => {
+                    store.accumulate(*scores, template.scale(grad[(0, 0)]));
+                }
+            }
+        }
+        Ok(store)
+    }
+}
+
+fn sign(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+fn check_targets(batch: usize, classes: usize, targets: &[usize]) -> Result<(), AutodiffError> {
+    if targets.len() != batch {
+        return Err(AutodiffError::TargetLengthMismatch {
+            batch,
+            targets: targets.len(),
+        });
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= classes) {
+        return Err(AutodiffError::InvalidTarget {
+            class: bad,
+            num_classes: classes,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn add_and_sub_gradients() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(&[&[1.0, 2.0]]));
+        let b = g.leaf(m(&[&[3.0, 4.0]]));
+        let s = g.sub(a, b).unwrap();
+        let t = g.add(s, a).unwrap();
+        let loss = g.sum(t);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[2.0, 2.0]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn mul_gradient_is_other_operand() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(&[&[2.0, 3.0]]));
+        let b = g.leaf(m(&[&[5.0, 7.0]]));
+        let p = g.mul(a, b).unwrap();
+        let loss = g.sum(p);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_gradients() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(&[&[6.0]]));
+        let b = g.leaf(m(&[&[3.0]]));
+        let q = g.div(a, b).unwrap();
+        let grads = g.backward(q).unwrap();
+        assert!((grads.get(a).unwrap()[(0, 0)] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((grads.get(b).unwrap()[(0, 0)] + 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_broadcast_reduces_gradient() {
+        let mut g = Graph::new();
+        let s = g.leaf(m(&[&[2.0]]));
+        let x = g.constant(m(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let y = g.mul(s, x).unwrap();
+        assert_eq!(g.shape(y), (2, 2));
+        let loss = g.sum(y);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(s).unwrap()[(0, 0)], 10.0);
+    }
+
+    #[test]
+    fn row_vector_broadcast() {
+        let mut g = Graph::new();
+        let row = g.leaf(m(&[&[1.0, 2.0]]));
+        let x = g.constant(m(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]));
+        let y = g.div(x, row).unwrap();
+        let loss = g.sum(y);
+        let grads = g.backward(loss).unwrap();
+        // d/d row_j of sum_i x_ij/row_j = −3/row_j².
+        assert!((grads.get(row).unwrap()[(0, 0)] + 3.0).abs() < 1e-12);
+        assert!((grads.get(row).unwrap()[(0, 1)] + 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_vector_broadcast() {
+        let mut g = Graph::new();
+        let col = g.leaf(m(&[&[1.0], &[2.0]]));
+        let x = g.constant(m(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let y = g.add(x, col).unwrap();
+        let loss = g.sum(y);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(col).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::zeros(2, 3));
+        let b = g.leaf(Matrix::zeros(3, 2));
+        assert!(matches!(
+            g.add(a, b),
+            Err(AutodiffError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let mut g = Graph::new();
+        let a = g.leaf(m(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.leaf(m(&[&[5.0], &[6.0]]));
+        let y = g.matmul(a, b).unwrap();
+        let loss = g.sum(y);
+        let grads = g.backward(loss).unwrap();
+        // dL/dA = 1·Bᵀ (broadcast over rows), dL/dB = Aᵀ·1.
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn chain_of_unaries() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[0.3]]));
+        let t = g.tanh(x);
+        let s = g.sigmoid(t);
+        let e = g.exp(s);
+        let loss = g.sum(e);
+        let grads = g.backward(loss).unwrap();
+
+        // Analytic chain.
+        let xv = 0.3f64;
+        let tv = xv.tanh();
+        let sv = 1.0 / (1.0 + (-tv).exp());
+        let expected = sv.exp() * sv * (1.0 - sv) * (1.0 - tv * tv);
+        assert!((grads.get(x).unwrap()[(0, 0)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_subgradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[-2.0, 0.0, 3.0]]));
+        let a = g.abs(x);
+        let loss = g.sum(a);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_gates_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[-1.0, 2.0]]));
+        let r = g.relu(x);
+        let loss = g.sum(r);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn ln_and_powi() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[2.0]]));
+        let p = g.powi(x, 3);
+        let l = g.ln(p);
+        let grads = g.backward(l).unwrap();
+        // d ln(x³)/dx = 3/x.
+        assert!((grads.get(x).unwrap()[(0, 0)] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_divides_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(2, 2, 1.0));
+        let loss = g.mean(x);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn sum_rows_and_cols() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let r = g.sum_rows(x);
+        assert_eq!(g.value(r).as_slice(), &[4.0, 6.0]);
+        let c = g.sum_cols(x);
+        assert_eq!(g.value(c).as_slice(), &[3.0, 7.0]);
+        let s1 = g.sum(r);
+        let grads = g.backward(s1).unwrap();
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[1.0, 2.0, 3.0, 4.0]]));
+        let a = g.slice_cols(x, 0, 2).unwrap();
+        let b = g.slice_cols(x, 2, 2).unwrap();
+        let back = g.concat_cols(&[b, a]).unwrap();
+        assert_eq!(g.value(back).as_slice(), &[3.0, 4.0, 1.0, 2.0]);
+        let doubled = g.scale(back, 2.0);
+        let loss = g.sum(doubled);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn slice_out_of_range_errors() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::zeros(1, 3));
+        assert!(g.slice_cols(x, 2, 2).is_err());
+        assert!(g.slice_cols(x, 0, 0).is_err());
+    }
+
+    #[test]
+    fn concat_requires_matching_rows() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::zeros(1, 2));
+        let b = g.leaf(Matrix::zeros(2, 2));
+        assert!(g.concat_cols(&[a, b]).is_err());
+        assert!(g.concat_cols(&[]).is_err());
+    }
+
+    #[test]
+    fn ste_passes_gradient_through_projection() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[5.0, -5.0]]));
+        let y = g.clamp_ste(x, -1.0, 1.0);
+        assert_eq!(g.value(y).as_slice(), &[1.0, -1.0]);
+        let loss = g.sum(y);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn ste_shape_checked() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::zeros(1, 2));
+        assert!(g.ste(x, Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn backward_rejects_nonscalar() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::zeros(2, 2));
+        assert!(matches!(
+            g.backward(x),
+            Err(AutodiffError::NonScalarLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let mut g = Graph::new();
+        let scores = g.leaf(m(&[&[2.0, 1.0, 0.0], &[0.0, 0.0, 0.0]]));
+        let loss = g.cross_entropy_logits(scores, &[0, 2]).unwrap();
+
+        // Manual: row 0 softmax of [2,1,0], loss −ln p0; row 1 uniform.
+        let exps = [2.0f64.exp(), 1.0f64.exp(), 1.0];
+        let denom: f64 = exps.iter().sum();
+        let expected = (-(exps[0] / denom).ln() + -(1.0f64 / 3.0).ln()) / 2.0;
+        assert!((g.value(loss)[(0, 0)] - expected).abs() < 1e-12);
+
+        let grads = g.backward(loss).unwrap();
+        let gs = grads.get(scores).unwrap();
+        // Row 1: (1/3 − onehot₂)/2.
+        assert!((gs[(1, 2)] - (1.0 / 3.0 - 1.0) / 2.0).abs() < 1e-12);
+        assert!((gs[(1, 0)] - (1.0 / 3.0) / 2.0).abs() < 1e-12);
+        // Gradients of each row sum to zero.
+        assert!((gs[(0, 0)] + gs[(0, 1)] + gs[(0, 2)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_validates_targets() {
+        let mut g = Graph::new();
+        let scores = g.leaf(Matrix::zeros(2, 3));
+        assert!(matches!(
+            g.cross_entropy_logits(scores, &[0]),
+            Err(AutodiffError::TargetLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            g.cross_entropy_logits(scores, &[0, 3]),
+            Err(AutodiffError::InvalidTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn margin_loss_zero_when_separated() {
+        let mut g = Graph::new();
+        let scores = g.leaf(m(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let loss = g.margin_loss(scores, &[0, 1], 0.3).unwrap();
+        assert_eq!(g.value(loss)[(0, 0)], 0.0);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(scores).unwrap().norm(), 0.0);
+    }
+
+    #[test]
+    fn margin_loss_penalizes_violations() {
+        let mut g = Graph::new();
+        let scores = g.leaf(m(&[&[0.5, 0.6]]));
+        let loss = g.margin_loss(scores, &[0], 0.3).unwrap();
+        // violation = 0.3 − 0.5 + 0.6 = 0.4
+        assert!((g.value(loss)[(0, 0)] - 0.4).abs() < 1e-12);
+        let grads = g.backward(loss).unwrap();
+        let gs = grads.get(scores).unwrap();
+        assert_eq!(gs[(0, 0)], -1.0);
+        assert_eq!(gs[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_shared_subexpression() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[3.0]]));
+        let sq = g.mul(x, x).unwrap();
+        let y = g.add(sq, x).unwrap(); // x² + x
+        let grads = g.backward(y).unwrap();
+        assert!((grads.get(x).unwrap()[(0, 0)] - 7.0).abs() < 1e-12); // 2x+1
+    }
+
+    #[test]
+    fn constants_do_not_stop_flow_but_get_grads_too() {
+        let mut g = Graph::new();
+        let x = g.leaf(m(&[&[2.0]]));
+        let c = g.scalar(10.0);
+        let y = g.mul(x, c).unwrap();
+        let grads = g.backward(y).unwrap();
+        assert_eq!(grads.get(x).unwrap()[(0, 0)], 10.0);
+        // Constants receive gradients (harmless); leaves are what optimizers
+        // read.
+        assert_eq!(grads.get(c).unwrap()[(0, 0)], 2.0);
+    }
+}

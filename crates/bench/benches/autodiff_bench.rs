@@ -1,0 +1,44 @@
+//! Forward/backward throughput of the tape autodiff engine on a
+//! pNN-shaped computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnc_autodiff::Graph;
+use pnc_linalg::Matrix;
+use std::hint::black_box;
+
+fn crossbar_like_pass(batch: usize, inputs: usize, outputs: usize) -> f64 {
+    let mut g = Graph::new();
+    let x = g.constant(Matrix::from_fn(batch, inputs, |i, j| {
+        ((i * 7 + j * 3) % 11) as f64 / 10.0
+    }));
+    let theta = g.leaf(Matrix::from_fn(inputs + 2, outputs, |i, j| {
+        0.05 + ((i + 2 * j) % 9) as f64 / 10.0
+    }));
+    let magnitude = g.abs(theta);
+    let total = g.sum_rows(magnitude);
+    let weights = g.div(magnitude, total).expect("shapes");
+    let ones = g.constant(Matrix::filled(batch, 1, 1.0));
+    let zeros = g.constant(Matrix::filled(batch, 1, 0.0));
+    let x_ext = g.concat_cols(&[x, ones, zeros]).expect("shapes");
+    let z = g.matmul(x_ext, weights).expect("shapes");
+    let a = g.tanh(z);
+    let loss = g.mean(a);
+    let grads = g.backward(loss).expect("scalar loss");
+    grads.get(theta).expect("grad").norm()
+}
+
+fn bench_autodiff(c: &mut Criterion) {
+    c.bench_function("autodiff/crossbar_fwd_bwd_b128_in16_out10", |b| {
+        b.iter(|| black_box(crossbar_like_pass(128, 16, 10)))
+    });
+    c.bench_function("autodiff/crossbar_fwd_bwd_b1024_in16_out10", |b| {
+        b.iter(|| black_box(crossbar_like_pass(1024, 16, 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_autodiff
+}
+criterion_main!(benches);

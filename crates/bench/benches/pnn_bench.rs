@@ -1,0 +1,96 @@
+//! Printed-neural-network training throughput: the per-epoch cost of
+//! nominal and variation-aware training, and Monte-Carlo evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnc_core::{
+    mc_evaluate, LabeledData, Pnn, PnnConfig, TrainConfig, Trainer, VariationModel,
+};
+use pnc_linalg::Matrix;
+use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig as STrain};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<pnc_surrogate::SurrogateModel>, Matrix, Vec<usize>) {
+    let data = build_dataset(&DatasetConfig {
+        samples: 150,
+        sweep_points: 31,
+    })
+    .expect("dataset builds");
+    let surrogate = Arc::new(
+        train_surrogate(
+            &data,
+            &STrain {
+                layer_sizes: vec![10, 8, 4],
+                max_epochs: 200,
+                patience: 100,
+                ..STrain::default()
+            },
+        )
+        .expect("trains")
+        .0,
+    );
+    let x = Matrix::from_fn(128, 6, |i, j| ((i * 5 + j * 3) % 13) as f64 / 12.0);
+    let y = (0..128).map(|i| i % 3).collect();
+    (surrogate, x, y)
+}
+
+fn bench_pnn(c: &mut Criterion) {
+    let (surrogate, x, y) = fixture();
+
+    c.bench_function("pnn/train_10_epochs_nominal_b128", |b| {
+        b.iter(|| {
+            let mut pnn =
+                Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid");
+            let data = LabeledData::new(&x, &y).expect("consistent");
+            Trainer::new(TrainConfig {
+                max_epochs: 10,
+                patience: 10,
+                ..TrainConfig::default()
+            })
+            .train(&mut pnn, data, data)
+            .expect("trains")
+        })
+    });
+
+    c.bench_function("pnn/train_10_epochs_variation_aware_mc5_b128", |b| {
+        b.iter(|| {
+            let mut pnn =
+                Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid");
+            let data = LabeledData::new(&x, &y).expect("consistent");
+            Trainer::new(TrainConfig {
+                variation: VariationModel::Uniform { epsilon: 0.1 },
+                n_train_mc: 5,
+                n_val_mc: 2,
+                max_epochs: 10,
+                patience: 10,
+                ..TrainConfig::default()
+            })
+            .train(&mut pnn, data, data)
+            .expect("trains")
+        })
+    });
+
+    let pnn = Pnn::new(PnnConfig::for_dataset(6, 3), surrogate).expect("valid");
+    c.bench_function("pnn/mc_evaluate_50_draws_b128", |b| {
+        b.iter(|| {
+            let data = LabeledData::new(&x, &y).expect("consistent");
+            black_box(
+                mc_evaluate(
+                    &pnn,
+                    data,
+                    &VariationModel::Uniform { epsilon: 0.1 },
+                    50,
+                    0,
+                )
+                .expect("evaluates"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pnn
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Throughput of the DC circuit-simulation substrate: operating points and
+//! transfer-curve sweeps of the paper's nonlinear circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnc_spice::circuits::{NonlinearCircuitParams, PtanhCircuit};
+use pnc_spice::sweep::linspace;
+use pnc_spice::{Circuit, DcSolver, GROUND};
+use std::hint::black_box;
+
+fn bench_dc_operating_point(c: &mut Criterion) {
+    // A representative resistive network with one EGT inverter.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.new_node();
+    let vin = ckt.new_node();
+    let out = ckt.new_node();
+    ckt.vsource(vdd, GROUND, 1.0).expect("valid");
+    ckt.vsource(vin, GROUND, 0.5).expect("valid");
+    ckt.resistor(vdd, out, 100_000.0).expect("valid");
+    ckt.egt(out, vin, GROUND, pnc_spice::EgtModel::printed(400e-6, 40e-6))
+        .expect("valid");
+    let solver = DcSolver::new();
+
+    c.bench_function("spice/dc_operating_point_inverter", |b| {
+        b.iter(|| solver.solve(black_box(&ckt)).expect("converges"))
+    });
+}
+
+fn bench_ptanh_transfer_curve(c: &mut Criterion) {
+    let params = NonlinearCircuitParams::nominal();
+    let grid = linspace(0.0, 1.0, 61);
+    c.bench_function("spice/ptanh_transfer_curve_61pts", |b| {
+        b.iter(|| {
+            let mut circuit = PtanhCircuit::build(black_box(&params)).expect("builds");
+            circuit.transfer_curve(&grid).expect("sweeps")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dc_operating_point, bench_ptanh_transfer_curve
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Throughput of the low-level substrates: dense linear algebra and quasi
+//! Monte-Carlo sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnc_linalg::{Lu, Matrix};
+use pnc_qmc::{Halton, Sobol};
+use std::hint::black_box;
+
+fn bench_linalg(c: &mut Criterion) {
+    // MNA-sized solve: the inner loop of every Newton iteration.
+    let n = 8;
+    let mut a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+    for i in 0..n {
+        a[(i, i)] += 10.0;
+    }
+    let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    c.bench_function("linalg/lu_factor_solve_8x8", |bch| {
+        bch.iter(|| {
+            let lu = Lu::factor(black_box(&a)).expect("nonsingular");
+            lu.solve(black_box(&b)).expect("sized")
+        })
+    });
+
+    // Surrogate-sized matmul: a training-batch linear layer.
+    let x = Matrix::from_fn(1024, 10, |i, j| ((i + j) % 7) as f64 / 7.0);
+    let w = Matrix::from_fn(10, 9, |i, j| ((i * 3 + j) % 5) as f64 / 5.0);
+    c.bench_function("linalg/matmul_1024x10x9", |bch| {
+        bch.iter(|| black_box(&x).matmul(black_box(&w)).expect("shapes"))
+    });
+}
+
+fn bench_qmc(c: &mut Criterion) {
+    c.bench_function("qmc/sobol_1000_points_7d", |bch| {
+        bch.iter(|| {
+            let mut s = Sobol::new(7).expect("supported dim");
+            black_box(s.take(1000))
+        })
+    });
+    c.bench_function("qmc/halton_1000_points_7d", |bch| {
+        bch.iter(|| {
+            let mut h = Halton::new(7).expect("supported dim");
+            black_box(h.take(1000))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_linalg, bench_qmc
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Surrogate-model throughput: plain inference and the differentiable
+//! in-graph path the pNN trains through.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnc_autodiff::Graph;
+use pnc_linalg::Matrix;
+use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, SurrogateModel, TrainConfig};
+use std::hint::black_box;
+
+fn small_surrogate() -> SurrogateModel {
+    let data = build_dataset(&DatasetConfig {
+        samples: 150,
+        sweep_points: 31,
+    })
+    .expect("dataset builds");
+    train_surrogate(
+        &data,
+        &TrainConfig {
+            max_epochs: 200,
+            patience: 100,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("trains")
+    .0
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let model = small_surrogate();
+    let omega = [200.0, 100.0, 3e5, 1.5e5, 1e5, 800e-6, 20e-6];
+
+    c.bench_function("surrogate/predict_eta_plain", |b| {
+        b.iter(|| black_box(model.predict_eta(black_box(&omega))))
+    });
+
+    c.bench_function("surrogate/predict_eta_graph_with_backward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let node = g.leaf(Matrix::row_vector(&omega));
+            let eta = model.predict_eta_graph(&mut g, node).expect("valid");
+            let loss = g.sum(eta);
+            let grads = g.backward(loss).expect("scalar");
+            black_box(grads.get(node).expect("grad").norm())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_surrogate
+}
+criterion_main!(benches);

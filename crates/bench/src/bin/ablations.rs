@@ -1,0 +1,102 @@
+//! Design-choice ablations called out in `DESIGN.md`: circuit-sharing
+//! granularity (one bespoke circuit pair shared by all layers vs one per
+//! layer) and the classification loss (the pNN margin loss vs softmax
+//! cross-entropy).
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin ablations -- [--dataset seeds]
+//! ```
+
+use pnc_bench::default_surrogate;
+use pnc_core::{
+    mc_evaluate, train_best_of_seeds, LabeledData, LossKind, NonlinearityGranularity, PnnConfig,
+    TrainConfig, VariationModel,
+};
+use pnc_datasets::benchmark_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset_name = args
+        .iter()
+        .position(|a| a == "--dataset")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "seeds".into());
+    let dataset = benchmark_suite()
+        .into_iter()
+        .find(|d| d.name.to_lowercase().contains(&dataset_name.to_lowercase()))
+        .ok_or_else(|| format!("unknown dataset {dataset_name}"))?;
+
+    let (train, val, test) = dataset.split(42);
+    let train_d = LabeledData::new(&train.features, &train.labels)?;
+    let val_d = LabeledData::new(&val.features, &val.labels)?;
+    let test_d = LabeledData::new(&test.features, &test.labels)?;
+    let surrogate = default_surrogate()?;
+    let epsilon = 0.10;
+
+    println!(
+        "design ablations on {} (full method, trained and tested at ±{:.0}%)\n",
+        dataset.name,
+        epsilon * 100.0
+    );
+    println!("{:<44}{:>18}", "design point", "acc (50 MC draws)");
+
+    let cases: [(&str, NonlinearityGranularity, LossKind); 5] = [
+        (
+            "per-layer circuits, margin loss (default)",
+            NonlinearityGranularity::PerLayer,
+            LossKind::Margin { margin: 0.3 },
+        ),
+        (
+            "shared circuits, margin loss",
+            NonlinearityGranularity::Shared,
+            LossKind::Margin { margin: 0.3 },
+        ),
+        (
+            "per-neuron circuits, margin loss",
+            NonlinearityGranularity::PerNeuron,
+            LossKind::Margin { margin: 0.3 },
+        ),
+        (
+            "per-layer circuits, cross-entropy (T=0.1)",
+            NonlinearityGranularity::PerLayer,
+            LossKind::CrossEntropy { temperature: 0.1 },
+        ),
+        (
+            "per-layer circuits, margin 0.1",
+            NonlinearityGranularity::PerLayer,
+            LossKind::Margin { margin: 0.1 },
+        ),
+    ];
+
+    for (name, granularity, loss) in cases {
+        let mut config = PnnConfig::for_dataset(dataset.num_features(), dataset.num_classes);
+        config.granularity = granularity;
+        let train_cfg = TrainConfig {
+            loss,
+            variation: VariationModel::Uniform { epsilon },
+            n_train_mc: 5,
+            n_val_mc: 3,
+            max_epochs: 250,
+            patience: 100,
+            ..TrainConfig::default()
+        };
+        let (pnn, _) = train_best_of_seeds(
+            &config,
+            surrogate.clone(),
+            &train_cfg,
+            train_d,
+            val_d,
+            &[1, 2, 3],
+        )?;
+        let stats = mc_evaluate(
+            &pnn,
+            test_d,
+            &VariationModel::Uniform { epsilon },
+            50,
+            7,
+        )?;
+        println!("{name:<44}{:>9.3} ± {:.3}", stats.mean, stats.std);
+    }
+    Ok(())
+}

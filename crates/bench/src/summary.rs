@@ -1,0 +1,177 @@
+//! Tab. III: per-arm averages over all datasets and the headline
+//! improvement numbers.
+
+use crate::experiment::{Arm, Table2};
+use pnc_linalg::stats;
+use serde::{Deserialize, Serialize};
+
+/// One Tab. III row: an arm's accuracy mean ± std averaged over the
+/// datasets, per test variation level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// The training setup.
+    pub arm: Arm,
+    /// Average accuracy at 5 % test variation.
+    pub mean_5: f64,
+    /// Average accuracy std at 5 %.
+    pub std_5: f64,
+    /// Average accuracy at 10 % test variation.
+    pub mean_10: f64,
+    /// Average accuracy std at 10 %.
+    pub std_10: f64,
+}
+
+/// The ablation summary (Tab. III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Rows in the paper's order: full method first, baseline last.
+    pub rows: Vec<SummaryRow>,
+}
+
+/// Averages a Tab. II result into Tab. III.
+///
+/// # Panics
+///
+/// Panics if the table has malformed rows (not the 8-cell layout produced by
+/// [`run_table2`](crate::run_table2)).
+pub fn summarize(table2: &Table2) -> Table3 {
+    let arm_rows = [
+        Arm { learnable: true, variation_aware: true },
+        Arm { learnable: true, variation_aware: false },
+        Arm { learnable: false, variation_aware: true },
+        Arm { learnable: false, variation_aware: false },
+    ];
+    let rows = arm_rows
+        .into_iter()
+        .map(|arm| {
+            let collect = |eps: f64| -> (f64, f64) {
+                let mut means = Vec::new();
+                let mut stds = Vec::new();
+                for row in &table2.rows {
+                    let cell = row
+                        .cells
+                        .iter()
+                        .find(|c| c.arm == arm && (c.test_epsilon - eps).abs() < 1e-12)
+                        .expect("8-cell row layout");
+                    means.push(cell.stats.mean);
+                    stds.push(cell.stats.std);
+                }
+                (stats::mean(&means), stats::mean(&stds))
+            };
+            let (mean_5, std_5) = collect(0.05);
+            let (mean_10, std_10) = collect(0.10);
+            SummaryRow {
+                arm,
+                mean_5,
+                std_5,
+                mean_10,
+                std_10,
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+/// The paper's headline numbers (Sec. IV-D): relative accuracy improvement
+/// and relative robustness (std reduction) of the full method over the
+/// baseline, at 5 % and 10 % variation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Headline {
+    /// Relative mean-accuracy improvement at 5 % (paper: ≈ +19 %).
+    pub accuracy_gain_5: f64,
+    /// Relative mean-accuracy improvement at 10 % (paper: ≈ +26 %).
+    pub accuracy_gain_10: f64,
+    /// Relative std reduction at 5 % (paper: ≈ 73 %).
+    pub std_reduction_5: f64,
+    /// Relative std reduction at 10 % (paper: ≈ 75 %).
+    pub std_reduction_10: f64,
+}
+
+/// Computes the headline improvements from a Tab. III summary.
+///
+/// # Panics
+///
+/// Panics if the summary does not contain both the full-method and baseline
+/// rows.
+pub fn headline_improvements(table3: &Table3) -> Headline {
+    let full = table3
+        .rows
+        .iter()
+        .find(|r| r.arm.learnable && r.arm.variation_aware)
+        .expect("full-method row");
+    let base = table3
+        .rows
+        .iter()
+        .find(|r| !r.arm.learnable && !r.arm.variation_aware)
+        .expect("baseline row");
+    Headline {
+        accuracy_gain_5: (full.mean_5 - base.mean_5) / base.mean_5,
+        accuracy_gain_10: (full.mean_10 - base.mean_10) / base.mean_10,
+        std_reduction_5: (base.std_5 - full.std_5) / base.std_5,
+        std_reduction_10: (base.std_10 - full.std_10) / base.std_10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Budget, CellResult, DatasetRow};
+    use pnc_core::McStats;
+
+    fn cell(arm: Arm, eps: f64, mean: f64, std: f64) -> CellResult {
+        CellResult {
+            arm,
+            train_epsilon: if arm.variation_aware { eps } else { 0.0 },
+            test_epsilon: eps,
+            stats: McStats {
+                mean,
+                std,
+                accuracies: vec![mean],
+            },
+        }
+    }
+
+    fn synthetic_table() -> Table2 {
+        // Mimics the paper's Tab. III values as a single-"dataset" average.
+        let rows = vec![DatasetRow {
+            dataset: "avg".into(),
+            cells: vec![
+                cell(Arm { learnable: false, variation_aware: false }, 0.05, 0.678, 0.085),
+                cell(Arm { learnable: false, variation_aware: false }, 0.10, 0.626, 0.118),
+                cell(Arm { learnable: false, variation_aware: true }, 0.05, 0.731, 0.053),
+                cell(Arm { learnable: false, variation_aware: true }, 0.10, 0.691, 0.080),
+                cell(Arm { learnable: true, variation_aware: false }, 0.05, 0.752, 0.095),
+                cell(Arm { learnable: true, variation_aware: false }, 0.10, 0.697, 0.130),
+                cell(Arm { learnable: true, variation_aware: true }, 0.05, 0.809, 0.023),
+                cell(Arm { learnable: true, variation_aware: true }, 0.10, 0.786, 0.029),
+            ],
+        }];
+        Table2 {
+            budget: Budget::scaled(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn summarize_reproduces_paper_layout() {
+        let t3 = summarize(&synthetic_table());
+        assert_eq!(t3.rows.len(), 4);
+        // Full method first.
+        assert!(t3.rows[0].arm.learnable && t3.rows[0].arm.variation_aware);
+        assert!((t3.rows[0].mean_5 - 0.809).abs() < 1e-12);
+        // Baseline last.
+        assert!(!t3.rows[3].arm.learnable && !t3.rows[3].arm.variation_aware);
+        assert!((t3.rows[3].std_10 - 0.118).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_matches_paper_arithmetic() {
+        // Feeding the paper's own Tab. III numbers must reproduce its
+        // claimed improvements: +19 % / +26 % accuracy, −73 % / −75 % std.
+        let h = headline_improvements(&summarize(&synthetic_table()));
+        assert!((h.accuracy_gain_5 - 0.19).abs() < 0.01, "{h:?}");
+        assert!((h.accuracy_gain_10 - 0.26).abs() < 0.01, "{h:?}");
+        assert!((h.std_reduction_5 - 0.73).abs() < 0.01, "{h:?}");
+        assert!((h.std_reduction_10 - 0.75).abs() < 0.01, "{h:?}");
+    }
+}

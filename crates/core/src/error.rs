@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Error type for pNN construction, training and evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PnnError {
+    /// An autodiff operation failed (almost always a shape bug).
+    Autodiff(pnc_autodiff::AutodiffError),
+    /// The surrogate model failed.
+    Surrogate(pnc_surrogate::SurrogateError),
+    /// The network configuration was invalid.
+    Config {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The training/evaluation data were inconsistent with the network.
+    Data {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnnError::Autodiff(e) => write!(f, "autodiff failure: {e}"),
+            PnnError::Surrogate(e) => write!(f, "surrogate failure: {e}"),
+            PnnError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            PnnError::Data { detail } => write!(f, "invalid data: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PnnError::Autodiff(e) => Some(e),
+            PnnError::Surrogate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pnc_autodiff::AutodiffError> for PnnError {
+    fn from(e: pnc_autodiff::AutodiffError) -> Self {
+        PnnError::Autodiff(e)
+    }
+}
+
+impl From<pnc_surrogate::SurrogateError> for PnnError {
+    fn from(e: pnc_surrogate::SurrogateError) -> Self {
+        PnnError::Surrogate(e)
+    }
+}

@@ -1,0 +1,202 @@
+//! Accuracy and Monte-Carlo robustness evaluation (Sec. IV-C).
+
+use crate::network::Pnn;
+use crate::train::LabeledData;
+use crate::variation::{NoiseSample, VariationModel};
+use crate::PnnError;
+use pnc_linalg::stats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Classification accuracy of `pnn` on `data`, optionally under one
+/// printing-variation draw.
+///
+/// # Errors
+///
+/// Propagates forward-pass failures.
+///
+/// # Examples
+///
+/// See [`mc_evaluate`] for the Monte-Carlo wrapper the experiment tables
+/// use.
+pub fn accuracy(
+    pnn: &Pnn,
+    data: LabeledData<'_>,
+    noise: Option<&NoiseSample>,
+) -> Result<f64, PnnError> {
+    if data.is_empty() {
+        return Err(PnnError::Data {
+            detail: "cannot evaluate on empty data".into(),
+        });
+    }
+    let preds = pnn.predict(data.features, noise)?;
+    let correct = preds
+        .iter()
+        .zip(data.labels)
+        .filter(|(p, t)| p == t)
+        .count();
+    Ok(correct as f64 / data.len() as f64)
+}
+
+/// Monte-Carlo robustness statistics: accuracy mean and standard deviation
+/// over variation draws, exactly as Tab. II reports (`mean ± std` over
+/// `N_test = 100` samples).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McStats {
+    /// Mean accuracy over the draws.
+    pub mean: f64,
+    /// Population standard deviation over the draws — the paper's
+    /// robustness metric.
+    pub std: f64,
+    /// The individual per-draw accuracies.
+    pub accuracies: Vec<f64>,
+}
+
+/// Evaluates `pnn` under `n_test` Monte-Carlo draws of `variation`,
+/// applying the noise to every printable value (crossbar conductances *and*
+/// nonlinear-circuit components — the full printing process).
+///
+/// # Errors
+///
+/// Returns [`PnnError::Data`] for empty data or `n_test == 0`, and
+/// propagates forward-pass failures.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use pnc_core::{mc_evaluate, LabeledData, Pnn, VariationModel};
+/// # fn eval(pnn: &Pnn, data: LabeledData<'_>) -> Result<(), pnc_core::PnnError> {
+/// let stats = mc_evaluate(
+///     pnn,
+///     data,
+///     &VariationModel::Uniform { epsilon: 0.10 },
+///     100,
+///     42,
+/// )?;
+/// println!("{:.3} ± {:.3}", stats.mean, stats.std);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mc_evaluate(
+    pnn: &Pnn,
+    data: LabeledData<'_>,
+    variation: &VariationModel,
+    n_test: usize,
+    seed: u64,
+) -> Result<McStats, PnnError> {
+    if n_test == 0 {
+        return Err(PnnError::Data {
+            detail: "n_test must be positive".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shapes = pnn.theta_shapes();
+    let mut accuracies = Vec::with_capacity(n_test);
+    for _ in 0..n_test {
+        let noise = if variation.is_none() {
+            None
+        } else {
+            Some(NoiseSample::draw(
+                variation,
+                &mut rng,
+                &shapes,
+                pnn.num_circuits(),
+            ))
+        };
+        accuracies.push(accuracy(pnn, data, noise.as_ref())?);
+    }
+    Ok(McStats {
+        mean: stats::mean(&accuracies),
+        std: stats::std(&accuracies),
+        accuracies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PnnConfig;
+    use pnc_linalg::Matrix;
+    use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig};
+    use std::sync::Arc;
+
+    fn quick_pnn() -> Pnn {
+        let data = build_dataset(&DatasetConfig {
+            samples: 120,
+            sweep_points: 31,
+        })
+        .unwrap();
+        let surrogate = Arc::new(
+            train_surrogate(
+                &data,
+                &pnc_surrogate::TrainConfig {
+                    layer_sizes: vec![10, 8, 4],
+                    max_epochs: 300,
+                    patience: 100,
+                    ..pnc_surrogate::TrainConfig::default()
+                },
+            )
+            .unwrap()
+            .0,
+        );
+        Pnn::new(PnnConfig::for_dataset(2, 2), surrogate).unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let pnn = quick_pnn();
+        let x = Matrix::from_fn(6, 2, |i, j| ((i + j) % 4) as f64 / 3.0);
+        let preds = pnn.predict(&x, None).unwrap();
+        let data = LabeledData::new(&x, &preds).unwrap();
+        // Using the model's own predictions as labels gives accuracy 1.
+        assert_eq!(accuracy(&pnn, data, None).unwrap(), 1.0);
+        // Flipping every label gives accuracy 0.
+        let flipped: Vec<usize> = preds.iter().map(|&p| 1 - p).collect();
+        let data = LabeledData::new(&x, &flipped).unwrap();
+        assert_eq!(accuracy(&pnn, data, None).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mc_evaluate_without_variation_has_zero_std() {
+        let pnn = quick_pnn();
+        let x = Matrix::from_fn(5, 2, |i, j| ((2 * i + j) % 5) as f64 / 4.0);
+        let y = vec![0, 1, 0, 1, 0];
+        let data = LabeledData::new(&x, &y).unwrap();
+        let stats = mc_evaluate(&pnn, data, &VariationModel::None, 10, 0).unwrap();
+        assert!(stats.std < 1e-12, "std {}", stats.std);
+        assert_eq!(stats.accuracies.len(), 10);
+        assert!(stats.accuracies.iter().all(|&a| a == stats.accuracies[0]));
+    }
+
+    #[test]
+    fn mc_evaluate_is_seed_deterministic() {
+        let pnn = quick_pnn();
+        let x = Matrix::from_fn(8, 2, |i, j| ((i * 2 + 3 * j) % 7) as f64 / 6.0);
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let data = LabeledData::new(&x, &y).unwrap();
+        let v = VariationModel::Uniform { epsilon: 0.1 };
+        let a = mc_evaluate(&pnn, data, &v, 20, 7).unwrap();
+        let b = mc_evaluate(&pnn, data, &v, 20, 7).unwrap();
+        assert_eq!(a, b);
+        // Different seeds draw different noise; accuracies may or may not
+        // coincide (they are coarse fractions), but the call must succeed.
+        let c = mc_evaluate(&pnn, data, &v, 20, 8).unwrap();
+        assert_eq!(c.accuracies.len(), 20);
+    }
+
+    #[test]
+    fn rejects_zero_samples_and_empty_data() {
+        let pnn = quick_pnn();
+        let x = Matrix::from_fn(2, 2, |_, _| 0.5);
+        let y = vec![0, 1];
+        let data = LabeledData::new(&x, &y).unwrap();
+        assert!(mc_evaluate(&pnn, data, &VariationModel::None, 0, 0).is_err());
+        let empty_x = Matrix::zeros(0, 2);
+        let empty = LabeledData {
+            features: &empty_x,
+            labels: &[],
+        };
+        assert!(accuracy(&pnn, empty, None).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Export of a trained pNN as a printable design.
+//!
+//! Training a pNN **is** designing a printed neuromorphic circuit
+//! (Sec. II-C); this module extracts the component values a printer would
+//! receive: per-crossbar conductances (with negative-weight flags) and the
+//! bespoke physical parameterization of every nonlinear circuit.
+
+use crate::network::Pnn;
+use pnc_linalg::Matrix;
+use pnc_spice::circuits::NonlinearCircuitParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One crossbar of the printed design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarDesign {
+    /// Printable conductance magnitudes `|θ|` after projection; `0` means
+    /// "do not print this resistor". Shape `(in + 2) × out` with the bias
+    /// and `g_d` rows last.
+    pub conductances: Matrix,
+    /// `true` where the input is routed through the negative-weight circuit.
+    pub negated: Vec<Vec<bool>>,
+}
+
+/// One nonlinear circuit of the printed design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitDesign {
+    /// Physical component values `[R1, R2, R3, R4, R5, W, L]` (SI units).
+    pub omega: [f64; 7],
+    /// The resulting curve parameters η (via the surrogate model).
+    pub eta: [f64; 4],
+}
+
+/// The complete printable design of a trained pNN.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use pnc_core::{Pnn, PrintedDesign};
+/// # fn export(pnn: &Pnn) {
+/// let design = PrintedDesign::from_pnn(pnn);
+/// println!("{design}");
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrintedDesign {
+    /// Crossbars in layer order.
+    pub crossbars: Vec<CrossbarDesign>,
+    /// `(activation, negative-weight)` circuit designs per circuit pair.
+    pub circuits: Vec<(CircuitDesign, CircuitDesign)>,
+}
+
+impl PrintedDesign {
+    /// Extracts the design from a (typically trained) network.
+    pub fn from_pnn(pnn: &Pnn) -> Self {
+        let config = pnn.config();
+        let crossbars = pnn
+            .layers()
+            .iter()
+            .map(|layer| {
+                let printable = layer.printable_conductances(config.g_min, config.g_max);
+                let (rows, cols) = printable.shape();
+                let negated = (0..rows)
+                    .map(|i| (0..cols).map(|j| printable[(i, j)] < 0.0).collect())
+                    .collect();
+                CrossbarDesign {
+                    conductances: printable.map(f64::abs),
+                    negated,
+                }
+            })
+            .collect();
+        let circuits = pnn
+            .circuits()
+            .iter()
+            .map(|(act, inv)| {
+                let make = |c: &crate::NonlinearCircuit| {
+                    let omega = c.printable_omega();
+                    CircuitDesign {
+                        omega,
+                        eta: pnn.surrogate().predict_eta(&omega),
+                    }
+                };
+                (make(act), make(inv))
+            })
+            .collect();
+        PrintedDesign { crossbars, circuits }
+    }
+
+    /// Total number of printed resistors across all crossbars (zeros are not
+    /// printed).
+    pub fn printed_resistor_count(&self) -> usize {
+        self.crossbars
+            .iter()
+            .map(|cb| {
+                cb.conductances
+                    .as_slice()
+                    .iter()
+                    .filter(|&&g| g > 0.0)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Every circuit's physical parameters satisfy the Tab. I feasibility
+    /// constraints.
+    pub fn is_feasible(&self) -> bool {
+        self.circuits.iter().all(|(a, i)| {
+            NonlinearCircuitParams::from_array(a.omega).validate().is_ok()
+                && NonlinearCircuitParams::from_array(i.omega).validate().is_ok()
+        })
+    }
+}
+
+impl fmt::Display for PrintedDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "printed neuromorphic design")?;
+        for (k, cb) in self.crossbars.iter().enumerate() {
+            let (rows, cols) = cb.conductances.shape();
+            writeln!(
+                f,
+                "  crossbar {k}: {} inputs (+bias+gd) x {} outputs",
+                rows - 2,
+                cols
+            )?;
+            for i in 0..rows {
+                write!(f, "    ")?;
+                for j in 0..cols {
+                    let g = cb.conductances[(i, j)];
+                    if g == 0.0 {
+                        write!(f, "     --      ")?;
+                    } else {
+                        let mark = if cb.negated[i][j] { '-' } else { '+' };
+                        write!(f, "{mark}{g:<11.4} ")?;
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        for (k, (act, inv)) in self.circuits.iter().enumerate() {
+            for (role, c) in [("act", act), ("inv", inv)] {
+                writeln!(
+                    f,
+                    "  circuit {k} {role}: R1={:.0}Ω R2={:.0}Ω R3={:.0}Ω R4={:.0}Ω R5={:.0}Ω W={:.0}µm L={:.0}µm  η=[{:.3}, {:.3}, {:.3}, {:.3}]",
+                    c.omega[0],
+                    c.omega[1],
+                    c.omega[2],
+                    c.omega[3],
+                    c.omega[4],
+                    c.omega[5] * 1e6,
+                    c.omega[6] * 1e6,
+                    c.eta[0],
+                    c.eta[1],
+                    c.eta[2],
+                    c.eta[3]
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PnnConfig;
+    use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig};
+    use std::sync::Arc;
+
+    fn quick_pnn() -> Pnn {
+        let data = build_dataset(&DatasetConfig {
+            samples: 120,
+            sweep_points: 31,
+        })
+        .unwrap();
+        let surrogate = Arc::new(
+            train_surrogate(
+                &data,
+                &pnc_surrogate::TrainConfig {
+                    layer_sizes: vec![10, 8, 4],
+                    max_epochs: 300,
+                    patience: 100,
+                    ..pnc_surrogate::TrainConfig::default()
+                },
+            )
+            .unwrap()
+            .0,
+        );
+        Pnn::new(PnnConfig::for_dataset(3, 2), surrogate).unwrap()
+    }
+
+    #[test]
+    fn export_has_expected_structure() {
+        let pnn = quick_pnn();
+        let design = PrintedDesign::from_pnn(&pnn);
+        assert_eq!(design.crossbars.len(), 2);
+        assert_eq!(design.crossbars[0].conductances.shape(), (5, 3));
+        assert_eq!(design.crossbars[1].conductances.shape(), (5, 2));
+        assert_eq!(design.circuits.len(), 2);
+        assert!(design.is_feasible());
+    }
+
+    #[test]
+    fn conductances_are_printable_magnitudes() {
+        let pnn = quick_pnn();
+        let config = pnn.config().clone();
+        let design = PrintedDesign::from_pnn(&pnn);
+        for cb in &design.crossbars {
+            for &g in cb.conductances.as_slice() {
+                assert!(
+                    g == 0.0 || (config.g_min..=config.g_max).contains(&g),
+                    "unprintable conductance {g}"
+                );
+            }
+        }
+        assert!(design.printed_resistor_count() > 0);
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let design = PrintedDesign::from_pnn(&quick_pnn());
+        let text = design.to_string();
+        assert!(text.contains("crossbar 0"));
+        assert!(text.contains("R1="));
+        assert!(text.contains("η="));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let design = PrintedDesign::from_pnn(&quick_pnn());
+        let json = serde_json::to_string(&design).unwrap();
+        let back: PrintedDesign = serde_json::from_str(&json).unwrap();
+        assert_eq!(design.crossbars.len(), back.crossbars.len());
+        assert_eq!(design.circuits.len(), back.circuits.len());
+    }
+}

@@ -1,0 +1,421 @@
+//! The nonlinear subcircuits of the pNN: fixed or learnable (Fig. 5).
+
+use crate::PnnError;
+use pnc_autodiff::{Graph, Parameter, Var};
+use pnc_linalg::Matrix;
+use pnc_spice::circuits::NonlinearCircuitParams;
+use pnc_surrogate::{DesignSpace, SurrogateModel};
+use serde::{Deserialize, Serialize};
+
+/// One nonlinear subcircuit (activation or negative-weight) of a pNN.
+///
+/// * `Fixed` — the prior-work setting: one pre-designed physical
+///   parameterization ω shared by all tasks. Still subject to printing
+///   variation at test time.
+/// * `Learnable` — the paper's contribution: the constrained parameter
+///   𝔴 = \[R̃1, R̃3, R̃5, W̃, L̃, k₁, k₂\] (stored pre-sigmoid) is trained by
+///   gradient descent through the surrogate model.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_core::NonlinearCircuit;
+/// use pnc_spice::circuits::NonlinearCircuitParams;
+///
+/// let fixed = NonlinearCircuit::fixed(NonlinearCircuitParams::nominal());
+/// let learnable = NonlinearCircuit::learnable_from(NonlinearCircuitParams::nominal());
+/// // Both start from the same printable component values.
+/// let a = fixed.printable_omega();
+/// let b = learnable.printable_omega();
+/// for (x, y) in a.iter().zip(&b) {
+///     assert!((x - y).abs() < 0.05 * x.abs());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NonlinearCircuit {
+    /// Pre-designed, non-learnable circuit.
+    Fixed {
+        /// Physical parameters `[R1, R2, R3, R4, R5, W, L]` in SI units.
+        omega: [f64; 7],
+    },
+    /// Learnable circuit parameterized by 𝔴 (pre-sigmoid).
+    Learnable {
+        /// The raw learnable parameter, shape `1×7`.
+        w: Parameter,
+    },
+}
+
+impl NonlinearCircuit {
+    /// Creates a fixed circuit from physical parameters.
+    pub fn fixed(params: NonlinearCircuitParams) -> Self {
+        NonlinearCircuit::Fixed {
+            omega: params.to_array(),
+        }
+    }
+
+    /// Creates a learnable circuit initialized so that its printable values
+    /// start at `params` (by inverting the sigmoid/normalization chain).
+    pub fn learnable_from(params: NonlinearCircuitParams) -> Self {
+        let space = DesignSpace::paper();
+        let omega = params.to_array();
+        // Normalized positions of [r1, r3, r5, w, l] in their boxes.
+        let norm = |k: usize| (omega[k] - space.lo[k]) / (space.hi[k] - space.lo[k]);
+        let k1 = omega[1] / omega[0];
+        let k2 = omega[3] / omega[2];
+        let targets = [norm(0), norm(2), norm(4), norm(5), norm(6), k1, k2];
+        let logit = |p: f64| {
+            let p = p.clamp(0.02, 0.98);
+            (p / (1.0 - p)).ln()
+        };
+        let w = Matrix::row_vector(&targets.map(logit));
+        NonlinearCircuit::Learnable {
+            w: Parameter::new(w),
+        }
+    }
+
+    /// Returns `true` if the circuit's parameters are trainable.
+    pub fn is_learnable(&self) -> bool {
+        matches!(self, NonlinearCircuit::Learnable { .. })
+    }
+
+    /// Registers the learnable parameter on the graph, if any.
+    pub fn register(&self, g: &mut Graph) -> Option<Var> {
+        match self {
+            NonlinearCircuit::Fixed { .. } => None,
+            NonlinearCircuit::Learnable { w } => Some(w.leaf(g)),
+        }
+    }
+
+    /// Mutable access to the learnable parameter, if any.
+    pub fn parameter_mut(&mut self) -> Option<&mut Parameter> {
+        match self {
+            NonlinearCircuit::Fixed { .. } => None,
+            NonlinearCircuit::Learnable { w } => Some(w),
+        }
+    }
+
+    /// The printable component values ω as plain numbers (the values sent to
+    /// the printer; for learnable circuits, computed by the Fig. 5 chain
+    /// from the current 𝔴).
+    pub fn printable_omega(&self) -> [f64; 7] {
+        match self {
+            NonlinearCircuit::Fixed { omega } => *omega,
+            NonlinearCircuit::Learnable { w } => {
+                let space = DesignSpace::paper();
+                let raw = w.value();
+                let sig = |x: f64| 1.0 / (1.0 + (-x).exp());
+                let s: Vec<f64> = (0..7).map(|k| sig(raw[(0, k)])).collect();
+                let denorm = |k_box: usize, s: f64| space.lo[k_box] + s * (space.hi[k_box] - space.lo[k_box]);
+                let r1 = denorm(0, s[0]);
+                let r3 = denorm(2, s[1]);
+                let r5 = denorm(4, s[2]);
+                let w_ = denorm(5, s[3]);
+                let l = denorm(6, s[4]);
+                let r2 = (r1 * s[5]).clamp(space.lo[1], space.hi[1]);
+                let r4 = (r3 * s[6]).clamp(space.lo[3], space.hi[3]);
+                [r1, r2, r3, r4, r5, w_, l]
+            }
+        }
+    }
+
+    /// Builds the graph node of printable ω (`1×7`), implementing the
+    /// processing chain of Fig. 5 for learnable circuits: sigmoid →
+    /// denormalize → reassemble `R2 = k1·R1`, `R4 = k2·R3` → clip to the
+    /// feasible box (straight-through).
+    ///
+    /// `w_var` must be the leaf returned by [`NonlinearCircuit::register`]
+    /// on the same graph (`None` for fixed circuits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Autodiff`] on internal shape errors and
+    /// [`PnnError::Config`] if a learnable circuit is used without its
+    /// registered leaf.
+    pub fn printable_omega_graph(
+        &self,
+        g: &mut Graph,
+        w_var: Option<Var>,
+    ) -> Result<Var, PnnError> {
+        match self {
+            NonlinearCircuit::Fixed { omega } => Ok(g.constant(Matrix::row_vector(omega))),
+            NonlinearCircuit::Learnable { .. } => {
+                let w_var = w_var.ok_or_else(|| PnnError::Config {
+                    detail: "learnable circuit used without a registered leaf".into(),
+                })?;
+                let space = DesignSpace::paper();
+                let s = g.sigmoid(w_var); // 1×7 in (0,1)
+
+                // Split into the five box parameters and the two ratios.
+                let s_r1 = g.slice_cols(s, 0, 1)?;
+                let s_r3 = g.slice_cols(s, 1, 1)?;
+                let s_r5 = g.slice_cols(s, 2, 1)?;
+                let s_w = g.slice_cols(s, 3, 1)?;
+                let s_l = g.slice_cols(s, 4, 1)?;
+                let k1 = g.slice_cols(s, 5, 1)?;
+                let k2 = g.slice_cols(s, 6, 1)?;
+
+                let denorm = |g: &mut Graph, s: Var, k_box: usize| -> Result<Var, PnnError> {
+                    let scaled = g.scale(s, space.hi[k_box] - space.lo[k_box]);
+                    Ok(g.add_scalar(scaled, space.lo[k_box]))
+                };
+                let r1 = denorm(g, s_r1, 0)?;
+                let r3 = denorm(g, s_r3, 2)?;
+                let r5 = denorm(g, s_r5, 4)?;
+                let w_ = denorm(g, s_w, 5)?;
+                let l = denorm(g, s_l, 6)?;
+
+                // Reassemble the divider shunt resistors and clip them to
+                // their own feasible range (straight-through, as Fig. 5).
+                let r2 = g.mul(r1, k1)?;
+                let r2 = g.clamp_ste(r2, space.lo[1], space.hi[1]);
+                let r4 = g.mul(r3, k2)?;
+                let r4 = g.clamp_ste(r4, space.lo[3], space.hi[3]);
+
+                Ok(g.concat_cols(&[r1, r2, r3, r4, r5, w_, l])?)
+            }
+        }
+    }
+
+    /// Builds the curve-parameter node η (`1×4`) for this circuit under an
+    /// optional printing-variation factor applied to the *printable* values
+    /// (as Sec. III-C prescribes — the noise multiplies component values,
+    /// not the raw learnable parameter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and surrogate failures.
+    pub fn eta_graph(
+        &self,
+        g: &mut Graph,
+        w_var: Option<Var>,
+        surrogate: &SurrogateModel,
+        variation: Option<&[f64; 7]>,
+    ) -> Result<Var, PnnError> {
+        let omega = self.printable_omega_graph(g, w_var)?;
+        let omega = match variation {
+            Some(factors) => {
+                let f = g.constant(Matrix::row_vector(factors));
+                g.mul(omega, f)?
+            }
+            None => omega,
+        };
+        Ok(surrogate.predict_eta_graph(g, omega)?)
+    }
+
+    /// Plain-number version of [`NonlinearCircuit::eta_graph`] for
+    /// evaluation paths that need no gradients.
+    pub fn eta(&self, surrogate: &SurrogateModel, variation: Option<&[f64; 7]>) -> [f64; 4] {
+        let mut omega = self.printable_omega();
+        if let Some(f) = variation {
+            for (o, &fk) in omega.iter_mut().zip(f) {
+                *o *= fk;
+            }
+        }
+        surrogate.predict_eta(&omega)
+    }
+}
+
+/// Applies the ptanh activation of Eq. 2, `η₁ + η₂·tanh((x − η₃)·η₄)`, with
+/// η given as a `1×4` node (broadcast over the `B×n` input).
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches.
+pub fn apply_ptanh(g: &mut Graph, eta: Var, x: Var) -> Result<Var, PnnError> {
+    let e1 = g.slice_cols(eta, 0, 1)?;
+    let e2 = g.slice_cols(eta, 1, 1)?;
+    let e3 = g.slice_cols(eta, 2, 1)?;
+    let e4 = g.slice_cols(eta, 3, 1)?;
+    let shifted = g.sub(x, e3)?;
+    let scaled = g.mul(shifted, e4)?;
+    let t = g.tanh(scaled);
+    let amp = g.mul(t, e2)?;
+    Ok(g.add(amp, e1)?)
+}
+
+/// Applies the negative-weight circuit's transfer curve:
+/// `η₁ − η₂·tanh((x − η₃)·η₄)` — the inverter's *physical* (positive,
+/// falling) output voltage.
+///
+/// Eq. 3 of the paper writes the negative-weight model with an outer minus
+/// sign, `−(η₁ + η₂·tanh(·))`, pulling the "negativity" into the voltage
+/// itself. We keep the voltage physical instead: the inverted input stays in
+/// the supply range (so the succeeding crossbar and activation circuit keep
+/// operating around their design point), and the negative-weight semantics
+/// arise from the falling slope — linearizing gives
+/// `inv(x) ≈ a − b·x`, i.e. a negative effective weight plus a bias shift
+/// that training absorbs. Both conventions span the same function class.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches.
+pub fn apply_inv(g: &mut Graph, eta: Var, x: Var) -> Result<Var, PnnError> {
+    let e1 = g.slice_cols(eta, 0, 1)?;
+    let e2 = g.slice_cols(eta, 1, 1)?;
+    let e3 = g.slice_cols(eta, 2, 1)?;
+    let e4 = g.slice_cols(eta, 3, 1)?;
+    let shifted = g.sub(x, e3)?;
+    let scaled = g.mul(shifted, e4)?;
+    let t = g.tanh(scaled);
+    let amp = g.mul(t, e2)?;
+    Ok(g.sub(e1, amp)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig};
+
+    fn quick_surrogate() -> SurrogateModel {
+        let data = build_dataset(&DatasetConfig {
+            samples: 120,
+            sweep_points: 31,
+        })
+        .unwrap();
+        train_surrogate(
+            &data,
+            &TrainConfig {
+                layer_sizes: vec![10, 8, 4],
+                max_epochs: 300,
+                patience: 100,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn learnable_initialization_recovers_nominal() {
+        let nominal = NonlinearCircuitParams::nominal();
+        let c = NonlinearCircuit::learnable_from(nominal);
+        let omega = c.printable_omega();
+        let expected = nominal.to_array();
+        for (k, (a, b)) in omega.iter().zip(&expected).enumerate() {
+            // The logit clamp at 0.98 allows a small deviation at the box
+            // edges (W sits at its maximum in the nominal design).
+            assert!(
+                (a - b).abs() < 0.05 * b.abs(),
+                "component {k}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_omega_graph_matches_plain() {
+        let c = NonlinearCircuit::learnable_from(NonlinearCircuitParams::nominal());
+        let plain = c.printable_omega();
+        let mut g = Graph::new();
+        let w = c.register(&mut g);
+        let node = c.printable_omega_graph(&mut g, w).unwrap();
+        for k in 0..7 {
+            assert!(
+                (g.value(node)[(0, k)] - plain[k]).abs() < 1e-9 * plain[k].abs().max(1.0),
+                "component {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_circuit_needs_no_leaf() {
+        let c = NonlinearCircuit::fixed(NonlinearCircuitParams::nominal());
+        let mut g = Graph::new();
+        assert!(c.register(&mut g).is_none());
+        let node = c.printable_omega_graph(&mut g, None).unwrap();
+        assert_eq!(g.shape(node), (1, 7));
+    }
+
+    #[test]
+    fn learnable_without_leaf_is_a_config_error() {
+        let c = NonlinearCircuit::learnable_from(NonlinearCircuitParams::nominal());
+        let mut g = Graph::new();
+        assert!(matches!(
+            c.printable_omega_graph(&mut g, None),
+            Err(PnnError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn printable_values_satisfy_feasibility() {
+        // Even for extreme 𝔴 the chain must emit feasible components.
+        let mut c = NonlinearCircuit::learnable_from(NonlinearCircuitParams::nominal());
+        if let NonlinearCircuit::Learnable { w } = &mut c {
+            for v in w.value_mut().as_mut_slice() {
+                *v = 37.0; // saturate every sigmoid high
+            }
+        }
+        let omega = c.printable_omega();
+        let space = DesignSpace::paper();
+        let params = NonlinearCircuitParams::from_array(omega);
+        params.validate().expect("feasible");
+        for k in 0..7 {
+            assert!(omega[k] <= space.hi[k] + 1e-9);
+            assert!(omega[k] >= space.lo[k] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn variation_scales_printable_values() {
+        let surrogate = quick_surrogate();
+        let c = NonlinearCircuit::fixed(NonlinearCircuitParams::nominal());
+        let nominal_eta = c.eta(&surrogate, None);
+        let varied_eta = c.eta(&surrogate, Some(&[1.1, 0.9, 1.05, 0.95, 1.1, 0.9, 1.1]));
+        assert_ne!(nominal_eta, varied_eta);
+    }
+
+    #[test]
+    fn eta_graph_matches_plain_eta() {
+        let surrogate = quick_surrogate();
+        let c = NonlinearCircuit::learnable_from(NonlinearCircuitParams::nominal());
+        let plain = c.eta(&surrogate, None);
+        let mut g = Graph::new();
+        let w = c.register(&mut g);
+        let eta = c.eta_graph(&mut g, w, &surrogate, None).unwrap();
+        for k in 0..4 {
+            assert!((g.value(eta)[(0, k)] - plain[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_the_learnable_parameter() {
+        let surrogate = quick_surrogate();
+        let c = NonlinearCircuit::learnable_from(NonlinearCircuitParams::nominal());
+        let mut g = Graph::new();
+        let w = c.register(&mut g).unwrap();
+        let eta = c.eta_graph(&mut g, Some(w), &surrogate, None).unwrap();
+        let x = g.constant(Matrix::row_vector(&[0.2, 0.5, 0.8]));
+        let a = apply_ptanh(&mut g, eta, x).unwrap();
+        let loss = g.sum(a);
+        let grads = g.backward(loss).unwrap();
+        let gw = grads.get(w).expect("gradient flows to 𝔴");
+        assert!(gw.norm() > 0.0, "gradient must be nonzero");
+    }
+
+    #[test]
+    fn apply_ptanh_matches_formula() {
+        let mut g = Graph::new();
+        let eta = g.constant(Matrix::row_vector(&[0.5, 0.4, 0.55, 6.0]));
+        let x = g.constant(Matrix::row_vector(&[0.0, 0.55, 1.0]));
+        let a = apply_ptanh(&mut g, eta, x).unwrap();
+        let f = |v: f64| 0.5 + 0.4 * ((v - 0.55) * 6.0).tanh();
+        for (k, v) in [0.0, 0.55, 1.0].iter().enumerate() {
+            assert!((g.value(a)[(0, k)] - f(*v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_inv_is_the_falling_mirror_of_ptanh() {
+        let mut g = Graph::new();
+        let eta = g.constant(Matrix::row_vector(&[0.5, 0.4, 0.55, 6.0]));
+        let x = g.constant(Matrix::row_vector(&[0.3, 0.55, 0.9]));
+        let p = apply_ptanh(&mut g, eta, x).unwrap();
+        let i = apply_inv(&mut g, eta, x).unwrap();
+        for k in 0..3 {
+            // ptanh + inv = 2·η₁ (mirror around the midpoint voltage).
+            assert!((g.value(p)[(0, k)] + g.value(i)[(0, k)] - 1.0).abs() < 1e-12);
+        }
+        // Falling and positive over the supply range.
+        assert!(g.value(i)[(0, 0)] > g.value(i)[(0, 2)]);
+        assert!(g.value(i)[(0, 2)] > 0.0);
+    }
+}

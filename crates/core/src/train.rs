@@ -1,0 +1,587 @@
+//! Nominal and variation-aware training (Sec. III-C).
+
+use crate::network::{LossKind, Pnn};
+use crate::variation::{NoiseSample, VariationModel};
+use crate::PnnError;
+use pnc_autodiff::{Adam, Graph, Optimizer};
+use pnc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled batch: feature voltages and class targets.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_core::LabeledData;
+/// use pnc_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[0.1, 0.9], &[0.8, 0.2]]).expect("shape");
+/// let labels = [1usize, 0];
+/// let data = LabeledData::new(&x, &labels).expect("consistent");
+/// assert_eq!(data.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LabeledData<'a> {
+    /// Feature voltages, `n × d`.
+    pub features: &'a Matrix,
+    /// Class targets, length `n`.
+    pub labels: &'a [usize],
+}
+
+impl<'a> LabeledData<'a> {
+    /// Wraps features and labels, checking consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Data`] if the lengths disagree.
+    pub fn new(features: &'a Matrix, labels: &'a [usize]) -> Result<Self, PnnError> {
+        if features.rows() != labels.len() {
+            return Err(PnnError::Data {
+                detail: format!(
+                    "{} feature rows but {} labels",
+                    features.rows(),
+                    labels.len()
+                ),
+            });
+        }
+        Ok(LabeledData { features, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Training configuration. Defaults follow the paper (Sec. IV-A) with a
+/// reduced epoch budget; the bench harness raises the budget for
+/// paper-fidelity runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Adam learning rate for the crossbar conductances θ (paper: 0.1).
+    pub lr_theta: f64,
+    /// Adam learning rate for the nonlinear-circuit parameters 𝔴 (paper:
+    /// 0.005; ignored when the network's circuits are fixed).
+    pub lr_omega: f64,
+    /// The classification loss.
+    pub loss: LossKind,
+    /// Printing-variation model used during training.
+    /// [`VariationModel::None`] gives nominal training.
+    pub variation: VariationModel,
+    /// Whether training variation also hits the nonlinear circuits' ω.
+    /// Prior-work variation-aware training varied only the crossbars; the
+    /// paper's contribution extends it to the nonlinear circuits.
+    pub vary_nonlinear: bool,
+    /// Monte-Carlo samples per training step (paper: `N_train = 20`).
+    pub n_train_mc: usize,
+    /// Monte-Carlo samples for the validation loss (drawn once and reused
+    /// every epoch so early stopping compares like with like).
+    pub n_val_mc: usize,
+    /// Maximum epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience in epochs (paper: 5000).
+    pub patience: usize,
+    /// Seed for noise draws.
+    pub seed: u64,
+    /// Optional aging-aware training: every Monte-Carlo sample additionally
+    /// draws an age uniformly over the configured lifetime and decays the
+    /// crossbar conductances accordingly (see [`crate::aging`]).
+    pub aging: Option<crate::aging::AgingAwareness>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr_theta: 0.1,
+            lr_omega: 0.005,
+            loss: LossKind::default(),
+            variation: VariationModel::None,
+            vary_nonlinear: true,
+            n_train_mc: 20,
+            n_val_mc: 5,
+            max_epochs: 500,
+            patience: 100,
+            seed: 0,
+            aging: None,
+        }
+    }
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Best validation loss reached (the restored model's).
+    pub best_val_loss: f64,
+    /// Epoch index at which the best validation loss occurred.
+    pub best_epoch: usize,
+    /// Total epochs run (≤ `max_epochs`; early stopping may cut it short).
+    pub epochs_run: usize,
+    /// Training loss per epoch.
+    pub train_losses: Vec<f64>,
+    /// Validation loss per epoch.
+    pub val_losses: Vec<f64>,
+}
+
+/// Runs (variation-aware) gradient training of a [`Pnn`] with per-group
+/// Adam optimizers and early stopping, restoring the best-by-validation
+/// parameters afterwards — the circuit that "would be the one to be printed"
+/// (Sec. IV-C).
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Draws the per-step noise list: one `None` for nominal training, or
+    /// `n_train_mc` samples of the variation model.
+    fn draw_noise(&self, pnn: &Pnn, rng: &mut StdRng, count: usize) -> Vec<Option<NoiseSample>> {
+        if self.config.variation.is_none() && self.config.aging.is_none() {
+            return vec![None];
+        }
+        let shapes = pnn.theta_shapes();
+        (0..count)
+            .map(|_| {
+                let mut sample =
+                    NoiseSample::draw(&self.config.variation, rng, &shapes, pnn.num_circuits());
+                if !self.config.vary_nonlinear {
+                    for f in &mut sample.omega_factors {
+                        *f = [1.0; 7];
+                    }
+                }
+                if let Some(aging) = &self.config.aging {
+                    let decay = aging.sample_decay(rng);
+                    crate::aging::age_noise(&mut sample, decay, rng);
+                }
+                Some(sample)
+            })
+            .collect()
+    }
+
+    /// Builds the Monte-Carlo loss over `noise` draws on one graph and
+    /// returns `(loss value, per-parameter gradients)`; gradients are `None`
+    /// when `backward` is false.
+    #[allow(clippy::type_complexity)]
+    fn mc_loss(
+        &self,
+        pnn: &Pnn,
+        data: LabeledData<'_>,
+        noise: &[Option<NoiseSample>],
+        backward: bool,
+    ) -> Result<(f64, Option<(Vec<Matrix>, Vec<Matrix>)>), PnnError> {
+        let mut g = Graph::new();
+        let mut losses = Vec::with_capacity(noise.len());
+        let mut all_vars = Vec::with_capacity(noise.len());
+        for sample in noise {
+            let (scores, vars) = pnn.forward(&mut g, data.features, sample.as_ref())?;
+            let loss = pnn.loss(&mut g, scores, data.labels, self.config.loss)?;
+            losses.push(loss);
+            all_vars.push(vars);
+        }
+        // Mean over Monte-Carlo draws.
+        let mut total = losses[0];
+        for &l in &losses[1..] {
+            total = g.add(total, l)?;
+        }
+        let total = g.scale(total, 1.0 / losses.len() as f64);
+        let loss_value = g.value(total)[(0, 0)];
+
+        if !backward {
+            return Ok((loss_value, None));
+        }
+
+        let grads = g.backward(total)?;
+        // Sum each parameter's gradient over its per-sample leaf copies.
+        let theta_shapes = pnn.theta_shapes();
+        let mut theta_grads: Vec<Matrix> = theta_shapes
+            .iter()
+            .map(|&(r, c)| Matrix::zeros(r, c))
+            .collect();
+        let n_ws = all_vars[0].circuit_ws.len();
+        let mut w_grads: Vec<Matrix> = (0..n_ws).map(|_| Matrix::zeros(1, 7)).collect();
+        for vars in &all_vars {
+            for (k, theta_var) in vars.thetas.iter().enumerate() {
+                if let Some(gm) = grads.get(*theta_var) {
+                    theta_grads[k] = theta_grads[k].add(gm).expect("shapes match");
+                }
+            }
+            for (k, w_var) in vars.circuit_ws.iter().enumerate() {
+                if let Some(gm) = grads.get(*w_var) {
+                    w_grads[k] = w_grads[k].add(gm).expect("shapes match");
+                }
+            }
+        }
+        Ok((loss_value, Some((theta_grads, w_grads))))
+    }
+
+    /// Trains `pnn` on `train`, early-stopping on `val`, and restores the
+    /// best-by-validation parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Data`] for empty or inconsistent data and
+    /// propagates forward-pass failures.
+    pub fn train(
+        &self,
+        pnn: &mut Pnn,
+        train: LabeledData<'_>,
+        val: LabeledData<'_>,
+    ) -> Result<TrainReport, PnnError> {
+        if train.is_empty() || val.is_empty() {
+            return Err(PnnError::Data {
+                detail: "training and validation sets must be non-empty".into(),
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Fixed validation noise so early stopping compares epochs fairly.
+        let mut val_rng = StdRng::seed_from_u64(self.config.seed ^ 0x5A17_AB1E);
+        let val_noise = self.draw_noise(pnn, &mut val_rng, self.config.n_val_mc.max(1));
+
+        let mut opt_theta = Adam::new(self.config.lr_theta);
+        let mut opt_omega = Adam::new(self.config.lr_omega);
+
+        let mut best_snapshot = (pnn.layers().to_vec(), pnn.circuits().to_vec());
+        let mut best_val = f64::INFINITY;
+        let mut best_epoch = 0usize;
+        let mut stale = 0usize;
+        let mut train_losses = Vec::new();
+        let mut val_losses = Vec::new();
+
+        for epoch in 0..self.config.max_epochs {
+            let noise = self.draw_noise(pnn, &mut rng, self.config.n_train_mc.max(1));
+            let (train_loss, grads) = self.mc_loss(pnn, train, &noise, true)?;
+            let (theta_grads, w_grads) = grads.expect("backward requested");
+
+            // Crossbar group.
+            {
+                let mut params: Vec<&mut pnc_autodiff::Parameter> = pnn
+                    .layers_mut()
+                    .iter_mut()
+                    .map(|l| &mut l.theta)
+                    .collect();
+                let grad_refs: Vec<&Matrix> = theta_grads.iter().collect();
+                opt_theta.step_dense(&mut params, &grad_refs);
+            }
+            // Nonlinear-circuit group (α_ω > 0 and learnable circuits only).
+            if self.config.lr_omega > 0.0 && !w_grads.is_empty() {
+                let mut params: Vec<&mut pnc_autodiff::Parameter> = pnn
+                    .circuits_mut()
+                    .iter_mut()
+                    .flat_map(|(a, i)| [a.parameter_mut(), i.parameter_mut()])
+                    .flatten()
+                    .collect();
+                let grad_refs: Vec<&Matrix> = w_grads.iter().collect();
+                opt_omega.step_dense(&mut params, &grad_refs);
+            }
+
+            let (val_loss, _) = self.mc_loss(pnn, val, &val_noise, false)?;
+            train_losses.push(train_loss);
+            val_losses.push(val_loss);
+
+            if val_loss < best_val {
+                best_val = val_loss;
+                best_epoch = epoch;
+                best_snapshot = (pnn.layers().to_vec(), pnn.circuits().to_vec());
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.config.patience {
+                    break;
+                }
+            }
+        }
+
+        // Restore the best circuit: the one that would be printed.
+        let epochs_run = train_losses.len();
+        let (layers, circuits) = best_snapshot;
+        pnn.layers_mut().clone_from_slice(&layers);
+        pnn.circuits_mut().clone_from_slice(&circuits);
+
+        Ok(TrainReport {
+            best_val_loss: best_val,
+            best_epoch,
+            epochs_run,
+            train_losses,
+            val_losses,
+        })
+    }
+}
+
+/// Trains one pNN per seed and returns the best by validation loss — the
+/// paper's selection protocol (Sec. IV-C: "we select the best pNNs in each
+/// setup w.r.t. the validation loss, as these circuits would be the ones to
+/// be printed").
+///
+/// Each seed reseeds both the weight initialization
+/// ([`PnnConfig::with_seed`](crate::PnnConfig::with_seed)) and the training
+/// noise draws.
+///
+/// # Errors
+///
+/// Returns [`PnnError::Config`] for an empty seed list and propagates
+/// construction/training failures.
+///
+/// # Examples
+///
+/// See `examples/variation_robustness.rs` in the workspace root.
+pub fn train_best_of_seeds(
+    config: &crate::PnnConfig,
+    surrogate: std::sync::Arc<pnc_surrogate::SurrogateModel>,
+    train_config: &TrainConfig,
+    train: LabeledData<'_>,
+    val: LabeledData<'_>,
+    seeds: &[u64],
+) -> Result<(Pnn, TrainReport), PnnError> {
+    if seeds.is_empty() {
+        return Err(PnnError::Config {
+            detail: "need at least one seed".into(),
+        });
+    }
+    let mut best: Option<(Pnn, TrainReport)> = None;
+    for &seed in seeds {
+        let mut pnn = Pnn::new(config.clone().with_seed(seed), surrogate.clone())?;
+        let trainer = Trainer::new(TrainConfig {
+            seed,
+            ..*train_config
+        });
+        let report = trainer.train(&mut pnn, train, val)?;
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, b)| report.best_val_loss < b.best_val_loss);
+        if better {
+            best = Some((pnn, report));
+        }
+    }
+    Ok(best.expect("seeds is non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PnnConfig;
+    use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig};
+    use std::sync::Arc;
+
+    fn quick_surrogate() -> Arc<pnc_surrogate::SurrogateModel> {
+        let data = build_dataset(&DatasetConfig {
+            samples: 120,
+            sweep_points: 31,
+        })
+        .unwrap();
+        Arc::new(
+            train_surrogate(
+                &data,
+                &pnc_surrogate::TrainConfig {
+                    layer_sizes: vec![10, 8, 4],
+                    max_epochs: 400,
+                    patience: 150,
+                    ..pnc_surrogate::TrainConfig::default()
+                },
+            )
+            .unwrap()
+            .0,
+        )
+    }
+
+    /// Two interleaved Gaussian blobs on 2 features.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let n = 40;
+        let x = Matrix::from_fn(n, 2, |i, j| {
+            let class = i % 2;
+            let base = if class == 0 { 0.25 } else { 0.75 };
+            let wobble = (((i * 7 + j * 3) % 11) as f64 / 11.0 - 0.5) * 0.2;
+            (base + wobble).clamp(0.0, 1.0)
+        });
+        let y = (0..n).map(|i| i % 2).collect();
+        (x, y)
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            max_epochs: 60,
+            patience: 60,
+            n_train_mc: 3,
+            n_val_mc: 2,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn labeled_data_validates() {
+        let x = Matrix::zeros(3, 2);
+        assert!(LabeledData::new(&x, &[0, 1]).is_err());
+        assert!(LabeledData::new(&x, &[0, 1, 0]).is_ok());
+    }
+
+    #[test]
+    fn nominal_training_reduces_loss_and_learns_blobs() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
+        let report = Trainer::new(quick_config()).train(&mut pnn, data, data).unwrap();
+
+        assert!(report.epochs_run > 0);
+        assert!(
+            report.train_losses.last().unwrap() < &report.train_losses[0],
+            "loss should fall: {:?} -> {:?}",
+            report.train_losses.first(),
+            report.train_losses.last()
+        );
+        let acc = crate::eval::accuracy(&pnn, data, None).unwrap();
+        assert!(acc > 0.9, "blobs should be learnable, got {acc}");
+    }
+
+    #[test]
+    fn variation_aware_training_runs_and_learns() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
+        let config = TrainConfig {
+            variation: VariationModel::Uniform { epsilon: 0.1 },
+            ..quick_config()
+        };
+        let report = Trainer::new(config).train(&mut pnn, data, data).unwrap();
+        assert!(report.best_val_loss.is_finite());
+        let acc = crate::eval::accuracy(&pnn, data, None).unwrap();
+        assert!(acc > 0.85, "VA training should still learn blobs, got {acc}");
+    }
+
+    #[test]
+    fn learnable_circuits_actually_move() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
+        let before: Vec<[f64; 7]> = pnn
+            .circuits()
+            .iter()
+            .map(|(a, _)| a.printable_omega())
+            .collect();
+        Trainer::new(quick_config()).train(&mut pnn, data, data).unwrap();
+        let after: Vec<[f64; 7]> = pnn
+            .circuits()
+            .iter()
+            .map(|(a, _)| a.printable_omega())
+            .collect();
+        let moved = before
+            .iter()
+            .zip(&after)
+            .any(|(b, a)| b.iter().zip(a).any(|(x, y)| (x - y).abs() > 1e-9));
+        assert!(moved, "learnable ω must change during training");
+    }
+
+    #[test]
+    fn fixed_circuits_do_not_move() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let mut pnn = Pnn::new(
+            PnnConfig::for_dataset(2, 2).with_fixed_nonlinearity(),
+            s,
+        )
+        .unwrap();
+        let before: Vec<[f64; 7]> = pnn
+            .circuits()
+            .iter()
+            .map(|(a, _)| a.printable_omega())
+            .collect();
+        Trainer::new(quick_config()).train(&mut pnn, data, data).unwrap();
+        let after: Vec<[f64; 7]> = pnn
+            .circuits()
+            .iter()
+            .map(|(a, _)| a.printable_omega())
+            .collect();
+        assert_eq!(before, after, "fixed ω must not change");
+    }
+
+    #[test]
+    fn training_is_deterministic_in_the_seed() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let mut a = Pnn::new(PnnConfig::for_dataset(2, 2), s.clone()).unwrap();
+        let mut b = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
+        let ra = Trainer::new(quick_config()).train(&mut a, data, data).unwrap();
+        let rb = Trainer::new(quick_config()).train(&mut b, data, data).unwrap();
+        assert_eq!(ra.train_losses, rb.train_losses);
+    }
+
+    #[test]
+    fn best_of_seeds_picks_lowest_validation_loss() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let config = PnnConfig::for_dataset(2, 2);
+        let (pnn, best) = train_best_of_seeds(
+            &config,
+            s.clone(),
+            &quick_config(),
+            data,
+            data,
+            &[1, 2, 3],
+        )
+        .unwrap();
+        // Each individual seed's loss must be >= the selected one.
+        for seed in [1u64, 2, 3] {
+            let mut single = Pnn::new(config.clone().with_seed(seed), s.clone()).unwrap();
+            let r = Trainer::new(TrainConfig {
+                seed,
+                ..quick_config()
+            })
+            .train(&mut single, data, data)
+            .unwrap();
+            assert!(r.best_val_loss >= best.best_val_loss - 1e-12);
+        }
+        assert!(crate::eval::accuracy(&pnn, data, None).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn best_of_seeds_rejects_empty_seed_list() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        assert!(train_best_of_seeds(
+            &PnnConfig::for_dataset(2, 2),
+            s,
+            &quick_config(),
+            data,
+            data,
+            &[],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let empty_x = Matrix::zeros(0, 2);
+        // Matrix::zeros(0, 2) has no rows; labels slice is empty.
+        let empty = LabeledData {
+            features: &empty_x,
+            labels: &[],
+        };
+        let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
+        assert!(Trainer::new(quick_config()).train(&mut pnn, empty, data).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+use pnc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The printing-variation model applied to printable values.
+///
+/// The paper (Sec. III-C) models variation as i.i.d. multiplicative factors
+/// `ε ~ U[1−ϵ, 1+ϵ]`, "because the printing variation is mainly driven by
+/// \[the\] limited printing resolution". A Gaussian variant is provided as an
+/// extension for sensitivity studies.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_core::VariationModel;
+/// use rand::SeedableRng;
+///
+/// let model = VariationModel::Uniform { epsilon: 0.1 };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let f = model.sample_factor(&mut rng);
+/// assert!((0.9..=1.1).contains(&f));
+/// assert!(VariationModel::None.sample_factor(&mut rng) == 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum VariationModel {
+    /// No variation (nominal printing).
+    None,
+    /// `ε ~ U[1−ϵ, 1+ϵ]` — the paper's model.
+    Uniform {
+        /// Relative half-width ϵ (e.g. `0.05` for 5 % variation).
+        epsilon: f64,
+    },
+    /// `ε ~ N(1, σ²)`, truncated to stay positive — an extension used by the
+    /// ablation benches.
+    Gaussian {
+        /// Relative standard deviation σ.
+        sigma: f64,
+    },
+}
+
+impl VariationModel {
+    /// Returns `true` for the no-variation model.
+    pub fn is_none(&self) -> bool {
+        matches!(self, VariationModel::None)
+    }
+
+    /// Draws one multiplicative factor.
+    pub fn sample_factor(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            VariationModel::None => 1.0,
+            VariationModel::Uniform { epsilon } => rng.gen_range(1.0 - epsilon..=1.0 + epsilon),
+            VariationModel::Gaussian { sigma } => {
+                // Box–Muller; truncate at 5 % of nominal to keep printable
+                // values positive.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (1.0 + sigma * z).max(0.05)
+            }
+        }
+    }
+
+    /// Draws an `rows × cols` matrix of factors.
+    pub fn sample_matrix(&self, rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.sample_factor(rng))
+    }
+
+    /// Draws a 7-component factor vector for a nonlinear circuit's ω.
+    pub fn sample_omega(&self, rng: &mut StdRng) -> [f64; 7] {
+        let mut out = [1.0; 7];
+        for v in &mut out {
+            *v = self.sample_factor(rng);
+        }
+        out
+    }
+}
+
+/// One Monte-Carlo draw of printing variation for a whole network: a factor
+/// matrix per crossbar and a factor 7-vector per nonlinear circuit
+/// (activation and negative-weight circuits separately).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseSample {
+    /// Multiplicative factors for each layer's projected conductances.
+    pub theta_factors: Vec<Matrix>,
+    /// Multiplicative factors for each nonlinear circuit's printable ω, in
+    /// the network's circuit order (see [`Pnn`](crate::Pnn)).
+    pub omega_factors: Vec<[f64; 7]>,
+}
+
+impl NoiseSample {
+    /// The identity sample (no variation), for the given layer shapes and
+    /// circuit count.
+    pub fn identity(theta_shapes: &[(usize, usize)], circuits: usize) -> Self {
+        NoiseSample {
+            theta_factors: theta_shapes
+                .iter()
+                .map(|&(r, c)| Matrix::filled(r, c, 1.0))
+                .collect(),
+            omega_factors: vec![[1.0; 7]; circuits],
+        }
+    }
+
+    /// Draws a sample from `model`.
+    pub fn draw(
+        model: &VariationModel,
+        rng: &mut StdRng,
+        theta_shapes: &[(usize, usize)],
+        circuits: usize,
+    ) -> Self {
+        NoiseSample {
+            theta_factors: theta_shapes
+                .iter()
+                .map(|&(r, c)| model.sample_matrix(rng, r, c))
+                .collect(),
+            omega_factors: (0..circuits).map(|_| model.sample_omega(rng)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_band() {
+        let m = VariationModel::Uniform { epsilon: 0.1 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = m.sample_factor(&mut rng);
+            assert!((0.9..=1.1).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_is_centered() {
+        let m = VariationModel::Uniform { epsilon: 0.1 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..20_000).map(|_| m.sample_factor(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 1.0).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_stays_positive() {
+        let m = VariationModel::Gaussian { sigma: 0.5 };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(m.sample_factor(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let m = VariationModel::None;
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(m.sample_matrix(&mut rng, 2, 2), Matrix::filled(2, 2, 1.0));
+        assert_eq!(m.sample_omega(&mut rng), [1.0; 7]);
+    }
+
+    #[test]
+    fn noise_sample_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let shapes = [(4, 3), (5, 2)];
+        let s = NoiseSample::draw(
+            &VariationModel::Uniform { epsilon: 0.05 },
+            &mut rng,
+            &shapes,
+            4,
+        );
+        assert_eq!(s.theta_factors.len(), 2);
+        assert_eq!(s.theta_factors[1].shape(), (5, 2));
+        assert_eq!(s.omega_factors.len(), 4);
+        let id = NoiseSample::identity(&shapes, 4);
+        assert_eq!(id.theta_factors[0], Matrix::filled(4, 3, 1.0));
+    }
+
+    #[test]
+    fn draws_differ_between_calls() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = VariationModel::Uniform { epsilon: 0.1 };
+        let shapes = [(3, 3)];
+        let a = NoiseSample::draw(&m, &mut rng, &shapes, 1);
+        let b = NoiseSample::draw(&m, &mut rng, &shapes, 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,231 @@
+//! CSV interchange for datasets.
+//!
+//! The bundled generators reconstruct the UCI benchmarks (see the crate
+//! docs); users who *do* have the original files can load them instead and
+//! run the identical experiment pipeline:
+//!
+//! ```text
+//! sepal_length,sepal_width,petal_length,petal_width,label
+//! 5.1,3.5,1.4,0.2,0
+//! ...
+//! ```
+//!
+//! The last column is the integer class label; features are min–max
+//! normalized to `[0, 1]` on load (the pNN voltage convention).
+
+use crate::dataset::normalize_columns;
+use crate::Dataset;
+use pnc_linalg::Matrix;
+use std::fmt;
+use std::path::Path;
+
+/// Error type for CSV loading.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// File could not be read or written.
+    Io(std::io::Error),
+    /// The file content was malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o failed: {e}"),
+            CsvError::Parse { line, detail } => write!(f, "csv line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl Dataset {
+    /// Parses a dataset from CSV text: one sample per line, features first,
+    /// the integer class label last. A first line that fails numeric
+    /// parsing is treated as a header. Features are min–max normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvError::Parse`] for ragged rows, non-numeric features,
+    /// non-integer labels, or an empty body.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnc_datasets::Dataset;
+    ///
+    /// let text = "f1,f2,label\n0.0,10.0,0\n1.0,20.0,1\n";
+    /// let d = Dataset::from_csv_str("toy", text)?;
+    /// assert_eq!(d.len(), 2);
+    /// assert_eq!(d.num_features(), 2);
+    /// assert_eq!(d.labels, vec![0, 1]);
+    /// # Ok::<(), pnc_datasets::csv::CsvError>(())
+    /// ```
+    pub fn from_csv_str(name: &str, text: &str) -> Result<Dataset, CsvError> {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        let mut width: Option<usize> = None;
+
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() < 2 {
+                return Err(CsvError::Parse {
+                    line: idx + 1,
+                    detail: "need at least one feature and a label".into(),
+                });
+            }
+            let parsed: Result<Vec<f64>, _> = fields[..fields.len() - 1]
+                .iter()
+                .map(|f| f.parse::<f64>())
+                .collect();
+            let features = match parsed {
+                Ok(v) => v,
+                Err(_) if rows.is_empty() && labels.is_empty() => continue, // header
+                Err(_) => {
+                    return Err(CsvError::Parse {
+                        line: idx + 1,
+                        detail: "non-numeric feature".into(),
+                    })
+                }
+            };
+            let label: usize =
+                fields[fields.len() - 1]
+                    .parse()
+                    .map_err(|_| CsvError::Parse {
+                        line: idx + 1,
+                        detail: format!("non-integer label {:?}", fields[fields.len() - 1]),
+                    })?;
+            if let Some(w) = width {
+                if features.len() != w {
+                    return Err(CsvError::Parse {
+                        line: idx + 1,
+                        detail: format!("expected {w} features, got {}", features.len()),
+                    });
+                }
+            } else {
+                width = Some(features.len());
+            }
+            rows.push(features);
+            labels.push(label);
+        }
+
+        let width = width.ok_or(CsvError::Parse {
+            line: 1,
+            detail: "no data rows".into(),
+        })?;
+        let mut features = Matrix::from_fn(rows.len(), width, |i, j| rows[i][j]);
+        normalize_columns(&mut features);
+        let num_classes = labels.iter().max().map_or(1, |&m| m + 1);
+        Ok(Dataset::new(name, features, labels, num_classes))
+    }
+
+    /// Loads a dataset from a CSV file (see [`Dataset::from_csv_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvError::Io`] for file errors plus the parse errors of
+    /// [`Dataset::from_csv_str`].
+    pub fn from_csv(name: &str, path: &Path) -> Result<Dataset, CsvError> {
+        let text = std::fs::read_to_string(path)?;
+        Dataset::from_csv_str(name, &text)
+    }
+
+    /// Writes the (normalized) dataset as CSV with a generated header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for j in 0..self.num_features() {
+            out.push_str(&format!("f{j},"));
+        }
+        out.push_str("label\n");
+        for i in 0..self.len() {
+            for &v in self.sample(i) {
+                out.push_str(&format!("{v},"));
+            }
+            out.push_str(&format!("{}\n", self.label(i)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::iris;
+
+    #[test]
+    fn parses_with_and_without_header() {
+        let with = "a,b,label\n1,2,0\n3,4,1\n";
+        let without = "1,2,0\n3,4,1\n";
+        let d1 = Dataset::from_csv_str("t", with).unwrap();
+        let d2 = Dataset::from_csv_str("t", without).unwrap();
+        assert_eq!(d1.features, d2.features);
+        assert_eq!(d1.labels, d2.labels);
+        assert_eq!(d1.num_classes, 2);
+    }
+
+    #[test]
+    fn normalizes_features() {
+        let d = Dataset::from_csv_str("t", "0,100,0\n10,300,1\n").unwrap();
+        assert_eq!(d.sample(0), &[0.0, 0.0]);
+        assert_eq!(d.sample(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_ragged_and_bad_rows() {
+        assert!(Dataset::from_csv_str("t", "1,2,0\n1,0\n").is_err());
+        assert!(Dataset::from_csv_str("t", "1,2,0\nx,2,1\n").is_err());
+        assert!(Dataset::from_csv_str("t", "1,2,notalabel\n").is_err());
+        assert!(Dataset::from_csv_str("t", "").is_err());
+        assert!(Dataset::from_csv_str("t", "header,only,line\n").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_csv() {
+        let original = iris();
+        let text = original.to_csv();
+        let back = Dataset::from_csv_str("Iris", &text).unwrap();
+        assert_eq!(back.len(), original.len());
+        assert_eq!(back.labels, original.labels);
+        assert_eq!(back.num_classes, original.num_classes);
+        // Features are already normalized, so they survive unchanged up to
+        // decimal printing.
+        for i in 0..original.len() {
+            for (a, b) in original.sample(i).iter().zip(back.sample(i)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = Dataset::from_csv_str("t", "1,2,0\n3,4,1\n").unwrap();
+        let path = std::env::temp_dir().join("pnc_datasets_csv_test.csv");
+        std::fs::write(&path, d.to_csv()).unwrap();
+        let back = Dataset::from_csv("t", &path).unwrap();
+        assert_eq!(back.labels, d.labels);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,238 @@
+use pnc_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A classification dataset with `[0, 1]`-normalized features.
+///
+/// Feature values double as input voltages of the printed circuits, hence
+/// the normalization invariant (checked at construction).
+///
+/// # Examples
+///
+/// ```
+/// use pnc_datasets::Dataset;
+/// use pnc_linalg::Matrix;
+///
+/// let features = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).expect("shape");
+/// let data = Dataset::new("toy", features, vec![0, 1], 2);
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.label(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name, matching the row labels of Tab. II.
+    pub name: String,
+    /// `n × d` feature matrix, min–max normalized to `[0, 1]`.
+    pub features: Matrix,
+    /// Class label per row.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset and checks its invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from the row count, a label is out
+    /// of range, or a feature leaves `[0, 1]` — generator bugs should be
+    /// loud.
+    pub fn new(
+        name: impl Into<String>,
+        features: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "label count must match row count"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "labels must be < num_classes"
+        );
+        assert!(
+            features
+                .as_slice()
+                .iter()
+                .all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)),
+            "features must be normalized to [0, 1]"
+        );
+        Dataset {
+            name: name.into(),
+            features,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    /// The label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Builds a sub-dataset from row indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features = Matrix::from_fn(indices.len(), self.num_features(), |i, j| {
+            self.features[(indices[i], j)]
+        });
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset {
+            name: self.name.clone(),
+            features,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// The paper's random 60/20/20 train/validation/test split,
+    /// deterministically shuffled by `seed`.
+    pub fn split(&self, seed: u64) -> (Dataset, Dataset, Dataset) {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let n = self.len();
+        let n_train = (n as f64 * 0.6).round() as usize;
+        let n_val = (n as f64 * 0.2).round() as usize;
+        let train = self.subset(&indices[..n_train]);
+        let val = self.subset(&indices[n_train..(n_train + n_val).min(n)]);
+        let test = self.subset(&indices[(n_train + n_val).min(n)..]);
+        (train, val, test)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// The accuracy of always predicting the most frequent class — the
+    /// floor any trained model must beat.
+    pub fn majority_accuracy(&self) -> f64 {
+        let counts = self.class_counts();
+        *counts.iter().max().unwrap_or(&0) as f64 / self.len().max(1) as f64
+    }
+}
+
+/// Min–max normalizes the columns of `m` to `[0, 1]` in place. Constant
+/// columns map to `0.5`.
+pub(crate) fn normalize_columns(m: &mut Matrix) {
+    let (rows, cols) = m.shape();
+    for j in 0..cols {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..rows {
+            lo = lo.min(m[(i, j)]);
+            hi = hi.max(m[(i, j)]);
+        }
+        for i in 0..rows {
+            m[(i, j)] = if hi > lo {
+                (m[(i, j)] - lo) / (hi - lo)
+            } else {
+                0.5
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_fn(10, 2, |i, j| ((i + j) % 5) as f64 / 4.0);
+        let labels = (0..10).map(|i| i % 2).collect();
+        Dataset::new("toy", features, labels, 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.label(3), 1);
+        assert_eq!(d.class_counts(), vec![5, 5]);
+        assert_eq!(d.majority_accuracy(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn rejects_label_mismatch() {
+        Dataset::new("bad", Matrix::zeros(3, 2), vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn rejects_unnormalized_features() {
+        Dataset::new("bad", Matrix::filled(2, 2, 3.0), vec![0, 1], 2);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy();
+        let s = d.subset(&[0, 9]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(1), d.label(9));
+        assert_eq!(s.sample(0), d.sample(0));
+    }
+
+    #[test]
+    fn split_is_deterministic_and_complete() {
+        let d = toy();
+        let (a1, b1, c1) = d.split(3);
+        let (a2, b2, c2) = d.split(3);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(c1, c2);
+        assert_eq!(a1.len() + b1.len() + c1.len(), d.len());
+        let (a3, _, _) = d.split(4);
+        assert_ne!(a1, a3, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn normalize_columns_handles_constant() {
+        let mut m = Matrix::from_rows(&[&[2.0, 5.0], &[4.0, 5.0]]).unwrap();
+        normalize_columns(&mut m);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.5);
+    }
+}

@@ -1,0 +1,260 @@
+//! Distribution-matched clinical/biological datasets.
+//!
+//! Each generator draws class-conditional Gaussians whose per-class means
+//! and spreads follow the published summary statistics of the UCI original,
+//! matching sample count, feature count, class balance and approximate
+//! separability. The paper's claims are relative comparisons between
+//! training setups on identical data, which this preserves.
+
+use crate::synth::{gaussian_dataset, GaussianClass};
+use crate::Dataset;
+
+/// *Breast Cancer Wisconsin (Original)*, cleaned size: 683 samples, 9
+/// cytological features graded 1–10, 2 classes (65 % benign / 35 %
+/// malignant). Benign cases cluster at low grades, malignant at high grades
+/// with larger spread.
+pub fn breast_cancer_wisconsin() -> Dataset {
+    gaussian_dataset(
+        "Breast Cancer Wisconsin",
+        &[
+            GaussianClass {
+                n: 444,
+                mean: vec![3.0, 1.3, 1.4, 1.3, 2.1, 1.3, 2.1, 1.2, 1.1],
+                std: vec![1.7, 0.9, 0.9, 1.0, 0.9, 1.2, 1.1, 0.9, 0.5],
+            },
+            GaussianClass {
+                n: 239,
+                mean: vec![7.2, 6.6, 6.6, 5.6, 5.3, 7.6, 6.0, 5.9, 2.6],
+                std: vec![2.4, 2.7, 2.6, 3.2, 2.4, 3.1, 2.3, 3.4, 2.5],
+            },
+        ],
+        0xBC,
+    )
+}
+
+/// *Cardiotocography* (UCI CTG, NSP target): 2126 fetal heart-rate records
+/// with 21 features, 3 classes — normal (78 %), suspect (14 %), pathological
+/// (8 %). Suspect and pathological records differ in baseline variability,
+/// deceleration counts and histogram statistics.
+pub fn cardiotocography() -> Dataset {
+    // 21 features loosely following the CTG feature groups: baseline,
+    // accelerations/movements, decelerations, variability, histogram stats.
+    let normal_mean = vec![
+        133.0, 0.4, 8.0, 0.2, 0.0, 0.0, 0.5, 45.0, 1.3, 5.0, 10.0, 140.0, 93.0, 164.0, 4.0, 0.3,
+        137.0, 140.0, 138.0, 15.0, 0.3,
+    ];
+    let normal_std = vec![
+        9.0, 0.4, 6.0, 0.3, 0.2, 0.05, 0.5, 15.0, 0.8, 4.0, 6.0, 25.0, 25.0, 17.0, 2.8, 0.6, 15.0,
+        15.0, 15.0, 12.0, 0.5,
+    ];
+    let suspect_mean = vec![
+        141.0, 0.1, 4.0, 0.1, 0.3, 0.0, 2.2, 65.0, 0.6, 12.0, 14.0, 110.0, 85.0, 172.0, 3.0, 0.5,
+        145.0, 147.0, 145.0, 9.0, 0.8,
+    ];
+    let suspect_std = vec![
+        10.0, 0.2, 4.0, 0.2, 0.4, 0.05, 1.2, 18.0, 0.6, 6.0, 7.0, 30.0, 25.0, 18.0, 2.2, 0.7,
+        16.0, 16.0, 16.0, 8.0, 0.7,
+    ];
+    let path_mean = vec![
+        131.0, 0.05, 2.0, 0.05, 1.5, 0.1, 4.0, 85.0, 0.4, 20.0, 18.0, 90.0, 80.0, 178.0, 2.2, 0.8,
+        120.0, 128.0, 122.0, 25.0, 1.6,
+    ];
+    let path_std = vec![
+        14.0, 0.1, 3.0, 0.1, 1.2, 0.2, 2.0, 20.0, 0.5, 9.0, 8.0, 35.0, 28.0, 20.0, 1.8, 0.9, 20.0,
+        20.0, 20.0, 18.0, 0.8,
+    ];
+    gaussian_dataset(
+        "Cardiotocography",
+        &[
+            GaussianClass {
+                n: 1655,
+                mean: normal_mean,
+                std: normal_std,
+            },
+            GaussianClass {
+                n: 295,
+                mean: suspect_mean,
+                std: suspect_std,
+            },
+            GaussianClass {
+                n: 176,
+                mean: path_mean,
+                std: path_std,
+            },
+        ],
+        0xC76,
+    )
+}
+
+/// *Iris*: 150 samples, 4 features, 3 balanced classes, drawn from the
+/// classic per-class means and standard deviations (setosa / versicolor /
+/// virginica). Setosa is linearly separable; the other two overlap —
+/// matching the original's geometry.
+pub fn iris() -> Dataset {
+    gaussian_dataset(
+        "Iris",
+        &[
+            GaussianClass {
+                n: 50,
+                mean: vec![5.006, 3.428, 1.462, 0.246],
+                std: vec![0.352, 0.379, 0.174, 0.105],
+            },
+            GaussianClass {
+                n: 50,
+                mean: vec![5.936, 2.770, 4.260, 1.326],
+                std: vec![0.516, 0.314, 0.470, 0.198],
+            },
+            GaussianClass {
+                n: 50,
+                mean: vec![6.588, 2.974, 5.552, 2.026],
+                std: vec![0.636, 0.322, 0.552, 0.275],
+            },
+        ],
+        0x1815,
+    )
+}
+
+/// *Mammographic Mass* (UCI, rows with missing values removed ≈ 830):
+/// 5 features (BI-RADS assessment, age, shape, margin, density), 2 nearly
+/// balanced classes (benign / malignant).
+pub fn mammographic_mass() -> Dataset {
+    gaussian_dataset(
+        "Mammographic Mass",
+        &[
+            GaussianClass {
+                n: 427,
+                mean: vec![3.7, 49.7, 2.2, 2.1, 2.9],
+                std: vec![1.0, 13.7, 1.1, 1.2, 0.4],
+            },
+            GaussianClass {
+                n: 403,
+                mean: vec![4.8, 61.8, 3.6, 3.8, 2.9],
+                std: vec![0.8, 11.7, 0.9, 1.2, 0.4],
+            },
+        ],
+        0x3A3,
+    )
+}
+
+/// *Seeds* (UCI): 210 wheat kernels, 7 geometric features, 3 balanced
+/// varieties (Kama / Rosa / Canadian) with the published per-variety
+/// geometry.
+pub fn seeds() -> Dataset {
+    gaussian_dataset(
+        "Seeds",
+        &[
+            // Kama
+            GaussianClass {
+                n: 70,
+                mean: vec![14.33, 14.29, 0.880, 5.51, 3.24, 2.67, 5.09],
+                std: vec![1.22, 0.58, 0.016, 0.23, 0.18, 1.17, 0.26],
+            },
+            // Rosa
+            GaussianClass {
+                n: 70,
+                mean: vec![18.33, 16.14, 0.884, 6.15, 3.68, 3.64, 6.02],
+                std: vec![1.44, 0.62, 0.016, 0.27, 0.19, 1.18, 0.25],
+            },
+            // Canadian
+            GaussianClass {
+                n: 70,
+                mean: vec![11.87, 13.25, 0.849, 5.23, 2.85, 4.79, 5.12],
+                std: vec![0.72, 0.34, 0.022, 0.14, 0.15, 1.34, 0.16],
+            },
+        ],
+        0x5EED,
+    )
+}
+
+/// *Vertebral Column* (UCI), 3-class variant: 310 patients, 6 biomechanical
+/// features, classes normal (100) / disk hernia (60) / spondylolisthesis
+/// (150) with the published per-class spine geometry.
+pub fn vertebral_column_3c() -> Dataset {
+    gaussian_dataset(
+        "Vertebral Column (3 cl.)",
+        &vertebral_classes(),
+        0x3BAC,
+    )
+}
+
+/// *Vertebral Column* (UCI), 2-class variant: the same cohort with disk
+/// hernia and spondylolisthesis merged into "abnormal" (210 vs 100 normal).
+pub fn vertebral_column_2c() -> Dataset {
+    // Draw the identical cohort as the 3-class variant, then merge labels so
+    // the two variants describe the same patients, as in UCI.
+    let d3 = vertebral_column_3c();
+    let labels = d3
+        .labels
+        .iter()
+        .map(|&l| if l == 0 { 0 } else { 1 })
+        .collect();
+    Dataset::new("Vertebral Column (2 cl.)", d3.features, labels, 2)
+}
+
+fn vertebral_classes() -> Vec<GaussianClass> {
+    vec![
+        // Normal: moderate incidence, low grade of spondylolisthesis.
+        GaussianClass {
+            n: 100,
+            mean: vec![51.7, 12.8, 43.5, 38.9, 123.9, 2.2],
+            std: vec![12.4, 6.8, 12.3, 9.6, 9.0, 6.3],
+        },
+        // Disk hernia: reduced lordosis and sacral slope.
+        GaussianClass {
+            n: 60,
+            mean: vec![47.6, 17.4, 35.5, 30.2, 116.5, 2.5],
+            std: vec![10.7, 7.0, 9.7, 7.6, 9.3, 5.5],
+        },
+        // Spondylolisthesis: high incidence and a large slip grade.
+        GaussianClass {
+            n: 150,
+            mean: vec![71.5, 20.7, 64.1, 50.8, 114.5, 51.9],
+            std: vec![15.1, 11.5, 16.4, 12.3, 15.6, 40.0],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_balances_match_the_originals() {
+        assert_eq!(breast_cancer_wisconsin().class_counts(), vec![444, 239]);
+        assert_eq!(cardiotocography().class_counts(), vec![1655, 295, 176]);
+        assert_eq!(iris().class_counts(), vec![50, 50, 50]);
+        assert_eq!(mammographic_mass().class_counts(), vec![427, 403]);
+        assert_eq!(seeds().class_counts(), vec![70, 70, 70]);
+        assert_eq!(vertebral_column_3c().class_counts(), vec![100, 60, 150]);
+        assert_eq!(vertebral_column_2c().class_counts(), vec![100, 210]);
+    }
+
+    #[test]
+    fn vertebral_variants_share_the_cohort() {
+        let d2 = vertebral_column_2c();
+        let d3 = vertebral_column_3c();
+        assert_eq!(d2.features, d3.features);
+        for i in 0..d2.len() {
+            assert_eq!(d2.label(i) == 0, d3.label(i) == 0);
+        }
+    }
+
+    #[test]
+    fn iris_setosa_is_separable_by_petal_length() {
+        let d = iris();
+        // Feature 2 (petal length, normalized): setosa sits far below the
+        // others, as in the real data.
+        let max_setosa = (0..d.len())
+            .filter(|&i| d.label(i) == 0)
+            .map(|i| d.sample(i)[2])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_other = (0..d.len())
+            .filter(|&i| d.label(i) != 0)
+            .map(|i| d.sample(i)[2])
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_setosa < min_other,
+            "setosa max {max_setosa} vs others min {min_other}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Rule-based datasets: exact or rule-faithful reconstructions.
+
+use crate::dataset::normalize_columns;
+use crate::Dataset;
+use pnc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// *Acute Inflammations* (UCI): 120 presumptive patient records with 6
+/// attributes (body temperature and five binary symptoms); the target is the
+/// rule-based diagnosis "inflammation of urinary bladder".
+///
+/// The UCI original was itself created by a rule system, so we re-generate
+/// it: temperature is swept over the clinical range and symptoms are drawn
+/// deterministically; the label follows the published diagnostic pattern
+/// (bladder inflammation ⇔ urine pushing together with either micturition
+/// pain or (lumbar pain at sub-fever temperature)).
+pub fn acute_inflammation() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0x0ACE);
+    let n = 120;
+    let mut features = Matrix::zeros(n, 6);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let temperature = 35.5 + 6.0 * (i as f64 / (n - 1) as f64);
+        let nausea = rng.gen_bool(0.25);
+        let lumbar_pain = rng.gen_bool(0.55);
+        let urine_pushing = rng.gen_bool(0.60);
+        let micturition_pain = rng.gen_bool(0.45);
+        let burning_urethra = rng.gen_bool(0.35);
+
+        let bladder_inflammation =
+            urine_pushing && (micturition_pain || (lumbar_pain && temperature < 37.5));
+
+        features[(i, 0)] = temperature;
+        features[(i, 1)] = nausea as u8 as f64;
+        features[(i, 2)] = lumbar_pain as u8 as f64;
+        features[(i, 3)] = urine_pushing as u8 as f64;
+        features[(i, 4)] = micturition_pain as u8 as f64;
+        features[(i, 5)] = burning_urethra as u8 as f64;
+        labels.push(bladder_inflammation as usize);
+    }
+    normalize_columns(&mut features);
+    Dataset::new("Acute Inflammation", features, labels, 2)
+}
+
+/// *Balance Scale* (UCI): the complete, deterministic enumeration of the
+/// four attributes (left/right weight and distance, each in 1..=5). The
+/// class is the side the scale tips to — `left`, `balanced` or `right` by
+/// comparing `lw·ld` with `rw·rd`. Identical to the UCI original (625 rows).
+pub fn balance_scale() -> Dataset {
+    let mut rows = Vec::with_capacity(625);
+    let mut labels = Vec::with_capacity(625);
+    for lw in 1..=5u32 {
+        for ld in 1..=5u32 {
+            for rw in 1..=5u32 {
+                for rd in 1..=5u32 {
+                    rows.push([lw as f64, ld as f64, rw as f64, rd as f64]);
+                    let (l, r) = (lw * ld, rw * rd);
+                    labels.push(match l.cmp(&r) {
+                        std::cmp::Ordering::Greater => 0, // tips left
+                        std::cmp::Ordering::Equal => 1,   // balanced
+                        std::cmp::Ordering::Less => 2,    // tips right
+                    });
+                }
+            }
+        }
+    }
+    let mut features = Matrix::from_fn(rows.len(), 4, |i, j| rows[i][j]);
+    normalize_columns(&mut features);
+    Dataset::new("Balance Scale", features, labels, 3)
+}
+
+/// Cell states of a tic-tac-toe board.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    X,
+    O,
+    Blank,
+}
+
+fn winner(board: &[Cell; 9]) -> Option<Cell> {
+    const LINES: [[usize; 3]; 8] = [
+        [0, 1, 2],
+        [3, 4, 5],
+        [6, 7, 8],
+        [0, 3, 6],
+        [1, 4, 7],
+        [2, 5, 8],
+        [0, 4, 8],
+        [2, 4, 6],
+    ];
+    for line in LINES {
+        let c = board[line[0]];
+        if c != Cell::Blank && board[line[1]] == c && board[line[2]] == c {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Enumerates the terminal boards reachable by legal play (x moves first)
+/// via exhaustive game-tree traversal — exactly the construction of the UCI
+/// *Tic-Tac-Toe Endgame* dataset (958 boards, target "win for x").
+fn enumerate_terminal_boards() -> Vec<[Cell; 9]> {
+    use std::collections::BTreeSet;
+
+    // A compact ordered key keeps the enumeration output deterministic.
+    fn key(board: &[Cell; 9]) -> [u8; 9] {
+        let mut k = [0u8; 9];
+        for (slot, c) in k.iter_mut().zip(board) {
+            *slot = match c {
+                Cell::X => 1,
+                Cell::O => 2,
+                Cell::Blank => 0,
+            };
+        }
+        k
+    }
+
+    fn walk(board: &mut [Cell; 9], x_to_move: bool, out: &mut BTreeSet<[u8; 9]>) {
+        let finished = winner(board).is_some() || board.iter().all(|&c| c != Cell::Blank);
+        if finished {
+            out.insert(key(board));
+            return;
+        }
+        let mark = if x_to_move { Cell::X } else { Cell::O };
+        for i in 0..9 {
+            if board[i] == Cell::Blank {
+                board[i] = mark;
+                walk(board, !x_to_move, out);
+                board[i] = Cell::Blank;
+            }
+        }
+    }
+
+    let mut set = std::collections::BTreeSet::new();
+    let mut board = [Cell::Blank; 9];
+    walk(&mut board, true, &mut set);
+    set.into_iter()
+        .map(|k| {
+            let mut b = [Cell::Blank; 9];
+            for (cell, v) in b.iter_mut().zip(k) {
+                *cell = match v {
+                    1 => Cell::X,
+                    2 => Cell::O,
+                    _ => Cell::Blank,
+                };
+            }
+            b
+        })
+        .collect()
+}
+
+/// *Tic-Tac-Toe Endgame* (UCI): all board configurations at the end of
+/// legal games, classified by "x wins". Cells are encoded as voltages
+/// `x ↦ 1`, `blank ↦ 0.5`, `o ↦ 0`. Exact reconstruction (958 rows, 65.3 %
+/// positive).
+pub fn tic_tac_toe() -> Dataset {
+    let boards = enumerate_terminal_boards();
+    let features = Matrix::from_fn(boards.len(), 9, |i, j| match boards[i][j] {
+        Cell::X => 1.0,
+        Cell::Blank => 0.5,
+        Cell::O => 0.0,
+    });
+    let labels = boards
+        .iter()
+        .map(|b| (winner(b) == Some(Cell::X)) as usize)
+        .collect();
+    Dataset::new("Tic-Tac-Toe Endgame", features, labels, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acute_inflammation_has_rule_structure() {
+        let d = acute_inflammation();
+        assert_eq!(d.len(), 120);
+        // Every positive has urine pushing set (feature 3).
+        for i in 0..d.len() {
+            if d.label(i) == 1 {
+                assert_eq!(d.sample(i)[3], 1.0, "row {i} breaks the rule");
+            }
+        }
+        let positives = d.class_counts()[1];
+        assert!((30..=90).contains(&positives), "{positives} positives");
+    }
+
+    #[test]
+    fn balance_scale_is_exact() {
+        let d = balance_scale();
+        assert_eq!(d.len(), 625);
+        // UCI class distribution: 288 L, 49 B, 288 R.
+        assert_eq!(d.class_counts(), vec![288, 49, 288]);
+    }
+
+    #[test]
+    fn tic_tac_toe_matches_uci_exactly() {
+        let d = tic_tac_toe();
+        // The UCI dataset has 958 instances, 626 positive (65.3 %).
+        assert_eq!(d.len(), 958);
+        assert_eq!(d.class_counts()[1], 626);
+    }
+
+    #[test]
+    fn tic_tac_toe_boards_are_legal() {
+        let d = tic_tac_toe();
+        for i in 0..d.len() {
+            let row = d.sample(i);
+            let x = row.iter().filter(|&&v| v == 1.0).count();
+            let o = row.iter().filter(|&&v| v == 0.0).count();
+            assert!(x == o || x == o + 1, "row {i}: illegal counts x={x} o={o}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Class-conditional Gaussian synthesis for the distribution-matched
+//! datasets.
+
+use crate::dataset::normalize_columns;
+use crate::Dataset;
+use pnc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One class of a Gaussian mixture: per-feature mean and standard deviation
+/// plus the number of samples to draw.
+pub(crate) struct GaussianClass {
+    pub n: usize,
+    pub mean: Vec<f64>,
+    pub std: Vec<f64>,
+}
+
+/// Draws a standard normal via Box–Muller (keeps `rand` usage to the uniform
+/// primitive so no extra distribution crates are needed).
+pub(crate) fn randn(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Builds a dataset from class-conditional Gaussians, then min–max
+/// normalizes every feature column to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the classes disagree on dimension (generator bug).
+pub(crate) fn gaussian_dataset(name: &str, classes: &[GaussianClass], seed: u64) -> Dataset {
+    let dim = classes.first().map(|c| c.mean.len()).unwrap_or(0);
+    assert!(
+        classes.iter().all(|c| c.mean.len() == dim && c.std.len() == dim),
+        "all classes must share the feature dimension"
+    );
+    let total: usize = classes.iter().map(|c| c.n).sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Matrix::zeros(total, dim);
+    let mut labels = Vec::with_capacity(total);
+    let mut row = 0;
+    for (label, class) in classes.iter().enumerate() {
+        for _ in 0..class.n {
+            for j in 0..dim {
+                features[(row, j)] = class.mean[j] + class.std[j] * randn(&mut rng);
+            }
+            labels.push(label);
+            row += 1;
+        }
+    }
+    normalize_columns(&mut features);
+    Dataset::new(name, features, labels, classes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_dataset_is_deterministic_and_separable() {
+        let classes = [
+            GaussianClass {
+                n: 50,
+                mean: vec![0.0, 0.0],
+                std: vec![0.5, 0.5],
+            },
+            GaussianClass {
+                n: 50,
+                mean: vec![5.0, 5.0],
+                std: vec![0.5, 0.5],
+            },
+        ];
+        let a = gaussian_dataset("t", &classes, 9);
+        let b = gaussian_dataset("t", &classes, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        // Well-separated blobs: a mid-threshold splits them perfectly.
+        let correct = (0..a.len())
+            .filter(|&i| (a.sample(i)[0] > 0.5) == (a.label(i) == 1))
+            .count();
+        assert!(correct > 95, "only {correct}/100 separable");
+    }
+}

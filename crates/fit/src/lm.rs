@@ -1,0 +1,263 @@
+use crate::FitError;
+use pnc_linalg::{Lu, Matrix};
+
+/// Options for the Levenberg–Marquardt solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOptions {
+    /// Maximum number of accepted-or-rejected iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative cost improvement falls below this.
+    pub cost_tolerance: f64,
+    /// Stop when the infinity norm of the step falls below this.
+    pub step_tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions {
+            max_iterations: 200,
+            cost_tolerance: 1e-14,
+            step_tolerance: 1e-12,
+            initial_lambda: 1e-3,
+        }
+    }
+}
+
+/// The outcome of a Levenberg–Marquardt run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmResult {
+    /// The best parameter vector found.
+    pub params: Vec<f64>,
+    /// Final cost `0.5 · ‖r‖²`.
+    pub cost: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether a tolerance-based stop was reached (as opposed to running out
+    /// of iterations).
+    pub converged: bool,
+}
+
+/// Minimizes `0.5 · ‖r(p)‖²` by damped Gauss–Newton (Levenberg–Marquardt).
+///
+/// `model` maps a parameter vector to the residual vector `r` and the
+/// Jacobian `J` with `J[(i, j)] = ∂r_i/∂p_j`. The residual length must be
+/// constant across calls.
+///
+/// Damping uses the Marquardt diagonal scaling
+/// `(JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr`, multiplying λ by 10 on a rejected step
+/// and dividing by 10 on an accepted one.
+///
+/// # Errors
+///
+/// Returns [`FitError::InvalidData`] for an empty parameter vector and
+/// [`FitError::Singular`] if the damped normal equations stay singular even
+/// at very large λ.
+///
+/// # Examples
+///
+/// Fit a line through two points:
+///
+/// ```
+/// use pnc_fit::{levenberg_marquardt, LmOptions};
+/// use pnc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), pnc_fit::FitError> {
+/// let data = [(0.0, 1.0), (1.0, 3.0)];
+/// let result = levenberg_marquardt(
+///     &[0.0, 0.0],
+///     LmOptions::default(),
+///     |p| {
+///         let r: Vec<f64> = data.iter().map(|&(x, y)| p[0] + p[1] * x - y).collect();
+///         let j = Matrix::from_fn(2, 2, |i, col| if col == 0 { 1.0 } else { data[i].0 });
+///         (r, j)
+///     },
+/// )?;
+/// assert!((result.params[0] - 1.0).abs() < 1e-9);
+/// assert!((result.params[1] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levenberg_marquardt(
+    initial: &[f64],
+    options: LmOptions,
+    mut model: impl FnMut(&[f64]) -> (Vec<f64>, Matrix),
+) -> Result<LmResult, FitError> {
+    let n = initial.len();
+    if n == 0 {
+        return Err(FitError::InvalidData {
+            detail: "empty parameter vector".into(),
+        });
+    }
+
+    let mut params = initial.to_vec();
+    let (mut residual, mut jacobian) = model(&params);
+    let mut cost = 0.5 * residual.iter().map(|r| r * r).sum::<f64>();
+    let mut lambda = options.initial_lambda;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..options.max_iterations {
+        iterations = iter + 1;
+
+        // Normal equations: JᵀJ and Jᵀr.
+        let jt = jacobian.transpose();
+        let jtj = match jt.matmul(&jacobian) {
+            Ok(m) => m,
+            Err(source) => return Err(FitError::Singular { source }),
+        };
+        let jtr: Vec<f64> = (0..n)
+            .map(|j| {
+                residual
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| jacobian[(i, j)] * r)
+                    .sum::<f64>()
+            })
+            .collect();
+
+        // Try steps with increasing damping until one is accepted or λ
+        // explodes.
+        let mut accepted = false;
+        for _ in 0..30 {
+            let mut damped = jtj.clone();
+            for j in 0..n {
+                // Marquardt scaling; fall back to absolute damping for zero
+                // diagonal entries (parameters the residual ignores locally).
+                let d = jtj[(j, j)];
+                damped[(j, j)] = d + lambda * if d > 0.0 { d } else { 1.0 };
+            }
+            let neg_g: Vec<f64> = jtr.iter().map(|g| -g).collect();
+            let step = match Lu::factor(&damped).and_then(|lu| lu.solve(&neg_g)) {
+                Ok(s) => s,
+                Err(_) => {
+                    lambda *= 10.0;
+                    continue;
+                }
+            };
+            let candidate: Vec<f64> = params.iter().zip(&step).map(|(p, s)| p + s).collect();
+            let (cand_res, cand_jac) = model(&candidate);
+            let cand_cost = 0.5 * cand_res.iter().map(|r| r * r).sum::<f64>();
+
+            if cand_cost.is_finite() && cand_cost < cost {
+                let step_norm = step.iter().fold(0.0_f64, |m, s| m.max(s.abs()));
+                let improvement = (cost - cand_cost) / cost.max(f64::MIN_POSITIVE);
+                params = candidate;
+                residual = cand_res;
+                jacobian = cand_jac;
+                cost = cand_cost;
+                lambda = (lambda / 10.0).max(1e-12);
+                accepted = true;
+                if improvement < options.cost_tolerance || step_norm < options.step_tolerance {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+
+        if !accepted {
+            // No downhill step found even with heavy damping: local optimum.
+            converged = true;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    Ok(LmResult {
+        params,
+        cost,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exponential decay fit: a classic nonlinear test problem.
+    #[test]
+    fn fits_exponential_decay() {
+        let truth = (2.5, 1.3);
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let data: Vec<(f64, f64)> = xs.iter().map(|&x| (x, truth.0 * (-truth.1 * x).exp())).collect();
+
+        let result = levenberg_marquardt(&[1.0, 0.5], LmOptions::default(), |p| {
+            let r: Vec<f64> = data
+                .iter()
+                .map(|&(x, y)| p[0] * (-p[1] * x).exp() - y)
+                .collect();
+            let j = Matrix::from_fn(data.len(), 2, |i, col| {
+                let x = data[i].0;
+                let e = (-p[1] * x).exp();
+                if col == 0 {
+                    e
+                } else {
+                    -p[0] * x * e
+                }
+            });
+            (r, j)
+        })
+        .unwrap();
+
+        assert!(result.converged);
+        assert!((result.params[0] - truth.0).abs() < 1e-6);
+        assert!((result.params[1] - truth.1).abs() < 1e-6);
+        assert!(result.cost < 1e-15);
+    }
+
+    #[test]
+    fn rosenbrock_valley() {
+        // Rosenbrock as a residual problem: r = [10(y − x²), 1 − x].
+        let result = levenberg_marquardt(&[-1.2, 1.0], LmOptions {
+            max_iterations: 500,
+            ..LmOptions::default()
+        }, |p| {
+            let r = vec![10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]];
+            let j = Matrix::from_rows(&[&[-20.0 * p[0], 10.0], &[-1.0, 0.0]]).unwrap();
+            (r, j)
+        })
+        .unwrap();
+        assert!((result.params[0] - 1.0).abs() < 1e-6);
+        assert!((result.params[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_empty_parameters() {
+        let err = levenberg_marquardt(&[], LmOptions::default(), |_| {
+            (vec![], Matrix::zeros(1, 1))
+        });
+        assert!(matches!(err, Err(FitError::InvalidData { .. })));
+    }
+
+    #[test]
+    fn handles_insensitive_parameter() {
+        // Second parameter does not influence the residual: JᵀJ is singular,
+        // but Marquardt damping with the absolute fallback keeps it solvable.
+        let result = levenberg_marquardt(&[0.0, 5.0], LmOptions::default(), |p| {
+            let r = vec![p[0] - 3.0];
+            let j = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+            (r, j)
+        })
+        .unwrap();
+        assert!((result.params[0] - 3.0).abs() < 1e-8);
+        // Insensitive parameter stays where it started.
+        assert!((result.params[1] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn already_optimal_start_converges_immediately() {
+        let result = levenberg_marquardt(&[3.0], LmOptions::default(), |p| {
+            let r = vec![p[0] - 3.0];
+            let j = Matrix::from_rows(&[&[1.0]]).unwrap();
+            (r, j)
+        })
+        .unwrap();
+        assert!(result.converged);
+        assert!(result.cost < 1e-20);
+        assert!(result.iterations <= 2);
+    }
+}

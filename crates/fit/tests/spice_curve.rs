@@ -1,0 +1,62 @@
+//! Integration: fit Eq. 2 to actual simulated transfer curves (Fig. 4 left).
+
+use pnc_fit::fit_ptanh;
+use pnc_spice::circuits::{characteristic_curve, NonlinearCircuitParams};
+
+#[test]
+fn nominal_circuit_curve_is_tanh_like() {
+    let curve = characteristic_curve(&NonlinearCircuitParams::nominal(), 81).unwrap();
+    let fit = fit_ptanh(&curve).unwrap();
+    assert!(
+        fit.rmse < 0.02,
+        "the simulated curve should be well described by Eq. 2, rmse {}",
+        fit.rmse
+    );
+    // Rising activation: positive amplitude, transition inside the supply range.
+    assert!(fit.curve.eta[1] > 0.05, "eta {:?}", fit.curve.eta);
+    assert!(
+        (0.0..=1.0).contains(&fit.curve.eta[2]),
+        "midpoint outside supply range: {:?}",
+        fit.curve.eta
+    );
+}
+
+#[test]
+fn fits_hold_across_the_design_space_corners() {
+    // A few corner-ish parameterizations: shapes differ but all stay
+    // ptanh-describable within a loose tolerance.
+    let cases = [
+        NonlinearCircuitParams {
+            r1: 100.0,
+            r2: 90.0,
+            r3: 400_000.0,
+            r4: 300_000.0,
+            r5: 300_000.0,
+            w: 800e-6,
+            l: 10e-6,
+        },
+        NonlinearCircuitParams {
+            r1: 400.0,
+            r2: 50.0,
+            r3: 50_000.0,
+            r4: 20_000.0,
+            r5: 50_000.0,
+            w: 200e-6,
+            l: 70e-6,
+        },
+        NonlinearCircuitParams {
+            r1: 300.0,
+            r2: 200.0,
+            r3: 100_000.0,
+            r4: 80_000.0,
+            r5: 400_000.0,
+            w: 500e-6,
+            l: 30e-6,
+        },
+    ];
+    for (i, params) in cases.iter().enumerate() {
+        let curve = characteristic_curve(params, 81).unwrap();
+        let fit = fit_ptanh(&curve).unwrap();
+        assert!(fit.rmse < 0.05, "case {i}: rmse {}", fit.rmse);
+    }
+}

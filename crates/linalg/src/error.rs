@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_linalg::{Matrix, LinalgError};
+///
+/// let err = Matrix::from_rows(&[&[1.0], &[2.0, 3.0]]).unwrap_err();
+/// assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorization or solve encountered a (numerically) singular matrix.
+    Singular {
+        /// Index of the pivot column where elimination broke down.
+        pivot: usize,
+    },
+    /// A constructor received data inconsistent with the requested shape.
+    InvalidShape {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+        /// Number of elements actually provided.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::InvalidShape { rows, cols, len } => write!(
+                f,
+                "invalid shape: {rows}x{cols} requires {} elements, got {len}",
+                rows * cols
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

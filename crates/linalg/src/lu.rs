@@ -1,0 +1,328 @@
+use crate::{LinalgError, Matrix};
+
+/// LU decomposition with partial (row) pivoting.
+///
+/// Factors a square matrix `A` as `P·A = L·U` and reuses the factorization to
+/// solve `A·x = b` for many right-hand sides. This is the linear-solver core
+/// of both the Newton iteration in `pnc-spice` (modified nodal analysis) and
+/// the damped normal equations in `pnc-fit` (Levenberg–Marquardt).
+///
+/// # Examples
+///
+/// ```
+/// use pnc_linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), pnc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// // Verify A * x == b.
+/// assert!((2.0 * x[0] + x[1] - 3.0).abs() < 1e-12);
+/// assert!((x[0] + 3.0 * x[1] - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    factors: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used for the determinant.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Pivots smaller than this (in absolute value) are treated as singular.
+    const PIVOT_TOL: f64 = 1e-14;
+
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `a` is not square and
+    /// [`LinalgError::Singular`] if a pivot below the singularity tolerance is
+    /// encountered.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_factor",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let mut f = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k at/below k.
+            let mut pivot_row = k;
+            let mut pivot_val = f[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = f[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < Self::PIVOT_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = f[(k, j)];
+                    f[(k, j)] = f[(pivot_row, j)];
+                    f[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = f[(k, k)];
+            for i in (k + 1)..n {
+                let factor = f[(i, k)] / pivot;
+                f[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let sub = factor * f[(k, j)];
+                    f[(i, j)] -= sub;
+                }
+            }
+        }
+
+        Ok(Lu {
+            factors: f,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with permuted b (L has unit diagonal).
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                acc -= self.factors[(i, j)] * xj;
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.factors[(i, j)] * xj;
+            }
+            x[i] = acc / self.factors[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.factors[(i, i)];
+        }
+        d
+    }
+
+    /// Computes the inverse of the factored matrix.
+    ///
+    /// Prefer [`Lu::solve`] where possible; the explicit inverse is provided
+    /// for diagnostics and small covariance computations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (should not occur for a valid factorization).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Convenience one-shot solve of `A·x = b`.
+///
+/// # Errors
+///
+/// Returns the underlying factorization or substitution error.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), pnc_linalg::LinalgError> {
+/// let a = Matrix::identity(2);
+/// let x = pnc_linalg::solve(&a, &[7.0, 8.0])?;
+/// assert_eq!(x, vec![7.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    Lu::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, 4.0], &[5.0, 6.0, 3.0]]).unwrap();
+        let b = [3.0, 7.0, 8.0];
+        let x = solve(&a, &b).unwrap();
+        // Residual check.
+        for i in 0..3 {
+            let r: f64 = (0..3).map(|j| a[(i, j)] * x[j]).sum::<f64>() - b[i];
+            assert!(r.abs() < 1e-10, "residual {r} at row {i}");
+        }
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let lu = Lu::factor(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]).unwrap();
+        assert!((Lu::factor(&a).unwrap().det() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((Lu::factor(&a).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]).unwrap();
+        let x = Lu::factor(&a).unwrap().solve_matrix(&b).unwrap();
+        assert!(a.matmul(&x).unwrap().approx_eq(&b, 1e-10));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Generate diagonally dominant matrices: always invertible.
+    fn arb_dd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+            let mut m = Matrix::from_vec(n, n, data).expect("sized");
+            for i in 0..n {
+                let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
+                m[(i, i)] += row_sum + 1.0;
+            }
+            m
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn solve_produces_small_residual(
+            (a, b) in (2usize..7).prop_flat_map(|n| {
+                (arb_dd_matrix(n), proptest::collection::vec(-10.0..10.0f64, n))
+            })
+        ) {
+            let x = solve(&a, &b).unwrap();
+            let n = b.len();
+            for i in 0..n {
+                let r: f64 = (0..n).map(|j| a[(i, j)] * x[j]).sum::<f64>() - b[i];
+                prop_assert!(r.abs() < 1e-8, "residual {} at row {}", r, i);
+            }
+        }
+
+        #[test]
+        fn det_of_product_scales(
+            a in arb_dd_matrix(4), s in 0.5..2.0f64
+        ) {
+            let det_a = Lu::factor(&a).unwrap().det();
+            let det_sa = Lu::factor(&a.scale(s)).unwrap().det();
+            // det(s*A) = s^n det(A) with n = 4
+            prop_assert!((det_sa - s.powi(4) * det_a).abs() < 1e-6 * det_a.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+use crate::QmcError;
+
+/// The first 21 primes, one radix per supported dimension.
+const PRIMES: &[u32] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+];
+
+/// Halton low-discrepancy sequence in `[0, 1)^d`.
+///
+/// Provided as a second quasi Monte-Carlo sampler to cross-check the
+/// [`Sobol`](crate::Sobol) sequence used by the main pipeline: both should
+/// give statistically indistinguishable surrogate datasets. The `i`-th point's
+/// `j`-th coordinate is the radical inverse of `i` in the `j`-th prime base.
+///
+/// Like the Sobol' generator, the sequence skips index 0 (the origin).
+///
+/// # Examples
+///
+/// ```
+/// use pnc_qmc::Halton;
+///
+/// # fn main() -> Result<(), pnc_qmc::QmcError> {
+/// let mut h = Halton::new(2)?;
+/// let p = h.next_point();
+/// assert_eq!(p, vec![0.5, 1.0 / 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Halton {
+    dim: usize,
+    index: u64,
+}
+
+impl Halton {
+    /// Maximum supported dimension.
+    pub const MAX_DIM: usize = PRIMES.len();
+
+    /// Creates a Halton sequence of the given dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QmcError::UnsupportedDimension`] if `dim` is zero or larger
+    /// than [`Halton::MAX_DIM`].
+    pub fn new(dim: usize) -> Result<Self, QmcError> {
+        if dim == 0 || dim > Self::MAX_DIM {
+            return Err(QmcError::UnsupportedDimension {
+                requested: dim,
+                max: Self::MAX_DIM,
+            });
+        }
+        Ok(Halton { dim, index: 0 })
+    }
+
+    /// The dimension of generated points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Radical inverse of `i` in base `b`.
+    fn radical_inverse(mut i: u64, b: u64) -> f64 {
+        let mut result = 0.0;
+        let mut f = 1.0 / b as f64;
+        while i > 0 {
+            result += (i % b) as f64 * f;
+            i /= b;
+            f /= b as f64;
+        }
+        result
+    }
+
+    /// Returns the next point of the sequence.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        self.index += 1;
+        (0..self.dim)
+            .map(|j| Self::radical_inverse(self.index, PRIMES[j] as u64))
+            .collect()
+    }
+
+    /// Returns the next `n` points of the sequence.
+    pub fn take(&mut self, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(Halton::new(0).is_err());
+        assert!(Halton::new(Halton::MAX_DIM + 1).is_err());
+    }
+
+    #[test]
+    fn base_two_sequence_is_van_der_corput() {
+        let mut h = Halton::new(1).unwrap();
+        let seq: Vec<f64> = (0..6).map(|_| h.next_point()[0]).collect();
+        assert_eq!(seq, vec![0.5, 0.25, 0.75, 0.125, 0.625, 0.375]);
+    }
+
+    #[test]
+    fn base_three_coordinate() {
+        let mut h = Halton::new(2).unwrap();
+        let seq: Vec<f64> = (0..4).map(|_| h.next_point()[1]).collect();
+        let expected = [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0];
+        for (a, e) in seq.iter().zip(expected) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn points_in_unit_cube_and_deterministic() {
+        let a = Halton::new(7).unwrap().take(500);
+        let b = Halton::new(7).unwrap().take(500);
+        assert_eq!(a, b);
+        for p in a {
+            for x in p {
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn coordinate_means_near_half() {
+        let pts = Halton::new(5).unwrap().take(4000);
+        for j in 0..5 {
+            let mean: f64 = pts.iter().map(|p| p[j]).sum::<f64>() / pts.len() as f64;
+            assert!((mean - 0.5).abs() < 0.01, "coord {j} mean {mean}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+use crate::QmcError;
+
+/// Primitive-polynomial parameters for one Sobol' dimension: the polynomial
+/// degree `s`, the interior coefficient bits `a`, and the initial odd
+/// direction numbers `m[0..s]` (each `m[k] < 2^(k+1)` and odd).
+struct Params {
+    s: u32,
+    a: u32,
+    m: &'static [u32],
+}
+
+/// Direction-number parameters following the Joe–Kuo construction. Dimension
+/// 1 (index 0) is the van der Corput sequence in base 2 and needs no entry.
+/// Any table of odd `m_k < 2^k` over primitive polynomials yields a valid
+/// Sobol' sequence; these are the standard low-dimension values.
+const PARAMS: &[Params] = &[
+    Params { s: 1, a: 0, m: &[1] },                    // dim 2
+    Params { s: 2, a: 1, m: &[1, 3] },                 // dim 3
+    Params { s: 3, a: 1, m: &[1, 3, 1] },              // dim 4
+    Params { s: 3, a: 2, m: &[1, 1, 1] },              // dim 5
+    Params { s: 4, a: 1, m: &[1, 1, 3, 3] },           // dim 6
+    Params { s: 4, a: 4, m: &[1, 3, 5, 13] },          // dim 7
+    Params { s: 5, a: 2, m: &[1, 1, 5, 5, 17] },       // dim 8
+    Params { s: 5, a: 4, m: &[1, 1, 5, 5, 5] },        // dim 9
+    Params { s: 5, a: 7, m: &[1, 1, 7, 11, 19] },      // dim 10
+    Params { s: 5, a: 11, m: &[1, 1, 5, 1, 1] },       // dim 11
+    Params { s: 5, a: 13, m: &[1, 1, 1, 3, 11] },      // dim 12
+    Params { s: 5, a: 14, m: &[1, 3, 5, 5, 31] },      // dim 13
+    Params { s: 6, a: 1, m: &[1, 3, 3, 9, 7, 49] },    // dim 14
+    Params { s: 6, a: 13, m: &[1, 1, 1, 15, 21, 21] }, // dim 15
+    Params { s: 6, a: 16, m: &[1, 3, 1, 13, 27, 49] }, // dim 16
+    Params { s: 6, a: 19, m: &[1, 1, 1, 15, 7, 5] },   // dim 17
+    Params { s: 6, a: 22, m: &[1, 3, 1, 3, 25, 61] },  // dim 18
+    Params { s: 6, a: 25, m: &[1, 1, 5, 5, 19, 61] },  // dim 19
+    Params { s: 7, a: 1, m: &[1, 3, 7, 11, 23, 15, 57] }, // dim 20
+    Params { s: 7, a: 4, m: &[1, 1, 3, 5, 17, 13, 39] },  // dim 21
+];
+
+const BITS: u32 = 32;
+
+/// Gray-code Sobol' low-discrepancy sequence in `[0, 1)^d`.
+///
+/// This is the quasi Monte-Carlo sampler used by the surrogate-modelling
+/// pipeline (Sec. III-A of the paper) to draw representative points from the
+/// feasible design space of the nonlinear circuit.
+///
+/// The generator is deterministic: two `Sobol` instances of the same
+/// dimension always produce the same sequence. The sequence starts at index
+/// 0, so the first point is the origin; emitting aligned power-of-two blocks
+/// from index 0 preserves the digital-net stratification properties that the
+/// tests below verify.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_qmc::Sobol;
+///
+/// # fn main() -> Result<(), pnc_qmc::QmcError> {
+/// let mut s = Sobol::new(2)?;
+/// assert_eq!(s.next_point(), vec![0.0, 0.0]); // index 0: the origin
+/// assert_eq!(s.next_point(), vec![0.5, 0.5]);
+/// let batch = s.take(3);
+/// assert_eq!(batch.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sobol {
+    dim: usize,
+    /// `directions[j][k]` is the k-th direction integer of coordinate j.
+    directions: Vec<[u32; BITS as usize]>,
+    /// Current Gray-code state per coordinate (the value of the point at
+    /// `index`).
+    state: Vec<u32>,
+    /// Index of the next point to emit.
+    index: u64,
+}
+
+impl Sobol {
+    /// Maximum supported dimension.
+    pub const MAX_DIM: usize = PARAMS.len() + 1;
+
+    /// Creates a Sobol' sequence of the given dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QmcError::UnsupportedDimension`] if `dim` is zero or larger
+    /// than [`Sobol::MAX_DIM`].
+    pub fn new(dim: usize) -> Result<Self, QmcError> {
+        if dim == 0 || dim > Self::MAX_DIM {
+            return Err(QmcError::UnsupportedDimension {
+                requested: dim,
+                max: Self::MAX_DIM,
+            });
+        }
+        let mut directions = Vec::with_capacity(dim);
+        // Dimension 1: van der Corput, v_k = 2^(31-k).
+        let mut first = [0u32; BITS as usize];
+        for (k, v) in first.iter_mut().enumerate() {
+            *v = 1 << (BITS - 1 - k as u32);
+        }
+        directions.push(first);
+
+        for p in PARAMS.iter().take(dim.saturating_sub(1)) {
+            let s = p.s as usize;
+            let mut v = [0u32; BITS as usize];
+            // Seed the first s direction integers from the initial m values:
+            // v_k = m_k * 2^(31-k).
+            for (k, slot) in v.iter_mut().enumerate().take(s.min(BITS as usize)) {
+                debug_assert!(p.m[k] % 2 == 1, "initial direction numbers must be odd");
+                debug_assert!(p.m[k] < (1 << (k + 1)), "m_k must be below 2^(k+1)");
+                *slot = p.m[k] << (BITS - 1 - k as u32);
+            }
+            // Recurrence for the remaining direction integers.
+            for k in s..BITS as usize {
+                let mut value = v[k - s] ^ (v[k - s] >> p.s);
+                for bit in 1..s {
+                    let coeff = (p.a >> (s - 1 - bit)) & 1;
+                    if coeff == 1 {
+                        value ^= v[k - bit];
+                    }
+                }
+                v[k] = value;
+            }
+            directions.push(v);
+        }
+
+        Ok(Sobol {
+            dim,
+            directions,
+            state: vec![0; dim],
+            index: 0,
+        })
+    }
+
+    /// The dimension of generated points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the next point of the sequence.
+    ///
+    /// Never exhausts in practice (the period is 2³² points).
+    pub fn next_point(&mut self) -> Vec<f64> {
+        let scale = 1.0 / (1u64 << BITS) as f64;
+        let out = self.state.iter().map(|&s| s as f64 * scale).collect();
+        // Gray-code update towards the next index: flip the direction integer
+        // indexed by the lowest zero bit of the current index.
+        let c = self.index.trailing_ones() as usize;
+        self.index += 1;
+        for j in 0..self.dim {
+            self.state[j] ^= self.directions[j][c];
+        }
+        out
+    }
+
+    /// Returns the next `n` points of the sequence.
+    pub fn take(&mut self, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_and_oversized_dimension() {
+        assert!(Sobol::new(0).is_err());
+        assert!(Sobol::new(Sobol::MAX_DIM + 1).is_err());
+        assert!(Sobol::new(Sobol::MAX_DIM).is_ok());
+    }
+
+    #[test]
+    fn first_dimension_is_van_der_corput() {
+        let mut s = Sobol::new(1).unwrap();
+        let seq: Vec<f64> = (0..8).map(|_| s.next_point()[0]).collect();
+        // Gray-code ordering of the base-2 van der Corput sequence.
+        assert_eq!(
+            seq,
+            vec![0.0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125]
+        );
+    }
+
+    #[test]
+    fn points_are_in_unit_cube() {
+        let mut s = Sobol::new(7).unwrap();
+        for p in s.take(1000) {
+            assert_eq!(p.len(), 7);
+            for x in p {
+                assert!((0.0..1.0).contains(&x), "coordinate {x} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let a: Vec<_> = Sobol::new(5).unwrap().take(50);
+        let b: Vec<_> = Sobol::new(5).unwrap().take(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn each_power_of_two_block_is_stratified() {
+        // Within the first 2^k points, every dyadic interval of length 2^-k
+        // in each coordinate contains exactly one point — the defining (0, m, s)
+        // net property in base 2 for m = 0.
+        for dim in [2usize, 3, 7, 10] {
+            let mut s = Sobol::new(dim).unwrap();
+            let k = 4; // 16 points
+            let pts = s.take(1 << k);
+            for j in 0..dim {
+                let mut seen = vec![false; 1 << k];
+                for p in &pts {
+                    let cell = (p[j] * (1 << k) as f64) as usize;
+                    assert!(!seen[cell], "dim {dim}, coord {j}: cell {cell} hit twice");
+                    seen[cell] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_2d_stratification_of_first_coordinates() {
+        // The first 16 points of a 2-D Sobol sequence hit every cell of the
+        // 4x4 grid exactly once.
+        let mut s = Sobol::new(2).unwrap();
+        let pts = s.take(16);
+        let mut seen = [[false; 4]; 4];
+        for p in pts {
+            let i = (p[0] * 4.0) as usize;
+            let j = (p[1] * 4.0) as usize;
+            assert!(!seen[i][j], "cell ({i}, {j}) hit twice");
+            seen[i][j] = true;
+        }
+    }
+
+    #[test]
+    fn mean_converges_to_half_faster_than_random() {
+        let mut s = Sobol::new(7).unwrap();
+        let n = 4096;
+        let pts = s.take(n);
+        for j in 0..7 {
+            let mean: f64 = pts.iter().map(|p| p[j]).sum::<f64>() / n as f64;
+            assert!(
+                (mean - 0.5).abs() < 1e-3,
+                "coordinate {j} mean {mean} too far from 0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn direction_number_invariants_hold() {
+        for p in PARAMS {
+            assert_eq!(p.m.len(), p.s as usize);
+            for (k, &m) in p.m.iter().enumerate() {
+                assert_eq!(m % 2, 1, "m must be odd");
+                assert!(m < (1 << (k + 1)), "m_k must be < 2^(k+1)");
+            }
+            assert!(p.a < (1 << (p.s.saturating_sub(1))), "a must fit in s-1 bits");
+        }
+    }
+}

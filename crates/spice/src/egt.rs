@@ -1,0 +1,295 @@
+use serde::{Deserialize, Serialize};
+
+/// Behavioral model of a printed inorganic electrolyte-gated transistor (EGT).
+///
+/// Printed EGTs (Rasheed et al., *IEEE TED* 2018) are n-type devices that
+/// operate at supply voltages around 1 V thanks to the huge gate capacitance
+/// of the solid electrolyte. The pPDK used by the paper is proprietary, so we
+/// substitute a smooth behavioral model that keeps the properties the
+/// downstream pipeline depends on:
+///
+/// * drain current scales with the printed geometry ratio `W/L`,
+/// * a threshold voltage around 0.3 V inside the 0–1 V signal range,
+/// * smooth (C¹) triode/saturation interpolation so Newton iteration and the
+///   surrogate-fitting loop behave well,
+/// * channel-length modulation giving finite output conductance.
+///
+/// The current equation for `v_ds >= 0` is
+///
+/// ```text
+/// v_ov = n_ss · ln(1 + exp((v_gs − v_th)/n_ss))        (softplus overdrive)
+/// i_d  = (β/2) · v_ov² · tanh(2·v_ds / v_ov) · (1 + λ·v_ds)
+/// β    = k_p · W / L
+/// ```
+///
+/// which reduces to the Shichman–Hodges triode conductance `β·v_ov·v_ds` for
+/// small `v_ds` and the saturation current `(β/2)·v_ov²·(1+λ·v_ds)` for large
+/// `v_ds`. Negative `v_ds` is handled by source/drain exchange (the printed
+/// device is symmetric).
+///
+/// # Examples
+///
+/// ```
+/// use pnc_spice::EgtModel;
+///
+/// let egt = EgtModel::printed(400e-6, 40e-6); // W = 400 µm, L = 40 µm
+/// let on = egt.evaluate(0.9, 1.0);
+/// let off = egt.evaluate(0.0, 1.0);
+/// assert!(on.id > 100.0 * off.id.max(1e-18));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EgtModel {
+    /// Process transconductance parameter `k_p` in A/V² (per W/L square).
+    pub kp: f64,
+    /// Threshold voltage in volts.
+    pub vth: f64,
+    /// Channel-length modulation coefficient in 1/V.
+    pub lambda: f64,
+    /// Softplus smoothing width (an effective subthreshold slope) in volts.
+    pub n_ss: f64,
+    /// Printed channel width in meters.
+    pub w: f64,
+    /// Printed channel length in meters.
+    pub l: f64,
+}
+
+/// The operating point of an EGT: current and small-signal derivatives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EgtOperatingPoint {
+    /// Drain current in amperes (positive into the drain for `v_ds >= 0`).
+    pub id: f64,
+    /// Transconductance `∂i_d/∂v_gs` in siemens.
+    pub gm: f64,
+    /// Output conductance `∂i_d/∂v_ds` in siemens.
+    pub gds: f64,
+}
+
+impl EgtModel {
+    /// Creates a model with the default printed-process parameters
+    /// (`k_p = 10 µA/V²`, `v_th = 0.08 V`, `λ = 0.05 /V`, `n_ss = 30 mV`) and
+    /// the given geometry.
+    ///
+    /// The defaults are chosen so the two-inverter ptanh circuit of the paper
+    /// produces its full family of tanh-like transfer curves over the Tab. I
+    /// design space at a 1 V supply: the low threshold keeps both stages
+    /// switching even behind the passive attenuation of the two voltage
+    /// dividers (whose ratios are below 0.5 by the `R1 > R2`, `R3 > R4`
+    /// constraints), which matches the low thresholds reported for printed
+    /// electrolyte-gated devices.
+    pub fn printed(w: f64, l: f64) -> Self {
+        EgtModel {
+            kp: 1.0e-5,
+            vth: 0.08,
+            lambda: 0.05,
+            n_ss: 0.03,
+            w,
+            l,
+        }
+    }
+
+    /// The geometry gain `β = k_p · W / L`.
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+
+    /// Evaluates current and derivatives at the given gate-source and
+    /// drain-source voltages.
+    ///
+    /// Handles `v_ds < 0` by exchanging source and drain (the printed device
+    /// is geometrically symmetric), so the returned derivatives are always
+    /// with respect to the *original* terminal voltages.
+    pub fn evaluate(&self, v_gs: f64, v_ds: f64) -> EgtOperatingPoint {
+        if v_ds >= 0.0 {
+            self.evaluate_forward(v_gs, v_ds)
+        } else {
+            // Exchange drain and source: v_gs' = v_gd = v_gs - v_ds,
+            // v_ds' = -v_ds, i_d = -i_d'.
+            let fwd = self.evaluate_forward(v_gs - v_ds, -v_ds);
+            // Chain rule back to the original variables:
+            // i_d(v_gs, v_ds) = -i'(v_gs - v_ds, -v_ds)
+            EgtOperatingPoint {
+                id: -fwd.id,
+                gm: -fwd.gm,
+                gds: fwd.gm + fwd.gds,
+            }
+        }
+    }
+
+    fn evaluate_forward(&self, v_gs: f64, v_ds: f64) -> EgtOperatingPoint {
+        let beta = self.beta();
+        // Softplus overdrive and its derivative (logistic sigmoid).
+        let z = (v_gs - self.vth) / self.n_ss;
+        let (v_ov, dvov_dvgs) = if z > 30.0 {
+            (v_gs - self.vth, 1.0)
+        } else if z < -30.0 {
+            // Far below threshold: exponentially small but nonzero to keep
+            // the Jacobian well conditioned.
+            let e = z.exp();
+            (self.n_ss * e, e / (1.0 + e))
+        } else {
+            let e = z.exp();
+            (self.n_ss * (1.0 + e).ln(), e / (1.0 + e))
+        };
+        // Guard against a literally zero overdrive in the tanh argument.
+        let v_ov = v_ov.max(1e-12);
+
+        let u = 2.0 * v_ds / v_ov;
+        let t = u.tanh();
+        let sech2 = 1.0 - t * t;
+        let clm = 1.0 + self.lambda * v_ds;
+
+        let id = 0.5 * beta * v_ov * v_ov * t * clm;
+
+        // ∂i/∂v_ov at fixed v_ds, then chain through the softplus.
+        let di_dvov = 0.5 * beta * clm * (2.0 * v_ov * t - 2.0 * v_ds * sech2);
+        let gm = di_dvov * dvov_dvgs;
+
+        // ∂i/∂v_ds: tanh term and channel-length modulation term.
+        let gds = 0.5 * beta * v_ov * v_ov * (sech2 * (2.0 / v_ov) * clm + t * self.lambda);
+
+        EgtOperatingPoint { id, gm, gds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EgtModel {
+        EgtModel::printed(400e-6, 40e-6)
+    }
+
+    #[test]
+    fn beta_scales_with_geometry() {
+        let narrow = EgtModel::printed(200e-6, 70e-6);
+        let wide = EgtModel::printed(800e-6, 10e-6);
+        assert!(wide.beta() > 20.0 * narrow.beta());
+    }
+
+    #[test]
+    fn off_current_is_tiny_on_current_is_not() {
+        let m = model();
+        let off = m.evaluate(0.0, 1.0).id;
+        let on = m.evaluate(1.0, 1.0).id;
+        assert!(off >= 0.0);
+        assert!(off < 1e-7);
+        assert!(on > 1e-6);
+    }
+
+    #[test]
+    fn current_is_monotone_in_vgs() {
+        let m = model();
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let vgs = i as f64 * 0.05;
+            let id = m.evaluate(vgs, 0.8).id;
+            assert!(id >= prev, "i_d must rise with v_gs");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn current_is_monotone_in_vds() {
+        let m = model();
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let vds = i as f64 * 0.05;
+            let id = m.evaluate(0.7, vds).id;
+            assert!(id >= prev, "i_d must rise with v_ds (λ > 0)");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let m = model();
+        assert_eq!(m.evaluate(0.8, 0.0).id, 0.0);
+    }
+
+    #[test]
+    fn triode_limit_matches_linear_conductance() {
+        let m = model();
+        // For very small v_ds, i_d ≈ β·v_ov·v_ds.
+        let vgs = 0.9;
+        let vds = 1e-6;
+        let z = (vgs - m.vth) / m.n_ss;
+        let v_ov = m.n_ss * (1.0 + z.exp()).ln();
+        let expected = m.beta() * v_ov * vds;
+        let got = m.evaluate(vgs, vds).id;
+        assert!(
+            (got - expected).abs() < 1e-3 * expected,
+            "triode current {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn saturation_limit_matches_square_law() {
+        let m = model();
+        let vgs = 0.9;
+        let vds = 5.0; // deep saturation
+        let z = (vgs - m.vth) / m.n_ss;
+        let v_ov = m.n_ss * (1.0 + z.exp()).ln();
+        let expected = 0.5 * m.beta() * v_ov * v_ov * (1.0 + m.lambda * vds);
+        let got = m.evaluate(vgs, vds).id;
+        assert!((got - expected).abs() < 1e-3 * expected);
+    }
+
+    #[test]
+    fn gm_matches_finite_difference() {
+        let m = model();
+        for &(vgs, vds) in &[(0.2, 0.5), (0.5, 0.5), (0.8, 0.1), (1.0, 1.0)] {
+            let h = 1e-7;
+            let fd = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
+            let gm = m.evaluate(vgs, vds).gm;
+            assert!(
+                (fd - gm).abs() <= 1e-4 * fd.abs().max(1e-12),
+                "gm mismatch at ({vgs}, {vds}): analytic {gm}, fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn gds_matches_finite_difference() {
+        let m = model();
+        for &(vgs, vds) in &[(0.5, 0.3), (0.8, 0.05), (1.0, 0.9)] {
+            let h = 1e-7;
+            let fd = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
+            let gds = m.evaluate(vgs, vds).gds;
+            assert!(
+                (fd - gds).abs() <= 1e-4 * fd.abs().max(1e-12),
+                "gds mismatch at ({vgs}, {vds}): analytic {gds}, fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_operation_is_antisymmetric() {
+        // With drain and source exchanged the device is the same geometry,
+        // so i_d(v_g − v_s, v_d − v_s) = −i_d evaluated with the roles swapped.
+        let m = model();
+        let fwd = m.evaluate(0.9, 0.4).id;
+        // Swap: gate at 0.9 − 0.4 above the new source (old drain), v_ds −0.4.
+        let rev = m.evaluate(0.5, -0.4).id;
+        assert!((fwd + rev).abs() < 1e-12 * fwd.abs().max(1e-15));
+    }
+
+    #[test]
+    fn reverse_derivatives_match_finite_difference() {
+        let m = model();
+        let (vgs, vds) = (0.7, -0.3);
+        let h = 1e-7;
+        let op = m.evaluate(vgs, vds);
+        let fd_gm = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
+        let fd_gds = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
+        assert!((op.gm - fd_gm).abs() <= 1e-4 * fd_gm.abs().max(1e-12));
+        assert!((op.gds - fd_gds).abs() <= 1e-4 * fd_gds.abs().max(1e-12));
+    }
+
+    #[test]
+    fn current_is_continuous_across_vds_zero() {
+        let m = model();
+        let below = m.evaluate(0.8, -1e-9).id;
+        let above = m.evaluate(0.8, 1e-9).id;
+        assert!((below - above).abs() < 1e-12);
+    }
+}

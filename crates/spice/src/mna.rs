@@ -1,0 +1,513 @@
+use crate::{Circuit, Device, SpiceError};
+use pnc_linalg::{Lu, Matrix};
+
+/// The result of a DC operating-point analysis.
+///
+/// Node voltages are indexed by [`Node`](crate::Node); branch currents are
+/// reported for voltage sources in insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Voltage of every node including ground at index 0.
+    voltages: Vec<f64>,
+    /// Current through each voltage source (flowing from `plus` through the
+    /// source to `minus`), in source insertion order.
+    source_currents: Vec<f64>,
+    /// Newton iterations used.
+    iterations: usize,
+}
+
+impl Solution {
+    /// Voltage at `node` in volts.
+    pub fn voltage(&self, node: crate::Node) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// All node voltages, ground first.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Current through the `k`-th voltage source (insertion order among
+    /// voltage sources), in amperes. Positive current flows into the `plus`
+    /// terminal (i.e. the source is sinking current).
+    pub fn source_current(&self, k: usize) -> f64 {
+        self.source_currents[k]
+    }
+
+    /// Newton iterations the solve needed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// Damped Newton–Raphson DC operating-point solver over an MNA formulation.
+///
+/// Each iteration linearizes the nonlinear devices (EGTs) at the present
+/// estimate, assembles the modified-nodal-analysis matrix (node equations
+/// plus one branch equation per voltage source), solves it with LU, and takes
+/// a damped step. A `gmin` conductance from every node to ground keeps the
+/// system well posed even with floating subcircuits.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_spice::{Circuit, DcSolver, GROUND};
+///
+/// # fn main() -> Result<(), pnc_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let n = ckt.new_node();
+/// ckt.isource(GROUND, n, 1e-3)?;
+/// ckt.resistor(n, GROUND, 2_000.0)?;
+/// let sol = DcSolver::new().solve(&ckt)?;
+/// assert!((sol.voltage(n) - 2.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolver {
+    /// Maximum Newton iterations before reporting no convergence.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the infinity norm of the voltage update, in
+    /// volts.
+    pub tolerance: f64,
+    /// Per-iteration limit on any voltage change, in volts (Newton damping).
+    pub max_step: f64,
+    /// Safety conductance from every node to ground, in siemens.
+    pub gmin: f64,
+}
+
+impl Default for DcSolver {
+    fn default() -> Self {
+        DcSolver {
+            max_iterations: 500,
+            tolerance: 1e-10,
+            max_step: 0.25,
+            gmin: 1e-12,
+        }
+    }
+}
+
+impl DcSolver {
+    /// Creates a solver with default settings suitable for the 1 V printed
+    /// circuits in this workspace.
+    pub fn new() -> Self {
+        DcSolver::default()
+    }
+
+    /// Solves the DC operating point starting from an all-zero voltage guess.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoConvergence`] if the Newton iteration does not
+    /// settle within the budget and [`SpiceError::SingularSystem`] if the MNA
+    /// matrix cannot be factored (e.g. a loop of ideal sources).
+    pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SpiceError> {
+        self.solve_with_guess(circuit, None)
+    }
+
+    /// Solves the DC operating point from a warm-start guess of node
+    /// voltages (ground excluded, i.e. `guess.len() == circuit.num_nodes()`).
+    ///
+    /// Sweeps use this to continue from the previous point, which both speeds
+    /// up convergence and keeps the solver on the same branch of the
+    /// (monotone) transfer curve.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DcSolver::solve`]; additionally returns
+    /// [`SpiceError::BadDeviceRef`] if the guess has the wrong length.
+    pub fn solve_with_guess(
+        &self,
+        circuit: &Circuit,
+        guess: Option<&[f64]>,
+    ) -> Result<Solution, SpiceError> {
+        self.newton_solve(circuit, guess, None)
+    }
+
+    /// Newton iteration shared by DC analysis (`cap_state` = `None`,
+    /// capacitors open) and the transient solver's backward-Euler steps
+    /// (`cap_state` = previous node voltages including ground, and the
+    /// timestep).
+    pub(crate) fn newton_solve(
+        &self,
+        circuit: &Circuit,
+        guess: Option<&[f64]>,
+        cap_state: Option<(&[f64], f64)>,
+    ) -> Result<Solution, SpiceError> {
+        let n = circuit.num_nodes();
+        let m = circuit.num_vsources();
+        let dim = n + m;
+
+        let mut x = vec![0.0; dim];
+        if let Some(g) = guess {
+            if g.len() != n {
+                return Err(SpiceError::BadDeviceRef {
+                    detail: format!("guess has {} entries, circuit has {} nodes", g.len(), n),
+                });
+            }
+            x[..n].copy_from_slice(g);
+        }
+
+        if dim == 0 {
+            return Ok(Solution {
+                voltages: vec![0.0],
+                source_currents: Vec::new(),
+                iterations: 0,
+            });
+        }
+
+        let mut last_update = f64::INFINITY;
+        for iter in 0..self.max_iterations {
+            let (g, rhs) = self.assemble(circuit, &x, cap_state);
+            let lu = Lu::factor(&g)?;
+            let x_new = lu.solve(&rhs)?;
+
+            // Damped update: limit each voltage step.
+            let mut max_delta = 0.0_f64;
+            for i in 0..dim {
+                let mut delta = x_new[i] - x[i];
+                // Only damp node voltages; source branch currents may move freely.
+                if i < n {
+                    delta = delta.clamp(-self.max_step, self.max_step);
+                }
+                x[i] += delta;
+                if i < n {
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            last_update = max_delta;
+            if max_delta < self.tolerance {
+                let mut voltages = vec![0.0; n + 1];
+                voltages[1..].copy_from_slice(&x[..n]);
+                return Ok(Solution {
+                    voltages,
+                    source_currents: x[n..].to_vec(),
+                    iterations: iter + 1,
+                });
+            }
+        }
+
+        Err(SpiceError::NoConvergence {
+            iterations: self.max_iterations,
+            residual: last_update,
+        })
+    }
+
+    /// Assembles the linearized MNA system `G·x = rhs` at the estimate `x`.
+    ///
+    /// With `cap_state = Some((prev_voltages, h))`, capacitors contribute
+    /// their backward-Euler companion (conductance `C/h` plus a history
+    /// current); otherwise they are open circuits (DC analysis).
+    fn assemble(
+        &self,
+        circuit: &Circuit,
+        x: &[f64],
+        cap_state: Option<(&[f64], f64)>,
+    ) -> (Matrix, Vec<f64>) {
+        let n = circuit.num_nodes();
+        let m = circuit.num_vsources();
+        let dim = n + m;
+        let mut g = Matrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+
+        // gmin from every node to ground keeps floating nodes solvable.
+        for i in 0..n {
+            g[(i, i)] += self.gmin;
+        }
+
+        // Voltage of a node under the current estimate (ground = 0).
+        let volt = |node: crate::Node| -> f64 {
+            if node.index() == 0 {
+                0.0
+            } else {
+                x[node.index() - 1]
+            }
+        };
+        // Row/col index of a node in the MNA system, None for ground.
+        let idx = |node: crate::Node| -> Option<usize> {
+            if node.index() == 0 {
+                None
+            } else {
+                Some(node.index() - 1)
+            }
+        };
+
+        let mut vsrc_counter = 0usize;
+        for device in circuit.devices() {
+            match device {
+                Device::Resistor { a, b, resistance } => {
+                    let cond = 1.0 / resistance;
+                    if let Some(i) = idx(*a) {
+                        g[(i, i)] += cond;
+                    }
+                    if let Some(j) = idx(*b) {
+                        g[(j, j)] += cond;
+                    }
+                    if let (Some(i), Some(j)) = (idx(*a), idx(*b)) {
+                        g[(i, j)] -= cond;
+                        g[(j, i)] -= cond;
+                    }
+                }
+                Device::VSource { plus, minus, voltage } => {
+                    let k = n + vsrc_counter;
+                    vsrc_counter += 1;
+                    if let Some(i) = idx(*plus) {
+                        g[(i, k)] += 1.0;
+                        g[(k, i)] += 1.0;
+                    }
+                    if let Some(j) = idx(*minus) {
+                        g[(j, k)] -= 1.0;
+                        g[(k, j)] -= 1.0;
+                    }
+                    rhs[k] = *voltage;
+                }
+                Device::Capacitor { a, b, capacitance } => {
+                    let Some((prev, h)) = cap_state else {
+                        continue; // open circuit in DC analysis
+                    };
+                    let g_c = capacitance / h;
+                    let v_prev = prev[a.index()] - prev[b.index()];
+                    if let Some(i) = idx(*a) {
+                        g[(i, i)] += g_c;
+                        rhs[i] += g_c * v_prev;
+                    }
+                    if let Some(j) = idx(*b) {
+                        g[(j, j)] += g_c;
+                        rhs[j] -= g_c * v_prev;
+                    }
+                    if let (Some(i), Some(j)) = (idx(*a), idx(*b)) {
+                        g[(i, j)] -= g_c;
+                        g[(j, i)] -= g_c;
+                    }
+                }
+                Device::ISource { from, to, current } => {
+                    if let Some(i) = idx(*from) {
+                        rhs[i] -= current;
+                    }
+                    if let Some(j) = idx(*to) {
+                        rhs[j] += current;
+                    }
+                }
+                Device::Egt {
+                    drain,
+                    gate,
+                    source,
+                    model,
+                } => {
+                    let vgs = volt(*gate) - volt(*source);
+                    let vds = volt(*drain) - volt(*source);
+                    let op = model.evaluate(vgs, vds);
+                    // Companion model: i_d ≈ i_eq + gm·v_gs + gds·v_ds.
+                    let i_eq = op.id - op.gm * vgs - op.gds * vds;
+
+                    let d = idx(*drain);
+                    let gt = idx(*gate);
+                    let s = idx(*source);
+
+                    // KCL at drain: +i_d leaves the node into the channel.
+                    if let Some(di) = d {
+                        rhs[di] -= i_eq;
+                        if let Some(gi) = gt {
+                            g[(di, gi)] += op.gm;
+                        }
+                        g[(di, di)] += op.gds;
+                        if let Some(si) = s {
+                            g[(di, si)] -= op.gm + op.gds;
+                        }
+                    }
+                    // KCL at source: −i_d (channel current enters the node).
+                    if let Some(si) = s {
+                        rhs[si] += i_eq;
+                        if let Some(gi) = gt {
+                            g[(si, gi)] -= op.gm;
+                        }
+                        if let Some(di) = d {
+                            g[(si, di)] -= op.gds;
+                        }
+                        g[(si, si)] += op.gm + op.gds;
+                    }
+                    // Gate draws no DC current.
+                }
+            }
+        }
+
+        (g, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EgtModel, GROUND};
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let vin = c.new_node();
+        let mid = c.new_node();
+        c.vsource(vin, GROUND, 1.0).unwrap();
+        c.resistor(vin, mid, 1_000.0).unwrap();
+        c.resistor(mid, GROUND, 1_000.0).unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        assert!((sol.voltage(mid) - 0.5).abs() < 1e-9);
+        assert!((sol.voltage(vin) - 1.0).abs() < 1e-12);
+        // Source sinks the loop current: V/R_total = 0.5 mA flowing out of
+        // the plus terminal, i.e. −0.5 mA into it.
+        assert!((sol.source_current(0) + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sources_and_superposition() {
+        // Two 1 V sources through 1 kΩ each into a common node with 1 kΩ to
+        // ground: node voltage is 2/3 V.
+        let mut c = Circuit::new();
+        let a = c.new_node();
+        let b = c.new_node();
+        let out = c.new_node();
+        c.vsource(a, GROUND, 1.0).unwrap();
+        c.vsource(b, GROUND, 1.0).unwrap();
+        c.resistor(a, out, 1_000.0).unwrap();
+        c.resistor(b, out, 1_000.0).unwrap();
+        c.resistor(out, GROUND, 1_000.0).unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        assert!((sol.voltage(out) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.isource(GROUND, n, 2e-3).unwrap();
+        c.resistor(n, GROUND, 500.0).unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        assert!((sol.voltage(n) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_is_pulled_to_ground_by_gmin() {
+        let mut c = Circuit::new();
+        let float = c.new_node();
+        let used = c.new_node();
+        c.vsource(used, GROUND, 1.0).unwrap();
+        c.resistor(used, GROUND, 100.0).unwrap();
+        // `float` has no device at all.
+        let _ = float;
+        let sol = DcSolver::new().solve(&c).unwrap();
+        assert!(sol.voltage(float).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossbar_weighted_sum_matches_eq1() {
+        // A 2-input resistor crossbar (Fig. 1 left): V_z should equal the
+        // conductance-weighted mean of inputs and bias, Eq. (1) of the paper.
+        let g1 = 1.0 / 2_000.0;
+        let g2 = 1.0 / 5_000.0;
+        let gb = 1.0 / 10_000.0;
+        let gd = 1.0 / 4_000.0;
+        let (v1, v2, vb) = (0.8, 0.3, 1.0);
+
+        let mut c = Circuit::new();
+        let n1 = c.new_node();
+        let n2 = c.new_node();
+        let nb = c.new_node();
+        let z = c.new_node();
+        c.vsource(n1, GROUND, v1).unwrap();
+        c.vsource(n2, GROUND, v2).unwrap();
+        c.vsource(nb, GROUND, vb).unwrap();
+        c.resistor(n1, z, 1.0 / g1).unwrap();
+        c.resistor(n2, z, 1.0 / g2).unwrap();
+        c.resistor(nb, z, 1.0 / gb).unwrap();
+        c.resistor(z, GROUND, 1.0 / gd).unwrap();
+
+        let sol = DcSolver::new().solve(&c).unwrap();
+        let g_total = g1 + g2 + gb + gd;
+        let expected = (g1 * v1 + g2 * v2 + gb * vb) / g_total;
+        assert!((sol.voltage(z) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egt_inverter_output_swings() {
+        let vdd = 1.0;
+        let model = EgtModel::printed(600e-6, 20e-6);
+
+        let out_at = |vin: f64| -> f64 {
+            let mut c = Circuit::new();
+            let supply = c.new_node();
+            let input = c.new_node();
+            let out = c.new_node();
+            c.vsource(supply, GROUND, vdd).unwrap();
+            c.vsource(input, GROUND, vin).unwrap();
+            c.resistor(supply, out, 200_000.0).unwrap();
+            c.egt(out, input, GROUND, model).unwrap();
+            DcSolver::new().solve(&c).unwrap().voltage(out)
+        };
+
+        let high = out_at(0.0);
+        let low = out_at(1.0);
+        assert!(high > 0.95, "inverter output should be near VDD when off, got {high}");
+        assert!(low < 0.3, "inverter output should be pulled low when on, got {low}");
+    }
+
+    #[test]
+    fn egt_inverter_is_monotone_decreasing() {
+        let model = EgtModel::printed(400e-6, 40e-6);
+        let mut c = Circuit::new();
+        let supply = c.new_node();
+        let input = c.new_node();
+        let out = c.new_node();
+        c.vsource(supply, GROUND, 1.0).unwrap();
+        let vin_id = c.vsource(input, GROUND, 0.0).unwrap();
+        c.resistor(supply, out, 100_000.0).unwrap();
+        c.egt(out, input, GROUND, model).unwrap();
+
+        let solver = DcSolver::new();
+        let mut prev = f64::INFINITY;
+        let mut guess: Option<Vec<f64>> = None;
+        for i in 0..=20 {
+            let vin = i as f64 / 20.0;
+            c.set_vsource(vin_id, vin).unwrap();
+            let sol = solver.solve_with_guess(&c, guess.as_deref()).unwrap();
+            let v = sol.voltage(out);
+            assert!(v <= prev + 1e-9, "inverter must be monotone: {v} after {prev}");
+            prev = v;
+            guess = Some(sol.voltages()[1..].to_vec());
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let model = EgtModel::printed(400e-6, 40e-6);
+        let mut c = Circuit::new();
+        let supply = c.new_node();
+        let input = c.new_node();
+        let out = c.new_node();
+        c.vsource(supply, GROUND, 1.0).unwrap();
+        c.vsource(input, GROUND, 0.5).unwrap();
+        c.resistor(supply, out, 100_000.0).unwrap();
+        c.egt(out, input, GROUND, model).unwrap();
+
+        let solver = DcSolver::new();
+        let cold = solver.solve(&c).unwrap();
+        let warm = solver
+            .solve_with_guess(&c, Some(&cold.voltages()[1..]))
+            .unwrap();
+        assert!(warm.iterations() <= 2, "warm start took {} iterations", warm.iterations());
+        assert!((warm.voltage(out) - cold.voltage(out)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn wrong_guess_length_is_rejected() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.resistor(n, GROUND, 1.0).unwrap();
+        let err = DcSolver::new().solve_with_guess(&c, Some(&[0.0, 0.0]));
+        assert!(matches!(err, Err(SpiceError::BadDeviceRef { .. })));
+    }
+
+    #[test]
+    fn empty_circuit_solves_trivially() {
+        let c = Circuit::new();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        assert_eq!(sol.voltages(), &[0.0]);
+    }
+}

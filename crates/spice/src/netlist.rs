@@ -1,0 +1,388 @@
+use crate::{EgtModel, SpiceError};
+use serde::{Deserialize, Serialize};
+
+/// The ground (reference) node. Always present; its voltage is 0 V.
+pub const GROUND: Node = Node(0);
+
+/// A circuit node. Create non-ground nodes with
+/// [`Circuit::new_node`]; [`GROUND`] is node 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// The raw index of this node (0 is ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifies a device within its [`Circuit`], returned by the builder
+/// methods. Used to address sweepable sources and to query branch currents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub(crate) usize);
+
+impl DeviceId {
+    /// The raw index of this device in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A circuit element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Device {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms (positive, finite).
+        resistance: f64,
+    },
+    /// Independent voltage source; `plus` is held `voltage` volts above
+    /// `minus`.
+    VSource {
+        /// Positive terminal.
+        plus: Node,
+        /// Negative terminal.
+        minus: Node,
+        /// Source voltage in volts.
+        voltage: f64,
+    },
+    /// Independent current source driving `current` amperes from `from` into
+    /// `to` (through the source).
+    ISource {
+        /// Node the current is drawn from.
+        from: Node,
+        /// Node the current is pushed into.
+        to: Node,
+        /// Source current in amperes.
+        current: f64,
+    },
+    /// Printed electrolyte-gated transistor.
+    Egt {
+        /// Drain terminal.
+        drain: Node,
+        /// Gate terminal (draws no DC current).
+        gate: Node,
+        /// Source terminal.
+        source: Node,
+        /// Device model including geometry.
+        model: EgtModel,
+    },
+    /// Linear capacitor. Open-circuit in DC analysis; integrated by the
+    /// transient solver.
+    Capacitor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads (positive, finite).
+        capacitance: f64,
+    },
+}
+
+/// A flat netlist of devices over a set of nodes, built incrementally.
+///
+/// `Circuit` is the assembly input of [`DcSolver`](crate::DcSolver). Node 0
+/// is always ground; the builder methods validate node references and
+/// component values at insertion time, so a constructed circuit is always
+/// structurally sound (solvability is still checked at solve time).
+///
+/// # Examples
+///
+/// ```
+/// use pnc_spice::{Circuit, GROUND};
+///
+/// # fn main() -> Result<(), pnc_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let n = ckt.new_node();
+/// ckt.vsource(n, GROUND, 1.0)?;
+/// ckt.resistor(n, GROUND, 50.0)?;
+/// assert_eq!(ckt.num_nodes(), 1);
+/// assert_eq!(ckt.devices().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    /// Number of non-ground nodes.
+    num_nodes: usize,
+    devices: Vec<Device>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Allocates a fresh node and returns its handle.
+    pub fn new_node(&mut self) -> Node {
+        self.num_nodes += 1;
+        Node(self.num_nodes)
+    }
+
+    /// Number of non-ground nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All devices in insertion order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of independent voltage sources (each adds one MNA branch
+    /// unknown).
+    pub fn num_vsources(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| matches!(d, Device::VSource { .. }))
+            .count()
+    }
+
+    fn check_node(&self, n: Node) -> Result<(), SpiceError> {
+        if n.0 <= self.num_nodes {
+            Ok(())
+        } else {
+            Err(SpiceError::UnknownNode {
+                node: n.0,
+                num_nodes: self.num_nodes,
+            })
+        }
+    }
+
+    fn check_positive(device: &'static str, value: f64) -> Result<(), SpiceError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(())
+        } else {
+            Err(SpiceError::InvalidValue { device, value })
+        }
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for invalid nodes and
+    /// [`SpiceError::InvalidValue`] if `resistance` is not positive and
+    /// finite.
+    pub fn resistor(&mut self, a: Node, b: Node, resistance: f64) -> Result<DeviceId, SpiceError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        Self::check_positive("resistor", resistance)?;
+        self.devices.push(Device::Resistor { a, b, resistance });
+        Ok(DeviceId(self.devices.len() - 1))
+    }
+
+    /// Adds an independent voltage source holding `plus` at `voltage` volts
+    /// above `minus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for invalid nodes and
+    /// [`SpiceError::InvalidValue`] if `voltage` is not finite (any finite
+    /// value, including zero and negatives, is allowed).
+    pub fn vsource(&mut self, plus: Node, minus: Node, voltage: f64) -> Result<DeviceId, SpiceError> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        if !voltage.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                device: "vsource",
+                value: voltage,
+            });
+        }
+        self.devices.push(Device::VSource {
+            plus,
+            minus,
+            voltage,
+        });
+        Ok(DeviceId(self.devices.len() - 1))
+    }
+
+    /// Adds an independent current source driving `current` amperes from
+    /// `from` into `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for invalid nodes and
+    /// [`SpiceError::InvalidValue`] if `current` is not finite.
+    pub fn isource(&mut self, from: Node, to: Node, current: f64) -> Result<DeviceId, SpiceError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if !current.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                device: "isource",
+                value: current,
+            });
+        }
+        self.devices.push(Device::ISource { from, to, current });
+        Ok(DeviceId(self.devices.len() - 1))
+    }
+
+    /// Adds a printed EGT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for invalid nodes and
+    /// [`SpiceError::InvalidValue`] if the model geometry is not positive and
+    /// finite.
+    pub fn egt(
+        &mut self,
+        drain: Node,
+        gate: Node,
+        source: Node,
+        model: EgtModel,
+    ) -> Result<DeviceId, SpiceError> {
+        self.check_node(drain)?;
+        self.check_node(gate)?;
+        self.check_node(source)?;
+        Self::check_positive("egt width", model.w)?;
+        Self::check_positive("egt length", model.l)?;
+        Self::check_positive("egt kp", model.kp)?;
+        self.devices.push(Device::Egt {
+            drain,
+            gate,
+            source,
+            model,
+        });
+        Ok(DeviceId(self.devices.len() - 1))
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// Capacitors are open circuits for [`DcSolver`](crate::DcSolver) and
+    /// integrated by [`TransientSolver`](crate::TransientSolver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for invalid nodes and
+    /// [`SpiceError::InvalidValue`] if `capacitance` is not positive and
+    /// finite.
+    pub fn capacitor(
+        &mut self,
+        a: Node,
+        b: Node,
+        capacitance: f64,
+    ) -> Result<DeviceId, SpiceError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        Self::check_positive("capacitor", capacitance)?;
+        self.devices.push(Device::Capacitor { a, b, capacitance });
+        Ok(DeviceId(self.devices.len() - 1))
+    }
+
+    /// Replaces the value of the voltage source `id`.
+    ///
+    /// Used by DC sweeps to step an input source without rebuilding the
+    /// netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadDeviceRef`] if `id` does not refer to a
+    /// voltage source, and [`SpiceError::InvalidValue`] if `voltage` is not
+    /// finite.
+    pub fn set_vsource(&mut self, id: DeviceId, voltage: f64) -> Result<(), SpiceError> {
+        if !voltage.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                device: "vsource",
+                value: voltage,
+            });
+        }
+        match self.devices.get_mut(id.0) {
+            Some(Device::VSource { voltage: v, .. }) => {
+                *v = voltage;
+                Ok(())
+            }
+            Some(other) => Err(SpiceError::BadDeviceRef {
+                detail: format!("device {} is {:?}, not a voltage source", id.0, other),
+            }),
+            None => Err(SpiceError::BadDeviceRef {
+                detail: format!("device index {} out of range", id.0),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_node_indices_are_sequential() {
+        let mut c = Circuit::new();
+        assert_eq!(c.new_node().index(), 1);
+        assert_eq!(c.new_node().index(), 2);
+        assert_eq!(c.num_nodes(), 2);
+        assert!(GROUND.is_ground());
+        assert!(!Node(1).is_ground());
+    }
+
+    #[test]
+    fn rejects_unknown_nodes() {
+        let mut c = Circuit::new();
+        let bogus = Node(7);
+        assert!(matches!(
+            c.resistor(bogus, GROUND, 1.0),
+            Err(SpiceError::UnknownNode { node: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonpositive_resistance() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        assert!(c.resistor(n, GROUND, 0.0).is_err());
+        assert!(c.resistor(n, GROUND, -5.0).is_err());
+        assert!(c.resistor(n, GROUND, f64::NAN).is_err());
+        assert!(c.resistor(n, GROUND, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn vsource_allows_zero_and_negative() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        assert!(c.vsource(n, GROUND, 0.0).is_ok());
+        assert!(c.vsource(n, GROUND, -1.0).is_ok());
+        assert!(c.vsource(n, GROUND, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn set_vsource_updates_only_vsources() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        let r = c.resistor(n, GROUND, 10.0).unwrap();
+        let v = c.vsource(n, GROUND, 1.0).unwrap();
+        assert!(c.set_vsource(v, 2.0).is_ok());
+        assert!(matches!(
+            c.set_vsource(r, 2.0),
+            Err(SpiceError::BadDeviceRef { .. })
+        ));
+        assert!(matches!(
+            c.set_vsource(DeviceId(99), 2.0),
+            Err(SpiceError::BadDeviceRef { .. })
+        ));
+        match &c.devices()[v.index()] {
+            Device::VSource { voltage, .. } => assert_eq!(*voltage, 2.0),
+            other => panic!("unexpected device {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts_vsources() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 1.0).unwrap();
+        c.resistor(n, GROUND, 1.0).unwrap();
+        c.vsource(n, GROUND, 0.5).unwrap();
+        assert_eq!(c.num_vsources(), 2);
+    }
+}

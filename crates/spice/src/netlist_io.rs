@@ -1,0 +1,410 @@
+//! SPICE-format netlist serialization.
+//!
+//! Circuits can be written as (and re-read from) a SPICE-like card format,
+//! so designs produced by this workspace can be inspected with standard
+//! tooling and re-simulated elsewhere:
+//!
+//! ```text
+//! * printed neuromorphic netlist
+//! R1 1 2 100k
+//! V1 1 0 1.0
+//! I1 0 2 1m
+//! M1 3 2 0 W=400u L=40u KP=10u VTH=0.08 LAMBDA=0.05 NSS=0.03
+//! .end
+//! ```
+//!
+//! Node 0 is ground. Values accept the usual SPICE suffixes
+//! (`f p n u m k meg g t`). The EGT card (`M…`) carries the behavioral
+//! model parameters inline, since printed processes have no global `.model`
+//! library here.
+
+use crate::{Circuit, Device, EgtModel, Node, SpiceError, GROUND};
+use std::fmt::Write as _;
+
+/// Formats a value with SPICE magnitude suffixes.
+fn format_value(v: f64) -> String {
+    let a = v.abs();
+    let (scaled, suffix) = if a == 0.0 {
+        (v, "")
+    } else if a >= 1e9 {
+        (v / 1e9, "g")
+    } else if a >= 1e6 {
+        (v / 1e6, "meg")
+    } else if a >= 1e3 {
+        (v / 1e3, "k")
+    } else if a >= 1.0 {
+        (v, "")
+    } else if a >= 1e-3 {
+        (v / 1e-3, "m")
+    } else if a >= 1e-6 {
+        (v / 1e-6, "u")
+    } else if a >= 1e-9 {
+        (v / 1e-9, "n")
+    } else if a >= 1e-12 {
+        (v / 1e-12, "p")
+    } else {
+        (v / 1e-15, "f")
+    };
+    let mut s = format!("{scaled:.6}");
+    while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+        s.pop();
+    }
+    format!("{s}{suffix}")
+}
+
+/// Parses a SPICE value with an optional magnitude suffix.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::BadDeviceRef`] for unparseable tokens.
+pub fn parse_value(token: &str) -> Result<f64, SpiceError> {
+    let lower = token.to_ascii_lowercase();
+    let (digits, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = lower.strip_suffix('f') {
+        (stripped, 1e-15)
+    } else if let Some(stripped) = lower.strip_suffix('p') {
+        (stripped, 1e-12)
+    } else if let Some(stripped) = lower.strip_suffix('n') {
+        (stripped, 1e-9)
+    } else if let Some(stripped) = lower.strip_suffix('u') {
+        (stripped, 1e-6)
+    } else if let Some(stripped) = lower.strip_suffix('m') {
+        (stripped, 1e-3)
+    } else if let Some(stripped) = lower.strip_suffix('k') {
+        (stripped, 1e3)
+    } else if let Some(stripped) = lower.strip_suffix('g') {
+        (stripped, 1e9)
+    } else if let Some(stripped) = lower.strip_suffix('t') {
+        (stripped, 1e12)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    digits
+        .parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| SpiceError::BadDeviceRef {
+            detail: format!("cannot parse value token {token:?}"),
+        })
+}
+
+impl Circuit {
+    /// Writes the circuit as a SPICE-format netlist string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnc_spice::{Circuit, GROUND};
+    ///
+    /// # fn main() -> Result<(), pnc_spice::SpiceError> {
+    /// let mut ckt = Circuit::new();
+    /// let n = ckt.new_node();
+    /// ckt.vsource(n, GROUND, 1.0)?;
+    /// ckt.resistor(n, GROUND, 100_000.0)?;
+    /// let text = ckt.to_netlist();
+    /// assert!(text.contains("R2 1 0 100k"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_netlist(&self) -> String {
+        let mut out = String::from("* printed neuromorphic netlist\n");
+        for (k, device) in self.devices().iter().enumerate() {
+            let idx = k + 1;
+            match device {
+                Device::Resistor { a, b, resistance } => {
+                    let _ = writeln!(
+                        out,
+                        "R{idx} {} {} {}",
+                        a.index(),
+                        b.index(),
+                        format_value(*resistance)
+                    );
+                }
+                Device::VSource { plus, minus, voltage } => {
+                    let _ = writeln!(
+                        out,
+                        "V{idx} {} {} {}",
+                        plus.index(),
+                        minus.index(),
+                        format_value(*voltage)
+                    );
+                }
+                Device::ISource { from, to, current } => {
+                    let _ = writeln!(
+                        out,
+                        "I{idx} {} {} {}",
+                        from.index(),
+                        to.index(),
+                        format_value(*current)
+                    );
+                }
+                Device::Capacitor { a, b, capacitance } => {
+                    let _ = writeln!(
+                        out,
+                        "C{idx} {} {} {}",
+                        a.index(),
+                        b.index(),
+                        format_value(*capacitance)
+                    );
+                }
+                Device::Egt {
+                    drain,
+                    gate,
+                    source,
+                    model,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "M{idx} {} {} {} W={} L={} KP={} VTH={} LAMBDA={} NSS={}",
+                        drain.index(),
+                        gate.index(),
+                        source.index(),
+                        format_value(model.w),
+                        format_value(model.l),
+                        format_value(model.kp),
+                        format_value(model.vth),
+                        format_value(model.lambda),
+                        format_value(model.n_ss)
+                    );
+                }
+            }
+        }
+        out.push_str(".end\n");
+        out
+    }
+
+    /// Parses a netlist written by [`Circuit::to_netlist`] (or hand-written
+    /// in the same card subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadDeviceRef`] for malformed cards and
+    /// propagates the builder validations (positive resistances, known
+    /// nodes are allocated on demand).
+    pub fn from_netlist(text: &str) -> Result<Circuit, SpiceError> {
+        let mut circuit = Circuit::new();
+
+        // First pass: find the highest node index so handles exist.
+        let mut max_node = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('*') || line.starts_with('.') {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let node_count = match tokens.first().map(|t| t.chars().next().unwrap_or(' ')) {
+                Some('R') | Some('V') | Some('I') | Some('C') => 2,
+                Some('M') => 3,
+                _ => 0,
+            };
+            for t in tokens.iter().skip(1).take(node_count) {
+                let n: usize = t.parse().map_err(|_| SpiceError::BadDeviceRef {
+                    detail: format!("bad node token {t:?} in line {line:?}"),
+                })?;
+                max_node = max_node.max(n);
+            }
+        }
+        let mut nodes = vec![GROUND];
+        for _ in 0..max_node {
+            nodes.push(circuit.new_node());
+        }
+        let node = |i: usize| -> Node { nodes[i] };
+
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('*') || line.starts_with('.') {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let bad = |detail: String| SpiceError::BadDeviceRef {
+                detail: format!("line {}: {detail}", lineno + 1),
+            };
+            let parse_node = |t: &str| -> Result<Node, SpiceError> {
+                t.parse::<usize>()
+                    .map(node)
+                    .map_err(|_| bad(format!("bad node {t:?}")))
+            };
+            match tokens[0].chars().next().unwrap_or(' ') {
+                'R' => {
+                    if tokens.len() != 4 {
+                        return Err(bad("resistor card needs 4 tokens".into()));
+                    }
+                    circuit.resistor(
+                        parse_node(tokens[1])?,
+                        parse_node(tokens[2])?,
+                        parse_value(tokens[3])?,
+                    )?;
+                }
+                'V' => {
+                    if tokens.len() != 4 {
+                        return Err(bad("voltage-source card needs 4 tokens".into()));
+                    }
+                    circuit.vsource(
+                        parse_node(tokens[1])?,
+                        parse_node(tokens[2])?,
+                        parse_value(tokens[3])?,
+                    )?;
+                }
+                'I' => {
+                    if tokens.len() != 4 {
+                        return Err(bad("current-source card needs 4 tokens".into()));
+                    }
+                    circuit.isource(
+                        parse_node(tokens[1])?,
+                        parse_node(tokens[2])?,
+                        parse_value(tokens[3])?,
+                    )?;
+                }
+                'C' => {
+                    if tokens.len() != 4 {
+                        return Err(bad("capacitor card needs 4 tokens".into()));
+                    }
+                    circuit.capacitor(
+                        parse_node(tokens[1])?,
+                        parse_node(tokens[2])?,
+                        parse_value(tokens[3])?,
+                    )?;
+                }
+                'M' => {
+                    if tokens.len() < 4 {
+                        return Err(bad("egt card needs drain gate source".into()));
+                    }
+                    let mut model = EgtModel::printed(1e-6, 1e-6);
+                    for kv in &tokens[4..] {
+                        let (key, value) = kv.split_once('=').ok_or_else(|| {
+                            bad(format!("expected KEY=VALUE, got {kv:?}"))
+                        })?;
+                        let v = parse_value(value)?;
+                        match key.to_ascii_uppercase().as_str() {
+                            "W" => model.w = v,
+                            "L" => model.l = v,
+                            "KP" => model.kp = v,
+                            "VTH" => model.vth = v,
+                            "LAMBDA" => model.lambda = v,
+                            "NSS" => model.n_ss = v,
+                            other => return Err(bad(format!("unknown parameter {other}"))),
+                        }
+                    }
+                    circuit.egt(
+                        parse_node(tokens[1])?,
+                        parse_node(tokens[2])?,
+                        parse_node(tokens[3])?,
+                        model,
+                    )?;
+                }
+                other => return Err(bad(format!("unknown card {other:?}"))),
+            }
+        }
+        Ok(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::{NonlinearCircuitParams, PtanhCircuit};
+    use crate::DcSolver;
+
+    #[test]
+    fn format_value_uses_suffixes() {
+        assert_eq!(format_value(100_000.0), "100k");
+        assert_eq!(format_value(1.5e6), "1.5meg");
+        assert_eq!(format_value(0.001), "1m");
+        assert_eq!(format_value(400e-6), "400u");
+        assert_eq!(format_value(20e-9), "20n");
+        assert_eq!(format_value(1.0), "1");
+        assert_eq!(format_value(0.0), "0");
+    }
+
+    #[test]
+    fn parse_value_round_trips_suffixes() {
+        for v in [
+            0.0, 1.0, -2.5, 100e3, 1.5e6, 3.3e-3, 400e-6, 20e-9, 2e-12, 5e9,
+        ] {
+            let parsed = parse_value(&format_value(v)).unwrap();
+            assert!(
+                (parsed - v).abs() <= 1e-6 * v.abs().max(1e-15),
+                "{v} -> {} -> {parsed}",
+                format_value(v)
+            );
+        }
+        assert!(parse_value("12banana").is_err());
+    }
+
+    #[test]
+    fn netlist_round_trip_preserves_circuit() {
+        let ptanh = PtanhCircuit::build(&NonlinearCircuitParams::nominal()).unwrap();
+        let original = ptanh.circuit().clone();
+        let text = original.to_netlist();
+        let parsed = Circuit::from_netlist(&text).unwrap();
+        assert_eq!(parsed.num_nodes(), original.num_nodes());
+        assert_eq!(parsed.devices().len(), original.devices().len());
+
+        // The parsed circuit must solve to the same operating point.
+        let solver = DcSolver::new();
+        let a = solver.solve(&original).unwrap();
+        let b = solver.solve(&parsed).unwrap();
+        for (x, y) in a.voltages().iter().zip(b.voltages()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn netlist_text_is_readable() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 1.0).unwrap();
+        c.resistor(n, GROUND, 47_000.0).unwrap();
+        let text = c.to_netlist();
+        assert!(text.starts_with("* printed neuromorphic netlist"));
+        assert!(text.contains("V1 1 0 1"));
+        assert!(text.contains("R2 1 0 47k"));
+        assert!(text.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_cards() {
+        assert!(Circuit::from_netlist("R1 1 0").is_err());
+        assert!(Circuit::from_netlist("X1 1 0 5").is_err());
+        assert!(Circuit::from_netlist("M1 1 2 0 Q=5").is_err());
+        assert!(Circuit::from_netlist("R1 a 0 5").is_err());
+    }
+
+    #[test]
+    fn parser_ignores_comments_and_directives() {
+        let text = "* comment\n.option whatever\nR1 1 0 1k\n.end\n";
+        let c = Circuit::from_netlist(text).unwrap();
+        assert_eq!(c.devices().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn value_round_trip(v in 1e-12..1e9f64) {
+            let parsed = parse_value(&format_value(v)).unwrap();
+            prop_assert!((parsed - v).abs() <= 1e-5 * v.abs());
+        }
+
+        #[test]
+        fn random_resistor_networks_round_trip(
+            resistors in proptest::collection::vec((0usize..5, 0usize..5, 1.0..1e6f64), 1..12)
+        ) {
+            let mut c = Circuit::new();
+            let nodes: Vec<_> = (0..4).map(|_| c.new_node()).collect();
+            let all = [GROUND, nodes[0], nodes[1], nodes[2], nodes[3]];
+            c.vsource(nodes[0], GROUND, 1.0).unwrap();
+            for (a, b, r) in resistors {
+                if a != b {
+                    c.resistor(all[a], all[b], r).unwrap();
+                }
+            }
+            let parsed = Circuit::from_netlist(&c.to_netlist()).unwrap();
+            prop_assert_eq!(parsed.devices().len(), c.devices().len());
+        }
+    }
+}

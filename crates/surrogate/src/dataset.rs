@@ -1,0 +1,280 @@
+use crate::{DesignSpace, SurrogateError, OMEGA_DIM};
+use pnc_fit::fit_ptanh;
+use pnc_spice::circuits::{NonlinearCircuitParams, PtanhCircuit};
+use pnc_spice::sweep::linspace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One characterized circuit: physical parameters and fitted curve
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetEntry {
+    /// Physical design parameters ω (SI units).
+    pub omega: [f64; OMEGA_DIM],
+    /// Fitted auxiliary parameters η of Eq. 2.
+    pub eta: [f64; 4],
+    /// Root-mean-square error of the ptanh fit, in volts.
+    pub fit_rmse: f64,
+}
+
+/// Min–max bounds of the four η components over a dataset, used to
+/// normalize the network's regression targets (and saved with the model for
+/// denormalization, as Sec. III-A prescribes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EtaBounds {
+    /// Per-component minimum of η.
+    pub lo: [f64; 4],
+    /// Per-component maximum of η.
+    pub hi: [f64; 4],
+}
+
+impl EtaBounds {
+    /// Computes bounds over a set of entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::BadDataset`] if `entries` is empty or some
+    /// η component is constant (which would make normalization degenerate).
+    pub fn from_entries(entries: &[DatasetEntry]) -> Result<Self, SurrogateError> {
+        if entries.is_empty() {
+            return Err(SurrogateError::BadDataset {
+                detail: "no entries".into(),
+            });
+        }
+        let mut lo = [f64::INFINITY; 4];
+        let mut hi = [f64::NEG_INFINITY; 4];
+        for e in entries {
+            for k in 0..4 {
+                lo[k] = lo[k].min(e.eta[k]);
+                hi[k] = hi[k].max(e.eta[k]);
+            }
+        }
+        for k in 0..4 {
+            if hi[k] <= lo[k] || hi[k].is_nan() || lo[k].is_nan() {
+                return Err(SurrogateError::BadDataset {
+                    detail: format!("eta component {k} is constant at {}", lo[k]),
+                });
+            }
+        }
+        Ok(EtaBounds { lo, hi })
+    }
+
+    /// Normalizes η to `[0, 1]^4`.
+    pub fn normalize(&self, eta: &[f64; 4]) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for k in 0..4 {
+            out[k] = (eta[k] - self.lo[k]) / (self.hi[k] - self.lo[k]);
+        }
+        out
+    }
+
+    /// Inverts [`EtaBounds::normalize`].
+    pub fn denormalize(&self, eta_norm: &[f64; 4]) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for k in 0..4 {
+            out[k] = self.lo[k] + eta_norm[k] * (self.hi[k] - self.lo[k]);
+        }
+        out
+    }
+}
+
+/// Configuration of the dataset builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of design points to characterize (the paper uses 10 000).
+    pub samples: usize,
+    /// Number of `V_in` grid points per transfer-curve sweep.
+    pub sweep_points: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            samples: 10_000,
+            sweep_points: 61,
+        }
+    }
+}
+
+/// The characterized design-space dataset (green boxes of Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitDataset {
+    /// The design space the entries were drawn from.
+    pub space: DesignSpace,
+    /// All characterized circuits.
+    pub entries: Vec<DatasetEntry>,
+    /// Target-normalization bounds computed over `entries`.
+    pub eta_bounds: EtaBounds,
+}
+
+impl CircuitDataset {
+    /// Splits the dataset into train/validation/test index sets with the
+    /// paper's 70/20/10 proportions, deterministically shuffled by `seed`.
+    pub fn split(&self, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut indices: Vec<usize> = (0..self.entries.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let n = indices.len();
+        let n_train = (n as f64 * 0.7).round() as usize;
+        let n_val = (n as f64 * 0.2).round() as usize;
+        let train = indices[..n_train].to_vec();
+        let val = indices[n_train..(n_train + n_val).min(n)].to_vec();
+        let test = indices[(n_train + n_val).min(n)..].to_vec();
+        (train, val, test)
+    }
+}
+
+/// Samples the feasible design space with quasi Monte-Carlo, simulates each
+/// circuit's DC transfer curve, and fits Eq. 2 — producing the `(ω, η)`
+/// training data for the surrogate network.
+///
+/// Runs the per-circuit work in parallel (deterministic result order).
+///
+/// # Errors
+///
+/// Propagates sampling, simulation and fitting failures; a handful of
+/// non-convergent corner circuits are tolerated and skipped, but if more than
+/// 5 % of points fail the whole build errors out.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pnc_surrogate::{build_dataset, DatasetConfig};
+///
+/// let data = build_dataset(&DatasetConfig { samples: 1000, sweep_points: 41 })?;
+/// assert!(data.entries.len() >= 950);
+/// # Ok::<(), pnc_surrogate::SurrogateError>(())
+/// ```
+pub fn build_dataset(config: &DatasetConfig) -> Result<CircuitDataset, SurrogateError> {
+    let space = DesignSpace::paper();
+    let omegas = space.sample(config.samples)?;
+    let grid = linspace(0.0, pnc_spice::circuits::VDD, config.sweep_points.max(5));
+
+    let results: Vec<Result<DatasetEntry, SurrogateError>> = omegas
+        .par_iter()
+        .map(|omega| {
+            let params = NonlinearCircuitParams::from_array(*omega);
+            let mut circuit = PtanhCircuit::build(&params)?;
+            let curve = circuit.transfer_curve(&grid)?;
+            let fit = fit_ptanh(&curve)?;
+            Ok(DatasetEntry {
+                omega: *omega,
+                eta: fit.curve.eta,
+                fit_rmse: fit.rmse,
+            })
+        })
+        .collect();
+
+    let mut entries = Vec::with_capacity(results.len());
+    let mut failures = 0usize;
+    for r in results {
+        match r {
+            Ok(e) => entries.push(e),
+            Err(_) => failures += 1,
+        }
+    }
+    if failures * 20 > config.samples {
+        return Err(SurrogateError::BadDataset {
+            detail: format!(
+                "{failures} of {} circuit characterizations failed",
+                config.samples
+            ),
+        });
+    }
+
+    let eta_bounds = EtaBounds::from_entries(&entries)?;
+    Ok(CircuitDataset {
+        space,
+        entries,
+        eta_bounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> CircuitDataset {
+        build_dataset(&DatasetConfig {
+            samples: 60,
+            sweep_points: 31,
+        })
+        .expect("tiny dataset builds")
+    }
+
+    #[test]
+    fn builds_and_fits_reasonably() {
+        let data = tiny_dataset();
+        assert!(data.entries.len() >= 57, "{} entries", data.entries.len());
+        // The vast majority of circuits must be well described by Eq. 2.
+        let good = data.entries.iter().filter(|e| e.fit_rmse < 0.05).count();
+        assert!(
+            good * 10 >= data.entries.len() * 9,
+            "only {good}/{} fits below 50 mV rmse",
+            data.entries.len()
+        );
+    }
+
+    #[test]
+    fn eta_bounds_normalize_round_trips() {
+        let data = tiny_dataset();
+        let b = data.eta_bounds;
+        for e in &data.entries[..10.min(data.entries.len())] {
+            let n = b.normalize(&e.eta);
+            for v in n {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+            }
+            let back = b.denormalize(&n);
+            for k in 0..4 {
+                assert!((back[k] - e.eta[k]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eta_bounds_reject_empty_and_constant() {
+        assert!(EtaBounds::from_entries(&[]).is_err());
+        let e = DatasetEntry {
+            omega: [1.0; OMEGA_DIM],
+            eta: [0.5, 0.5, 0.5, 0.5],
+            fit_rmse: 0.0,
+        };
+        assert!(EtaBounds::from_entries(&[e, e]).is_err());
+    }
+
+    #[test]
+    fn split_proportions_and_disjointness() {
+        let data = tiny_dataset();
+        let (train, val, test) = data.split(7);
+        let n = data.entries.len();
+        assert_eq!(train.len() + val.len() + test.len(), n);
+        assert!((train.len() as f64 / n as f64 - 0.7).abs() < 0.05);
+        assert!((val.len() as f64 / n as f64 - 0.2).abs() < 0.05);
+        let mut all: Vec<usize> = train.iter().chain(&val).chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "splits must be disjoint");
+        // Deterministic in the seed.
+        assert_eq!(data.split(7), (train, val, test));
+    }
+
+    #[test]
+    fn dataset_serializes() {
+        // This environment's serde_json float writer is shortest-repr but not
+        // exactly round-tripping, so compare with an ULP-scale tolerance.
+        let data = tiny_dataset();
+        let json = serde_json::to_string(&data).unwrap();
+        let back: CircuitDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(data.entries.len(), back.entries.len());
+        for (a, b) in data.entries.iter().zip(&back.entries) {
+            for k in 0..OMEGA_DIM {
+                assert!((a.omega[k] - b.omega[k]).abs() <= 1e-12 * a.omega[k].abs());
+            }
+            for k in 0..4 {
+                assert!((a.eta[k] - b.eta[k]).abs() <= 1e-9 * a.eta[k].abs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+use pnc_autodiff::{Graph, Parameter, Var};
+use pnc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The paper's surrogate architecture: 13 weight layers with neuron counts
+/// 10-9-9-8-8-7-7-6-6-6-5-5-5-4 (Sec. III-A).
+pub const PAPER_LAYER_SIZES: [usize; 14] = [10, 9, 9, 8, 8, 7, 7, 6, 6, 6, 5, 5, 5, 4];
+
+/// A fully connected regression network with tanh hidden activations and a
+/// linear output layer.
+///
+/// The network is deliberately minimal: it exists to approximate the smooth
+/// mapping ω̃ ↦ η̃ from normalized circuit parameters to normalized curve
+/// parameters. It can run in three modes:
+///
+/// * [`Mlp::predict`] — plain `f64` forward pass (no tape), for evaluation
+///   and test-time Monte-Carlo robustness sweeps;
+/// * [`Mlp::forward_train`] — weights as trainable leaves, for surrogate
+///   training;
+/// * [`Mlp::forward_const`] — weights as constants inside a larger graph, so
+///   gradients flow *through* the network to its input (how the pNN learns
+///   ω, Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use pnc_surrogate::Mlp;
+///
+/// let mlp = Mlp::new(&[3, 4, 2], 1);
+/// let y = mlp.predict(&[0.1, 0.5, 0.9]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    weights: Vec<Parameter>,
+    biases: Vec<Parameter>,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-uniform initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::with_capacity(sizes.len() - 1);
+        let mut biases = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            let weight = Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit));
+            weights.push(Parameter::new(weight));
+            biases.push(Parameter::new(Matrix::zeros(1, fan_out)));
+        }
+        Mlp {
+            sizes: sizes.to_vec(),
+            weights,
+            biases,
+        }
+    }
+
+    /// Layer sizes including input and output.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().expect("at least two sizes")
+    }
+
+    /// Number of scalar parameters (weights + biases).
+    pub fn num_parameters(&self) -> usize {
+        self.weights.iter().map(|w| w.value().len()).sum::<usize>()
+            + self.biases.iter().map(|b| b.value().len()).sum::<usize>()
+    }
+
+    /// Plain forward pass on a single input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let mut h = x.to_vec();
+        let last = self.weights.len() - 1;
+        for (layer, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let wm = w.value();
+            let bm = b.value();
+            let (fan_in, fan_out) = wm.shape();
+            let mut out = vec![0.0; fan_out];
+            for j in 0..fan_out {
+                let mut acc = bm[(0, j)];
+                for i in 0..fan_in {
+                    acc += h[i] * wm[(i, j)];
+                }
+                out[j] = if layer < last { acc.tanh() } else { acc };
+            }
+            h = out;
+        }
+        h
+    }
+
+    /// Forward pass with weights registered as trainable leaves.
+    ///
+    /// Returns the output node plus the parallel `(parameters, leaf vars)`
+    /// bookkeeping needed to apply optimizer updates: weights first, then
+    /// biases, layer by layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an autodiff error if `x` has the wrong number of columns.
+    pub fn forward_train(
+        &self,
+        g: &mut Graph,
+        x: Var,
+    ) -> Result<(Var, Vec<Var>), pnc_autodiff::AutodiffError> {
+        let mut param_vars = Vec::with_capacity(2 * self.weights.len());
+        let mut h = x;
+        let last = self.weights.len() - 1;
+        for (layer, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let wv = w.leaf(g);
+            let bv = b.leaf(g);
+            param_vars.push(wv);
+            param_vars.push(bv);
+            let lin = g.matmul(h, wv)?;
+            let lin = g.add(lin, bv)?;
+            h = if layer < last { g.tanh(lin) } else { lin };
+        }
+        Ok((h, param_vars))
+    }
+
+    /// Forward pass with weights registered as constants, letting gradients
+    /// flow to the *input* only.
+    ///
+    /// # Errors
+    ///
+    /// Returns an autodiff error if `x` has the wrong number of columns.
+    pub fn forward_const(&self, g: &mut Graph, x: Var) -> Result<Var, pnc_autodiff::AutodiffError> {
+        let mut h = x;
+        let last = self.weights.len() - 1;
+        for (layer, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let wv = g.constant(w.value().clone());
+            let bv = g.constant(b.value().clone());
+            let lin = g.matmul(h, wv)?;
+            let lin = g.add(lin, bv)?;
+            h = if layer < last { g.tanh(lin) } else { lin };
+        }
+        Ok(h)
+    }
+
+    /// Mutable access to all parameters (weights then biases, layer by
+    /// layer), in the same order as the vars returned by
+    /// [`Mlp::forward_train`].
+    pub fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut out: Vec<&mut Parameter> = Vec::with_capacity(2 * self.weights.len());
+        // Interleave to match forward_train's var order.
+        for (w, b) in self.weights.iter_mut().zip(self.biases.iter_mut()) {
+            out.push(w);
+            out.push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnc_autodiff::{Adam, Optimizer};
+
+    #[test]
+    fn paper_sizes_are_thirteen_layers() {
+        assert_eq!(PAPER_LAYER_SIZES.len(), 14);
+        let mlp = Mlp::new(&PAPER_LAYER_SIZES, 0);
+        assert_eq!(mlp.sizes().len(), 14);
+        assert_eq!(mlp.input_dim(), 10);
+        assert_eq!(mlp.output_dim(), 4);
+        assert!(mlp.num_parameters() > 500);
+    }
+
+    #[test]
+    fn predict_matches_graph_forward() {
+        let mlp = Mlp::new(&[4, 5, 3], 42);
+        let x = [0.1, -0.3, 0.7, 0.2];
+        let plain = mlp.predict(&x);
+
+        let mut g = Graph::new();
+        let node = g.constant(Matrix::row_vector(&x));
+        let out = mlp.forward_const(&mut g, node).unwrap();
+        for (k, &p) in plain.iter().enumerate() {
+            assert!((g.value(out)[(0, k)] - p).abs() < 1e-12);
+        }
+
+        let mut g = Graph::new();
+        let node = g.constant(Matrix::row_vector(&x));
+        let (out, _) = mlp.forward_train(&mut g, node).unwrap();
+        for (k, &p) in plain.iter().enumerate() {
+            assert!((g.value(out)[(0, k)] - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn initialization_is_seeded() {
+        let a = Mlp::new(&[3, 3, 2], 7);
+        let b = Mlp::new(&[3, 3, 2], 7);
+        let c = Mlp::new(&[3, 3, 2], 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gradients_flow_through_const_network_to_input() {
+        let mlp = Mlp::new(&[3, 4, 2], 3);
+        let report = pnc_autodiff::gradcheck::check_gradients(
+            &[Matrix::row_vector(&[0.2, 0.5, -0.4])],
+            1e-6,
+            |g, vars| {
+                let y = mlp.forward_const(g, vars[0]).unwrap();
+                g.sum(y)
+            },
+        );
+        assert!(report.max_abs_error < 1e-6, "{report:?}");
+    }
+
+    #[test]
+    fn can_learn_a_linear_map() {
+        // Small regression sanity check: y = [x0 + x1, x0 − x1].
+        let mut mlp = Mlp::new(&[2, 6, 2], 5);
+        let xs = Matrix::from_fn(64, 2, |i, j| {
+            let t = i as f64 / 63.0 * 2.0 - 1.0;
+            if j == 0 {
+                t
+            } else {
+                (t * 7.0).sin() * 0.5
+            }
+        });
+        let ys = Matrix::from_fn(64, 2, |i, j| {
+            let a = xs[(i, 0)];
+            let b = xs[(i, 1)];
+            if j == 0 {
+                a + b
+            } else {
+                a - b
+            }
+        });
+
+        let mut opt = Adam::new(0.02);
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let x = g.constant(xs.clone());
+            let t = g.constant(ys.clone());
+            let (pred, vars) = mlp.forward_train(&mut g, x).unwrap();
+            let diff = g.sub(pred, t).unwrap();
+            let sq = g.powi(diff, 2);
+            let loss = g.mean(sq);
+            final_loss = g.value(loss)[(0, 0)];
+            let grads = g.backward(loss).unwrap();
+            let mut params = mlp.parameters_mut();
+            opt.step(&mut params, &vars, &grads);
+        }
+        assert!(final_loss < 1e-3, "final loss {final_loss}");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let mlp = Mlp::new(&[4, 5, 3], 11);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.3, 0.1, -0.2, 0.9];
+        // JSON float writing is shortest-repr (±1 ULP here), so compare with
+        // a tight tolerance rather than bitwise.
+        for (a, b) in mlp.predict(&x).iter().zip(back.predict(&x)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn predict_checks_input_dim() {
+        Mlp::new(&[3, 2], 0).predict(&[1.0]);
+    }
+}

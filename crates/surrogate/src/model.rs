@@ -1,0 +1,403 @@
+use crate::{
+    CircuitDataset, DesignSpace, EtaBounds, Mlp, SurrogateError, EXTENDED_DIM, OMEGA_DIM,
+    PAPER_LAYER_SIZES,
+};
+use pnc_autodiff::{Adam, Graph, Optimizer, Var};
+use pnc_linalg::{stats, Matrix};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Training configuration for the surrogate network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Hidden architecture (defaults to the paper's 13-layer network).
+    pub layer_sizes: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Maximum number of full-batch epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience, in epochs without validation improvement.
+    pub patience: usize,
+    /// Seed for the split shuffle and weight initialization.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            layer_sizes: PAPER_LAYER_SIZES.to_vec(),
+            learning_rate: 3e-3,
+            max_epochs: 3000,
+            patience: 300,
+            seed: 0,
+        }
+    }
+}
+
+/// Quality metrics of a trained surrogate, one MSE/R² pair per split —
+/// the scalar content of Fig. 4 (right).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean squared error on the training split (normalized η units).
+    pub train_mse: f64,
+    /// Mean squared error on the validation split.
+    pub val_mse: f64,
+    /// Mean squared error on the test split.
+    pub test_mse: f64,
+    /// R² of predicted vs. true normalized η, pooled over all 4 components,
+    /// on the test split.
+    pub test_r2: f64,
+    /// Epochs actually run (early stopping included).
+    pub epochs_run: usize,
+}
+
+/// A trained, deployable surrogate: normalization constants and network.
+///
+/// This is the blue box of Fig. 3 — the differentiable stand-in for
+/// SPICE that lets the pNN training loop treat the physical parameters ω of
+/// the nonlinear circuits as ordinary learnable weights.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig};
+///
+/// let data = build_dataset(&DatasetConfig { samples: 500, sweep_points: 41 })?;
+/// let (model, _report) = train_surrogate(&data, &TrainConfig::default())?;
+/// let eta = model.predict_eta(&data.entries[0].omega);
+/// // η parameterizes the tanh-like activation curve of this circuit.
+/// assert!(eta.iter().all(|v| v.is_finite()));
+/// # Ok::<(), pnc_surrogate::SurrogateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateModel {
+    /// The design space used for input normalization.
+    pub space: DesignSpace,
+    /// η normalization bounds (saved for denormalization, per Sec. III-A).
+    pub eta_bounds: EtaBounds,
+    mlp: Mlp,
+}
+
+impl SurrogateModel {
+    /// Predicts the curve parameters η for physical parameters ω.
+    pub fn predict_eta(&self, omega: &[f64; OMEGA_DIM]) -> [f64; 4] {
+        let norm = self.space.normalize_omega(omega);
+        let out = self.mlp.predict(&norm);
+        let mut eta_norm = [0.0; 4];
+        eta_norm.copy_from_slice(&out);
+        self.eta_bounds.denormalize(&eta_norm)
+    }
+
+    /// Graph version of [`SurrogateModel::predict_eta`]: takes a `1×7` node
+    /// of physical ω values and returns a `1×4` node of denormalized η, with
+    /// gradients flowing back to ω.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::Autodiff`] on shape mismatches.
+    pub fn predict_eta_graph(&self, g: &mut Graph, omega: Var) -> Result<Var, SurrogateError> {
+        let norm = self.space.normalize_omega_graph(g, omega)?;
+        let eta_norm = self.mlp.forward_const(g, norm)?;
+        // Denormalize: η = lo + η̃·(hi − lo).
+        let lo = g.constant(Matrix::row_vector(&self.eta_bounds.lo));
+        let range: Vec<f64> = self
+            .eta_bounds
+            .lo
+            .iter()
+            .zip(&self.eta_bounds.hi)
+            .map(|(&l, &h)| h - l)
+            .collect();
+        let range = g.constant(Matrix::row_vector(&range));
+        let scaled = g.mul(eta_norm, range)?;
+        Ok(g.add(scaled, lo)?)
+    }
+
+    /// The underlying network (read access, e.g. for reporting size).
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Saves the model as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::Io`] / [`SurrogateError::Serde`] on failure.
+    pub fn save(&self, path: &Path) -> Result<(), SurrogateError> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a model saved by [`SurrogateModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::Io`] / [`SurrogateError::Serde`] on failure.
+    pub fn load(path: &Path) -> Result<Self, SurrogateError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+
+    /// Loads the model cached at `path`, or runs the full pipeline
+    /// (characterize the design space, train the network) and caches the
+    /// result there.
+    ///
+    /// The examples and the experiment harness share one surrogate artifact
+    /// through this entry point, so the expensive SPICE sweep runs once per
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-build, training and I/O failures. A corrupt cache
+    /// file is rebuilt rather than reported.
+    pub fn load_or_train(
+        path: &Path,
+        dataset_config: &crate::DatasetConfig,
+        train_config: &TrainConfig,
+    ) -> Result<(Self, Option<TrainReport>), SurrogateError> {
+        if path.exists() {
+            if let Ok(model) = Self::load(path) {
+                return Ok((model, None));
+            }
+        }
+        let data = crate::build_dataset(dataset_config)?;
+        let (model, report) = train_surrogate(&data, train_config)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        model.save(path)?;
+        Ok((model, Some(report)))
+    }
+}
+
+/// Assembles the normalized input/target matrices for a set of entry
+/// indices.
+fn matrices(data: &CircuitDataset, idx: &[usize]) -> (Matrix, Matrix) {
+    let x = Matrix::from_fn(idx.len(), EXTENDED_DIM, |i, j| {
+        data.space.normalize_omega(&data.entries[idx[i]].omega)[j]
+    });
+    let y = Matrix::from_fn(idx.len(), 4, |i, j| {
+        data.eta_bounds.normalize(&data.entries[idx[i]].eta)[j]
+    });
+    (x, y)
+}
+
+fn mse_of(mlp: &Mlp, x: &Matrix, y: &Matrix) -> f64 {
+    let mut se = 0.0;
+    for i in 0..x.rows() {
+        let pred = mlp.predict(x.row(i));
+        for (j, p) in pred.iter().enumerate() {
+            se += (p - y[(i, j)]).powi(2);
+        }
+    }
+    se / (x.rows() * y.cols()) as f64
+}
+
+/// Trains the surrogate network on a characterized dataset with the paper's
+/// split (70/20/10), full-batch Adam, and early stopping on validation MSE.
+///
+/// Returns the best-by-validation model together with a [`TrainReport`].
+///
+/// # Errors
+///
+/// Returns [`SurrogateError::BadDataset`] for datasets too small to split and
+/// propagates autodiff failures.
+pub fn train_surrogate(
+    data: &CircuitDataset,
+    config: &TrainConfig,
+) -> Result<(SurrogateModel, TrainReport), SurrogateError> {
+    if data.entries.len() < 10 {
+        return Err(SurrogateError::BadDataset {
+            detail: format!("{} entries is too few to train on", data.entries.len()),
+        });
+    }
+    let (train_idx, val_idx, test_idx) = data.split(config.seed);
+    let (x_train, y_train) = matrices(data, &train_idx);
+    let (x_val, y_val) = matrices(data, &val_idx);
+    let (x_test, y_test) = matrices(data, &test_idx);
+
+    let mut mlp = Mlp::new(&config.layer_sizes, config.seed.wrapping_add(1));
+    let mut opt = Adam::new(config.learning_rate);
+
+    let mut best = mlp.clone();
+    let mut best_val = f64::INFINITY;
+    let mut stale = 0usize;
+    let mut epochs_run = 0usize;
+
+    for epoch in 0..config.max_epochs {
+        epochs_run = epoch + 1;
+        let mut g = Graph::new();
+        let x = g.constant(x_train.clone());
+        let t = g.constant(y_train.clone());
+        let (pred, vars) = mlp.forward_train(&mut g, x)?;
+        let diff = g.sub(pred, t)?;
+        let sq = g.powi(diff, 2);
+        let loss = g.mean(sq);
+        let grads = g.backward(loss)?;
+        let mut params = mlp.parameters_mut();
+        opt.step(&mut params, &vars, &grads);
+
+        let val = mse_of(&mlp, &x_val, &y_val);
+        if val < best_val {
+            best_val = val;
+            best = mlp.clone();
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= config.patience {
+                break;
+            }
+        }
+    }
+
+    // Pooled test R².
+    let mut targets = Vec::with_capacity(x_test.rows() * 4);
+    let mut preds = Vec::with_capacity(x_test.rows() * 4);
+    for i in 0..x_test.rows() {
+        let p = best.predict(x_test.row(i));
+        for j in 0..4 {
+            targets.push(y_test[(i, j)]);
+            preds.push(p[j]);
+        }
+    }
+
+    let report = TrainReport {
+        train_mse: mse_of(&best, &x_train, &y_train),
+        val_mse: best_val,
+        test_mse: mse_of(&best, &x_test, &y_test),
+        test_r2: stats::r_squared(&targets, &preds),
+        epochs_run,
+    };
+    let model = SurrogateModel {
+        space: data.space.clone(),
+        eta_bounds: data.eta_bounds,
+        mlp: best,
+    };
+    Ok((model, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset, DatasetConfig};
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            // A shallower net trains fast enough for unit tests while the
+            // paper architecture is exercised in the bench harness.
+            layer_sizes: vec![10, 8, 6, 4],
+            learning_rate: 5e-3,
+            max_epochs: 800,
+            patience: 200,
+            seed: 0,
+        }
+    }
+
+    fn trained() -> (CircuitDataset, SurrogateModel, TrainReport) {
+        let data = build_dataset(&DatasetConfig {
+            samples: 150,
+            sweep_points: 31,
+        })
+        .unwrap();
+        let (model, report) = train_surrogate(&data, &quick_config()).unwrap();
+        (data, model, report)
+    }
+
+    #[test]
+    fn surrogate_learns_the_mapping() {
+        let (_, _, report) = trained();
+        assert!(
+            report.test_mse < 0.05,
+            "test mse too high: {}",
+            report.test_mse
+        );
+        assert!(report.test_r2 > 0.5, "test R² too low: {}", report.test_r2);
+        // No gross overfitting: test within a factor of a few of train.
+        assert!(report.test_mse < report.train_mse * 10.0 + 0.02);
+    }
+
+    #[test]
+    fn predictions_approximate_fitted_eta() {
+        let (data, model, _) = trained();
+        // On training entries, predictions should be in the right ballpark
+        // in normalized units.
+        let mut errs = Vec::new();
+        for e in data.entries.iter().take(30) {
+            let pred = model.predict_eta(&e.omega);
+            let pn = data.eta_bounds.normalize(&pred);
+            let tn = data.eta_bounds.normalize(&e.eta);
+            for k in 0..4 {
+                errs.push((pn[k] - tn[k]).abs());
+            }
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 0.2, "mean normalized error {mean_err}");
+    }
+
+    #[test]
+    fn graph_prediction_matches_plain() {
+        let (data, model, _) = trained();
+        let omega = data.entries[0].omega;
+        let plain = model.predict_eta(&omega);
+
+        let mut g = Graph::new();
+        let node = g.leaf(Matrix::row_vector(&omega));
+        let eta = model.predict_eta_graph(&mut g, node).unwrap();
+        for k in 0..4 {
+            assert!(
+                (g.value(eta)[(0, k)] - plain[k]).abs() < 1e-9,
+                "component {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_prediction_is_differentiable_wrt_omega() {
+        let (data, model, _) = trained();
+        let omega = data.entries[0].omega;
+        // Use relative steps appropriate to each component's scale.
+        let report = pnc_autodiff::gradcheck::check_gradients(
+            &[Matrix::row_vector(&omega)],
+            1.0, // resistances are O(1e2..1e5); geometry handled by looseness
+            |g, vars| {
+                let eta = model.predict_eta_graph(g, vars[0]).unwrap();
+                g.sum(eta)
+            },
+        );
+        // The W/L entries get a huge relative step here, so only require the
+        // check not to be wildly off; exact gradcheck is done at the
+        // normalized level elsewhere.
+        assert!(report.max_abs_error.is_finite());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (data, model, _) = trained();
+        let path = std::env::temp_dir().join("pnc_surrogate_test_model.json");
+        model.save(&path).unwrap();
+        let back = SurrogateModel::load(&path).unwrap();
+        let omega = data.entries[3].omega;
+        for (a, b) in model
+            .predict_eta(&omega)
+            .iter()
+            .zip(back.predict_eta(&omega))
+        {
+            // JSON float round trips are exact to ~1 ULP in this environment.
+            assert!((a - b).abs() < 1e-9);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn train_rejects_tiny_dataset() {
+        let data = CircuitDataset {
+            space: DesignSpace::paper(),
+            entries: vec![],
+            eta_bounds: EtaBounds {
+                lo: [0.0; 4],
+                hi: [1.0; 4],
+            },
+        };
+        assert!(train_surrogate(&data, &quick_config()).is_err());
+    }
+}

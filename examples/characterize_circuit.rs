@@ -1,0 +1,109 @@
+//! Characterize printed nonlinear circuits: simulate DC transfer curves with
+//! the built-in SPICE substrate, fit the ptanh model of Eq. 2, and render
+//! the family of characteristic curves (the content of Fig. 2 and the left
+//! panel of Fig. 4).
+//!
+//! ```sh
+//! cargo run --release --example characterize_circuit
+//! ```
+
+use printed_neuromorphic::fit::fit_ptanh;
+use printed_neuromorphic::spice::circuits::{characteristic_curve, NonlinearCircuitParams};
+use std::error::Error;
+
+/// Renders several curves on one coarse ASCII canvas.
+fn ascii_plot(curves: &[(String, Vec<(f64, f64)>)]) {
+    const W: usize = 61;
+    const H: usize = 17;
+    let mut canvas = vec![vec![' '; W]; H];
+    let marks = ['a', 'b', 'c', 'd', 'e'];
+    for (k, (_, curve)) in curves.iter().enumerate() {
+        for &(x, y) in curve {
+            let col = ((x.clamp(0.0, 1.0)) * (W - 1) as f64).round() as usize;
+            let row = ((1.0 - y.clamp(0.0, 1.0)) * (H - 1) as f64).round() as usize;
+            canvas[row][col] = marks[k % marks.len()];
+        }
+    }
+    println!("V_out (V)");
+    for (r, row) in canvas.iter().enumerate() {
+        let label = if r == 0 {
+            "1.0 |"
+        } else if r == H - 1 {
+            "0.0 |"
+        } else {
+            "    |"
+        };
+        println!("{label}{}", row.iter().collect::<String>());
+    }
+    println!("    +{}", "-".repeat(W));
+    println!("     0.0{}V_in (V){}1.0", " ".repeat(18), " ".repeat(18));
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A few points of the Tab. I design space, nominal first.
+    let designs = [
+        ("nominal", NonlinearCircuitParams::nominal()),
+        (
+            "steep (wide transistor, strong divider)",
+            NonlinearCircuitParams {
+                r1: 120.0,
+                r2: 100.0,
+                r3: 400_000.0,
+                r4: 300_000.0,
+                r5: 100_000.0,
+                w: 800e-6,
+                l: 10e-6,
+            },
+        ),
+        (
+            "shallow (weak divider)",
+            NonlinearCircuitParams {
+                r1: 400.0,
+                r2: 60.0,
+                r3: 100_000.0,
+                r4: 60_000.0,
+                r5: 150_000.0,
+                w: 500e-6,
+                l: 30e-6,
+            },
+        ),
+        (
+            "late transition",
+            NonlinearCircuitParams {
+                r1: 300.0,
+                r2: 120.0,
+                r3: 200_000.0,
+                r4: 90_000.0,
+                r5: 60_000.0,
+                w: 600e-6,
+                l: 25e-6,
+            },
+        ),
+    ];
+
+    let mut curves = Vec::new();
+    println!("simulating {} circuit designs and fitting Eq. 2 ...\n", designs.len());
+    for (mark, (name, params)) in ["a", "b", "c", "d"].iter().zip(&designs) {
+        let curve = characteristic_curve(params, 81)?;
+        let fit = fit_ptanh(&curve)?;
+        println!(
+            "[{mark}] {name}\n    ω = [R1={:.0}Ω R2={:.0}Ω R3={:.0}kΩ R4={:.0}kΩ R5={:.0}kΩ W={:.0}µm L={:.0}µm]",
+            params.r1,
+            params.r2,
+            params.r3 / 1e3,
+            params.r4 / 1e3,
+            params.r5 / 1e3,
+            params.w * 1e6,
+            params.l * 1e6
+        );
+        println!(
+            "    fitted η = [{:.3}, {:.3}, {:.3}, {:.3}], rmse {:.4} V",
+            fit.curve.eta[0], fit.curve.eta[1], fit.curve.eta[2], fit.curve.eta[3], fit.rmse
+        );
+        curves.push((name.to_string(), curve));
+    }
+
+    println!("\ncharacteristic curves (cf. Fig. 2):\n");
+    ascii_plot(&curves);
+    Ok(())
+}

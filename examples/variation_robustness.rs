@@ -1,0 +1,97 @@
+//! The paper's headline comparison in miniature: on one benchmark dataset,
+//! compare the prior-work baseline (fixed nonlinear circuit, nominal
+//! training) against the full method (learnable circuits + variation-aware
+//! training) under printing variation.
+//!
+//! ```sh
+//! cargo run --release --example variation_robustness [epsilon_percent]
+//! ```
+
+use printed_neuromorphic::artifacts;
+use printed_neuromorphic::datasets::generators::seeds;
+use printed_neuromorphic::pnn::{
+    mc_evaluate, train_best_of_seeds, LabeledData, PnnConfig, TrainConfig, VariationModel,
+};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let epsilon: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<f64>())
+        .transpose()?
+        .unwrap_or(10.0)
+        / 100.0;
+
+    let surrogate = Arc::new(artifacts::default_surrogate()?);
+    let data = seeds();
+    let (train, val, test) = data.split(1);
+    let train_d = LabeledData::new(&train.features, &train.labels)?;
+    let val_d = LabeledData::new(&val.features, &val.labels)?;
+    let test_d = LabeledData::new(&test.features, &test.labels)?;
+    println!(
+        "dataset {} | ε = {:.0}% printing variation\n",
+        data.name,
+        epsilon * 100.0
+    );
+
+    let budget = TrainConfig {
+        max_epochs: 400,
+        patience: 150,
+        n_train_mc: 10,
+        ..TrainConfig::default()
+    };
+
+    let arms: [(&str, bool, bool); 4] = [
+        ("baseline: fixed circuit, nominal training", false, false),
+        ("ablation: fixed circuit, variation-aware", false, true),
+        ("ablation: learnable circuit, nominal", true, false),
+        ("full method: learnable + variation-aware", true, true),
+    ];
+
+    println!(
+        "{:<45} {:>18}",
+        "training setup",
+        format!("acc @ ±{:.0}% (100 MC)", epsilon * 100.0)
+    );
+    for (name, learnable, variation_aware) in arms {
+        let mut config = PnnConfig::for_dataset(data.num_features(), data.num_classes);
+        if !learnable {
+            config = config.with_fixed_nonlinearity();
+        }
+        let train_cfg = TrainConfig {
+            lr_omega: if learnable { budget.lr_omega } else { 0.0 },
+            variation: if variation_aware {
+                VariationModel::Uniform { epsilon }
+            } else {
+                VariationModel::None
+            },
+            vary_nonlinear: learnable,
+            ..budget
+        };
+        // Best-of-seeds by validation loss, as in Sec. IV-C of the paper.
+        let (pnn, _) = train_best_of_seeds(
+            &config,
+            surrogate.clone(),
+            &train_cfg,
+            train_d,
+            val_d,
+            &[1, 2, 3],
+        )?;
+        let stats = mc_evaluate(
+            &pnn,
+            test_d,
+            &VariationModel::Uniform { epsilon },
+            100,
+            7,
+        )?;
+        println!("{name:<45} {:>9.3} ± {:.3}", stats.mean, stats.std);
+    }
+
+    println!(
+        "\nThe full method should have the highest mean and the smallest spread\n\
+         (Tab. III of the paper reports +19–26 % accuracy and ~75 % spread\n\
+         reduction over the baseline at the full training budget)."
+    );
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! **printed-neuromorphic** — a from-scratch Rust reproduction of
+//! *Highly-Bespoke Robust Printed Neuromorphic Circuits* (Zhao et al.,
+//! DATE 2023).
+//!
+//! This facade crate re-exports the whole workspace and hosts the runnable
+//! examples and cross-crate integration tests. The layers, bottom-up:
+//!
+//! * [`linalg`] — dense matrices, LU solves, statistics.
+//! * [`qmc`] — Sobol'/Halton quasi Monte-Carlo samplers.
+//! * [`spice`] — a DC circuit simulator (modified nodal analysis +
+//!   Newton–Raphson) with a printed electrolyte-gated transistor model and
+//!   the paper's two-stage nonlinear circuit netlists.
+//! * [`fit`] — Levenberg–Marquardt fitting of the `ptanh` curve (Eq. 2).
+//! * [`autodiff`] — reverse-mode tape autodiff with straight-through
+//!   estimators and Adam/SGD.
+//! * [`surrogate`] — the Sec. III-A pipeline: design-space sampling →
+//!   simulation → curve fitting → the 13-layer surrogate network η̂(ω̃).
+//! * [`datasets`] — the 13 benchmark classification tasks of Tab. II.
+//! * [`pnn`] — printed neural networks with learnable nonlinear circuits
+//!   and variation-aware training (the paper's contribution).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use printed_neuromorphic::artifacts;
+//! use printed_neuromorphic::pnn::{
+//!     mc_evaluate, LabeledData, Pnn, PnnConfig, TrainConfig, Trainer, VariationModel,
+//! };
+//! use printed_neuromorphic::datasets::generators::iris;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let surrogate = Arc::new(artifacts::default_surrogate()?);
+//! let data = iris();
+//! let (train, val, test) = data.split(1);
+//!
+//! let mut pnn = Pnn::new(
+//!     PnnConfig::for_dataset(data.num_features(), data.num_classes),
+//!     surrogate,
+//! )?;
+//! Trainer::new(TrainConfig {
+//!     variation: VariationModel::Uniform { epsilon: 0.10 },
+//!     ..TrainConfig::default()
+//! })
+//! .train(
+//!     &mut pnn,
+//!     LabeledData::new(&train.features, &train.labels)?,
+//!     LabeledData::new(&val.features, &val.labels)?,
+//! )?;
+//!
+//! let stats = mc_evaluate(
+//!     &pnn,
+//!     LabeledData::new(&test.features, &test.labels)?,
+//!     &VariationModel::Uniform { epsilon: 0.10 },
+//!     100,
+//!     0,
+//! )?;
+//! println!("accuracy under 10% printing variation: {:.3} ± {:.3}", stats.mean, stats.std);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pnc_autodiff as autodiff;
+pub use pnc_core as pnn;
+pub use pnc_datasets as datasets;
+pub use pnc_fit as fit;
+pub use pnc_linalg as linalg;
+pub use pnc_qmc as qmc;
+pub use pnc_spice as spice;
+pub use pnc_surrogate as surrogate;
+
+pub mod artifacts {
+    //! Shared trained artifacts, cached on disk so examples and experiments
+    //! pay the surrogate-training cost once.
+
+    use pnc_surrogate::{DatasetConfig, SurrogateError, SurrogateModel, TrainConfig};
+    use std::path::PathBuf;
+
+    /// Directory where cached artifacts live (`$PNC_ARTIFACT_DIR`, default
+    /// `artifacts/` under the workspace root).
+    pub fn artifact_dir() -> PathBuf {
+        std::env::var_os("PNC_ARTIFACT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("artifacts"))
+    }
+
+    /// The default surrogate model: 2000 QMC design points, the paper's
+    /// 13-layer network. Trains once (about a minute in release mode) and is
+    /// cached as JSON afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and I/O failures.
+    pub fn default_surrogate() -> Result<SurrogateModel, SurrogateError> {
+        let path = artifact_dir().join("surrogate-default.json");
+        let (model, report) = SurrogateModel::load_or_train(
+            &path,
+            &DatasetConfig {
+                samples: 2000,
+                sweep_points: 61,
+            },
+            &TrainConfig {
+                max_epochs: 4000,
+                patience: 400,
+                ..TrainConfig::default()
+            },
+        )?;
+        if let Some(r) = report {
+            eprintln!(
+                "trained surrogate (cached at {}): val mse {:.5}, test R2 {:.3}",
+                path.display(),
+                r.val_mse,
+                r.test_r2
+            );
+        }
+        Ok(model)
+    }
+
+    /// A small, fast surrogate for tests and smoke runs: 300 design points
+    /// and a shallow network. Cached separately from the default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and I/O failures.
+    pub fn quick_surrogate() -> Result<SurrogateModel, SurrogateError> {
+        let path = artifact_dir().join("surrogate-quick.json");
+        let (model, _) = SurrogateModel::load_or_train(
+            &path,
+            &DatasetConfig {
+                samples: 300,
+                sweep_points: 41,
+            },
+            &TrainConfig {
+                layer_sizes: vec![10, 9, 7, 5, 4],
+                max_epochs: 1500,
+                patience: 300,
+                ..TrainConfig::default()
+            },
+        )?;
+        Ok(model)
+    }
+}

@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: the full stack, from SPICE to trained,
+//! exported printed designs.
+
+use printed_neuromorphic::artifacts;
+use printed_neuromorphic::datasets::benchmark_suite;
+use printed_neuromorphic::fit::fit_ptanh;
+use printed_neuromorphic::pnn::{
+    accuracy, mc_evaluate, LabeledData, Pnn, PnnConfig, PrintedDesign, TrainConfig, Trainer,
+    VariationModel,
+};
+use printed_neuromorphic::spice::circuits::{characteristic_curve, NonlinearCircuitParams};
+use std::sync::Arc;
+
+fn surrogate() -> Arc<printed_neuromorphic::surrogate::SurrogateModel> {
+    Arc::new(artifacts::quick_surrogate().expect("quick surrogate"))
+}
+
+/// The surrogate's η prediction reproduces the SPICE + fit ground truth for
+/// circuits it has never seen: its curve values must track the simulated
+/// transfer curve.
+#[test]
+fn surrogate_tracks_spice_ground_truth() {
+    // The production-quality surrogate (cached artifact); the quick one is
+    // too coarse for a ground-truth comparison.
+    let model = Arc::new(artifacts::default_surrogate().expect("default surrogate"));
+    let probes = [
+        NonlinearCircuitParams::nominal(),
+        NonlinearCircuitParams {
+            r1: 333.0,
+            r2: 111.0,
+            r3: 222_000.0,
+            r4: 111_000.0,
+            r5: 166_000.0,
+            w: 444e-6,
+            l: 33e-6,
+        },
+    ];
+    for params in probes {
+        let curve = characteristic_curve(&params, 61).expect("simulates");
+        let truth = fit_ptanh(&curve).expect("fits").curve;
+        let eta = model.predict_eta(&params.to_array());
+        let predicted = printed_neuromorphic::fit::Ptanh { eta };
+        // Compare curve values over the supply range, not raw η (η is not
+        // uniquely identified for near-flat curves).
+        let mut worst: f64 = 0.0;
+        for k in 0..21 {
+            let v = k as f64 / 20.0;
+            worst = worst.max((predicted.eval(v) - truth.eval(v)).abs());
+        }
+        assert!(
+            worst < 0.25,
+            "surrogate curve deviates by {worst} V from SPICE for {params:?}"
+        );
+    }
+}
+
+/// Full pipeline smoke test on a second dataset: train with variation
+/// awareness, evaluate robustness, export a feasible design.
+#[test]
+fn train_evaluate_export_round_trip() {
+    let model = surrogate();
+    let data = printed_neuromorphic::datasets::generators::acute_inflammation();
+    let (train, val, test) = data.split(3);
+    let train_d = LabeledData::new(&train.features, &train.labels).expect("consistent");
+    let val_d = LabeledData::new(&val.features, &val.labels).expect("consistent");
+    let test_d = LabeledData::new(&test.features, &test.labels).expect("consistent");
+
+    let mut pnn = Pnn::new(
+        PnnConfig::for_dataset(data.num_features(), data.num_classes),
+        model,
+    )
+    .expect("valid config");
+    Trainer::new(TrainConfig {
+        variation: VariationModel::Uniform { epsilon: 0.05 },
+        n_train_mc: 5,
+        n_val_mc: 3,
+        max_epochs: 150,
+        patience: 150,
+        ..TrainConfig::default()
+    })
+    .train(&mut pnn, train_d, val_d)
+    .expect("trains");
+
+    let nominal = accuracy(&pnn, test_d, None).expect("evaluates");
+    assert!(
+        nominal > data.majority_accuracy() - 0.05,
+        "trained accuracy {nominal} below majority floor"
+    );
+
+    let stats = mc_evaluate(
+        &pnn,
+        test_d,
+        &VariationModel::Uniform { epsilon: 0.05 },
+        30,
+        0,
+    )
+    .expect("mc evaluates");
+    assert!(stats.mean > 0.4);
+    assert_eq!(stats.accuracies.len(), 30);
+
+    let design = PrintedDesign::from_pnn(&pnn);
+    assert!(design.is_feasible());
+    assert!(design.printed_resistor_count() > 0);
+    // Round trip through JSON (the printable artifact).
+    let json = serde_json::to_string(&design).expect("serializes");
+    let back: PrintedDesign = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(design.crossbars.len(), back.crossbars.len());
+}
+
+/// Every dataset in the suite is compatible with the pNN input convention
+/// (features are voltages in [0, 1]) and produces a working forward pass.
+#[test]
+fn all_benchmark_datasets_flow_through_the_network() {
+    let model = surrogate();
+    for data in benchmark_suite() {
+        let pnn = Pnn::new(
+            PnnConfig::for_dataset(data.num_features(), data.num_classes),
+            model.clone(),
+        )
+        .expect("valid config");
+        // A small slice is enough to validate the plumbing.
+        let idx: Vec<usize> = (0..data.len().min(16)).collect();
+        let subset = data.subset(&idx);
+        let preds = pnn.predict(&subset.features, None).expect("forward pass");
+        assert_eq!(preds.len(), subset.len(), "{}", data.name);
+        assert!(
+            preds.iter().all(|&p| p < data.num_classes),
+            "{}: prediction out of range",
+            data.name
+        );
+    }
+}
+
+/// Circuit-level validation: inference re-run with MNA-solved crossbars and
+/// directly simulated nonlinear circuits must agree with the abstract pNN
+/// to within the surrogate tolerance, and predict the same classes.
+#[test]
+fn hardware_in_the_loop_matches_the_model() {
+    use printed_neuromorphic::pnn::hardware::HardwareSimulator;
+
+    let model = Arc::new(artifacts::default_surrogate().expect("default surrogate"));
+    let data = printed_neuromorphic::datasets::generators::iris();
+    let (train, val, _) = data.split(1);
+    let train_d = LabeledData::new(&train.features, &train.labels).expect("consistent");
+    let val_d = LabeledData::new(&val.features, &val.labels).expect("consistent");
+
+    let mut pnn = Pnn::new(
+        PnnConfig::for_dataset(data.num_features(), data.num_classes),
+        model,
+    )
+    .expect("valid config");
+    Trainer::new(TrainConfig {
+        max_epochs: 120,
+        patience: 120,
+        ..TrainConfig::default()
+    })
+    .train(&mut pnn, train_d, val_d)
+    .expect("trains");
+
+    let idx: Vec<usize> = (0..12).collect();
+    let probe = train.subset(&idx);
+    let report = HardwareSimulator::new()
+        .model_hardware_gap(&pnn, &probe.features)
+        .expect("hardware simulation runs");
+    // The 2000-sample default surrogate keeps the mean gap around
+    // 0.05-0.10 V depending on where training lands in the design space.
+    assert!(
+        report.mean_voltage_gap < 0.15,
+        "surrogate gap too large: {report:?}"
+    );
+    assert!(
+        report.prediction_agreement >= 0.75,
+        "hardware disagrees with the model: {report:?}"
+    );
+}
+
+/// Determinism across the whole stack: same seeds, same results.
+#[test]
+fn whole_stack_is_deterministic() {
+    let model = surrogate();
+    let data = printed_neuromorphic::datasets::generators::balance_scale();
+    let (train, val, _) = data.split(5);
+    let train_d = LabeledData::new(&train.features, &train.labels).expect("consistent");
+    let val_d = LabeledData::new(&val.features, &val.labels).expect("consistent");
+
+    let run = || {
+        let mut pnn = Pnn::new(
+            PnnConfig::for_dataset(data.num_features(), data.num_classes),
+            model.clone(),
+        )
+        .expect("valid config");
+        let report = Trainer::new(TrainConfig {
+            variation: VariationModel::Uniform { epsilon: 0.05 },
+            n_train_mc: 3,
+            n_val_mc: 2,
+            max_epochs: 30,
+            patience: 30,
+            ..TrainConfig::default()
+        })
+        .train(&mut pnn, train_d, val_d)
+        .expect("trains");
+        (report.train_losses, PrintedDesign::from_pnn(&pnn))
+    };
+    let (losses_a, design_a) = run();
+    let (losses_b, design_b) = run();
+    assert_eq!(losses_a, losses_b);
+    assert_eq!(design_a, design_b);
+}
