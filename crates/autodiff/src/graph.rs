@@ -507,7 +507,9 @@ impl Graph {
         let mut loss = 0.0;
         for i in 0..batch {
             // Stable softmax.
-            let row_max = (0..classes).map(|j| v[(i, j)]).fold(f64::NEG_INFINITY, f64::max);
+            let row_max = (0..classes)
+                .map(|j| v[(i, j)])
+                .fold(f64::NEG_INFINITY, f64::max);
             let exps: Vec<f64> = (0..classes).map(|j| (v[(i, j)] - row_max).exp()).collect();
             let denom: f64 = exps.iter().sum();
             let y = targets[i];
@@ -586,7 +588,8 @@ impl Graph {
     /// ```
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph tape {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
+        let mut out =
+            String::from("digraph tape {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
         for (id, node) in self.nodes.iter().enumerate() {
             let (r, c) = node.value.shape();
             let kind = match &node.op {
@@ -734,7 +737,11 @@ impl Graph {
                 }
                 Op::Relu(a) => {
                     let g = grad
-                        .zip_with(self.value(*a), "relu_bw", |g, x| if x > 0.0 { g } else { 0.0 })
+                        .zip_with(
+                            self.value(*a),
+                            "relu_bw",
+                            |g, x| if x > 0.0 { g } else { 0.0 },
+                        )
                         .expect("same shape");
                     store.accumulate(*a, g);
                 }
@@ -785,7 +792,10 @@ impl Graph {
                     }
                 }
                 Op::Ste(a) => store.accumulate(*a, grad),
-                Op::FusedLoss { scores, grad: template } => {
+                Op::FusedLoss {
+                    scores,
+                    grad: template,
+                } => {
                     store.accumulate(*scores, template.scale(grad[(0, 0)]));
                 }
             }

@@ -2,10 +2,8 @@
 //! nominal and variation-aware training, and Monte-Carlo evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pnc_core::{
-    mc_evaluate, LabeledData, Pnn, PnnConfig, TrainConfig, Trainer, VariationModel,
-};
-use pnc_linalg::Matrix;
+use pnc_core::{mc_evaluate, LabeledData, Pnn, PnnConfig, TrainConfig, Trainer, VariationModel};
+use pnc_linalg::{Matrix, ParallelConfig};
 use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig as STrain};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -39,8 +37,7 @@ fn bench_pnn(c: &mut Criterion) {
 
     c.bench_function("pnn/train_10_epochs_nominal_b128", |b| {
         b.iter(|| {
-            let mut pnn =
-                Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid");
+            let mut pnn = Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid");
             let data = LabeledData::new(&x, &y).expect("consistent");
             Trainer::new(TrainConfig {
                 max_epochs: 10,
@@ -54,8 +51,7 @@ fn bench_pnn(c: &mut Criterion) {
 
     c.bench_function("pnn/train_10_epochs_variation_aware_mc5_b128", |b| {
         b.iter(|| {
-            let mut pnn =
-                Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid");
+            let mut pnn = Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid");
             let data = LabeledData::new(&x, &y).expect("consistent");
             Trainer::new(TrainConfig {
                 variation: VariationModel::Uniform { epsilon: 0.1 },
@@ -70,19 +66,44 @@ fn bench_pnn(c: &mut Criterion) {
         })
     });
 
+    // Serial vs parallel Monte-Carlo loss: the same variation-aware epochs
+    // at one worker and at four. Results are bit-identical (see
+    // `training_is_bit_identical_across_thread_counts`); only wall time
+    // differs.
+    for (label, parallel) in [
+        ("pnn/train_5_epochs_mc8_serial", ParallelConfig::serial()),
+        (
+            "pnn/train_5_epochs_mc8_threads4",
+            ParallelConfig::with_threads(4),
+        ),
+    ] {
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let mut pnn =
+                    Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid");
+                let data = LabeledData::new(&x, &y).expect("consistent");
+                Trainer::new(TrainConfig {
+                    variation: VariationModel::Uniform { epsilon: 0.1 },
+                    n_train_mc: 8,
+                    n_val_mc: 2,
+                    max_epochs: 5,
+                    patience: 5,
+                    parallel,
+                    ..TrainConfig::default()
+                })
+                .train(&mut pnn, data, data)
+                .expect("trains")
+            })
+        });
+    }
+
     let pnn = Pnn::new(PnnConfig::for_dataset(6, 3), surrogate).expect("valid");
     c.bench_function("pnn/mc_evaluate_50_draws_b128", |b| {
         b.iter(|| {
             let data = LabeledData::new(&x, &y).expect("consistent");
             black_box(
-                mc_evaluate(
-                    &pnn,
-                    data,
-                    &VariationModel::Uniform { epsilon: 0.1 },
-                    50,
-                    0,
-                )
-                .expect("evaluates"),
+                mc_evaluate(&pnn, data, &VariationModel::Uniform { epsilon: 0.1 }, 50, 0)
+                    .expect("evaluates"),
             )
         })
     });

@@ -16,8 +16,13 @@ fn bench_dc_operating_point(c: &mut Criterion) {
     ckt.vsource(vdd, GROUND, 1.0).expect("valid");
     ckt.vsource(vin, GROUND, 0.5).expect("valid");
     ckt.resistor(vdd, out, 100_000.0).expect("valid");
-    ckt.egt(out, vin, GROUND, pnc_spice::EgtModel::printed(400e-6, 40e-6))
-        .expect("valid");
+    ckt.egt(
+        out,
+        vin,
+        GROUND,
+        pnc_spice::EgtModel::printed(400e-6, 40e-6),
+    )
+    .expect("valid");
     let solver = DcSolver::new();
 
     c.bench_function("spice/dc_operating_point_inverter", |b| {

@@ -89,13 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             val_d,
             &[1, 2, 3],
         )?;
-        let stats = mc_evaluate(
-            &pnn,
-            test_d,
-            &VariationModel::Uniform { epsilon },
-            50,
-            7,
-        )?;
+        let stats = mc_evaluate(&pnn, test_d, &VariationModel::Uniform { epsilon }, 50, 7)?;
         println!("{name:<44}{:>9.3} ± {:.3}", stats.mean, stats.std);
     }
     Ok(())

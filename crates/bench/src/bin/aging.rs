@@ -12,9 +12,7 @@
 
 use pnc_bench::default_surrogate;
 use pnc_core::aging::{lifetime_accuracy, AgingAwareness, AgingModel};
-use pnc_core::{
-    train_best_of_seeds, LabeledData, PnnConfig, TrainConfig, VariationModel,
-};
+use pnc_core::{train_best_of_seeds, LabeledData, PnnConfig, TrainConfig, VariationModel};
 use pnc_datasets::benchmark_suite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cloned()
     };
     let dataset_name = value_of("--dataset").unwrap_or_else(|| "seeds".into());
-    let rate: f64 = value_of("--rate").map(|v| v.parse()).transpose()?.unwrap_or(0.15);
+    let rate: f64 = value_of("--rate")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(0.15);
 
     let dataset = benchmark_suite()
         .into_iter()
@@ -78,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let ages: Vec<f64> = (0..=10).map(|k| k as f64).collect();
-    println!("age,decay,{}", arms.map(|(n, _)| n.replace(' ', "_")).join(","));
+    println!(
+        "age,decay,{}",
+        arms.map(|(n, _)| n.replace(' ', "_")).join(",")
+    );
 
     let mut curves = Vec::new();
     for (name, train_cfg) in &arms {

@@ -39,7 +39,14 @@ fn designs() -> Vec<(String, NonlinearCircuitParams)> {
             (
                 format!(
                     "w{}=[{:.0},{:.0},{:.0}k,{:.0}k,{:.0}k,{:.0}u,{:.0}u]",
-                    0, r1, r2, r3 / 1e3, r4 / 1e3, r5 / 1e3, w_um, l_um
+                    0,
+                    r1,
+                    r2,
+                    r3 / 1e3,
+                    r4 / 1e3,
+                    r5 / 1e3,
+                    w_um,
+                    l_um
                 ),
                 p,
             )

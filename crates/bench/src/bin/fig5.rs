@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             omega[k], space.lo[k], space.hi[k]
         );
     }
-    println!("  (R2 = k1*R1 = {:.1}, R4 = k2*R3 = {:.1}, clipped to Tab. I)", omega[1], omega[3]);
+    println!(
+        "  (R2 = k1*R1 = {:.1}, R4 = k2*R3 = {:.1}, clipped to Tab. I)",
+        omega[1], omega[3]
+    );
 
     // Stage 3: extend + normalize = surrogate input.
     let ext = space.normalize_omega(&omega);
@@ -51,8 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 4: surrogate -> eta, and a differentiability check.
     let eta = surrogate.predict_eta(&omega);
-    println!("\npredicted eta = [{:.4}, {:.4}, {:.4}, {:.4}]", eta[0], eta[1], eta[2], eta[3]);
-    println!("activation: V_a = {:.3} + {:.3} * tanh((V_z - {:.3}) * {:.3})", eta[0], eta[1], eta[2], eta[3]);
+    println!(
+        "\npredicted eta = [{:.4}, {:.4}, {:.4}, {:.4}]",
+        eta[0], eta[1], eta[2], eta[3]
+    );
+    println!(
+        "activation: V_a = {:.3} + {:.3} * tanh((V_z - {:.3}) * {:.3})",
+        eta[0], eta[1], eta[2], eta[3]
+    );
 
     let mut g = Graph::new();
     let w_var = circuit.register(&mut g).expect("learnable");

@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("step-response settling (1% of final value) of the ptanh circuit");
-    println!("gate capacitance model: {:.0} uF/cm^2 electrolyte double layer\n", GATE_CAP_PER_AREA * 1e2);
+    println!(
+        "gate capacitance model: {:.0} uF/cm^2 electrolyte double layer\n",
+        GATE_CAP_PER_AREA * 1e2
+    );
     println!("{:<24}{:>14}{:>16}", "design", "C_gate", "settling time");
     for (name, params) in designs {
         let (mut ckt, vin, out) = build_dynamic(&params)?;
@@ -89,9 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let wave = solver.simulate(&mut ckt, 20.0 * tau_est, |t, c| {
             c.set_vsource(vin, if t > 0.0 { 0.8 } else { 0.2 })
         })?;
-        let settle = wave
-            .settling_time(out, 0.01 * VDD)
-            .unwrap_or(f64::NAN);
+        let settle = wave.settling_time(out, 0.01 * VDD).unwrap_or(f64::NAN);
         println!(
             "{name:<24}{:>11.2} nF{:>13.1} us",
             c_gate * 1e9,

@@ -70,7 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &seeds,
     )?;
 
-    println!("test_eps,baseline_mean,baseline_std,full_mean,full_std,full_gauss_mean,full_gauss_std");
+    println!(
+        "test_eps,baseline_mean,baseline_std,full_mean,full_std,full_gauss_mean,full_gauss_std"
+    );
     for k in 0..=8 {
         let eps = 0.025 * k as f64;
         let (b, f, fg);
@@ -79,8 +81,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f = mc_evaluate(&full, test_d, &VariationModel::None, 1, 0)?;
             fg = f.clone();
         } else {
-            b = mc_evaluate(&baseline, test_d, &VariationModel::Uniform { epsilon: eps }, 50, 7)?;
-            f = mc_evaluate(&full, test_d, &VariationModel::Uniform { epsilon: eps }, 50, 7)?;
+            b = mc_evaluate(
+                &baseline,
+                test_d,
+                &VariationModel::Uniform { epsilon: eps },
+                50,
+                7,
+            )?;
+            f = mc_evaluate(
+                &full,
+                test_d,
+                &VariationModel::Uniform { epsilon: eps },
+                50,
+                7,
+            )?;
             // Gaussian with matched variance: σ = ε/√3.
             fg = mc_evaluate(
                 &full,

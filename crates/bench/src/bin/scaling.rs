@@ -1,0 +1,222 @@
+//! Thread-scaling measurement for the parallel substrate: variation-aware
+//! training epochs (Monte-Carlo loss) and DC sweep throughput at 1, 2, 4
+//! and all-machine threads, written to `BENCH_parallel.json` at the repo
+//! root.
+//!
+//! Every measured configuration produces **bit-identical** numeric results
+//! (see the `*_identical_across_thread_counts` tests); this binary only
+//! quantifies the wall-clock difference.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin scaling -- [--quick] [--mc N] [--epochs N]
+//! ```
+
+use pnc_core::{LabeledData, Pnn, PnnConfig, TrainConfig, Trainer, VariationModel};
+use pnc_linalg::{Matrix, ParallelConfig};
+use pnc_spice::circuits::{NonlinearCircuitParams, PtanhCircuit, VDD};
+use pnc_spice::sweep::linspace;
+use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig as STrain};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One thread count's measurement.
+#[derive(Debug, Serialize)]
+struct ScalingPoint {
+    /// Worker thread count the stage ran with.
+    threads: usize,
+    /// Best-of-repetitions wall time, milliseconds.
+    wall_ms: f64,
+    /// `serial wall_ms / this wall_ms` (1.0 for the serial row).
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct EpochScaling {
+    /// Monte-Carlo draws per training step.
+    n_mc: usize,
+    /// Epochs per timed run.
+    epochs: usize,
+    /// Training batch rows.
+    batch: usize,
+    results: Vec<ScalingPoint>,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepScaling {
+    /// Operating points per timed sweep.
+    points: usize,
+    /// Points solved per second at each thread count.
+    points_per_s: Vec<f64>,
+    results: Vec<ScalingPoint>,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    /// `std::thread::available_parallelism` on the measuring machine.
+    machine_threads: usize,
+    /// Interpretation aid: speedup is bounded above by `machine_threads`.
+    note: String,
+    epoch: EpochScaling,
+    sweep: SweepScaling,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds, after one warmup run.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn thread_counts() -> Vec<usize> {
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, 4];
+    if machine > 4 {
+        counts.push(machine);
+    }
+    counts.retain(|&c| c <= machine.max(4));
+    counts.dedup();
+    counts
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let n_mc = arg_value(&args, "--mc").unwrap_or(8).max(1);
+    let epochs = arg_value(&args, "--epochs").unwrap_or(if quick { 3 } else { 8 });
+    let reps = if quick { 2 } else { 3 };
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let counts = thread_counts();
+
+    // --- fixture: a surrogate and a synthetic classification task --------
+    eprintln!("building fixture surrogate ...");
+    let data = build_dataset(&DatasetConfig {
+        samples: 150,
+        sweep_points: 31,
+    })?;
+    let surrogate = Arc::new(
+        train_surrogate(
+            &data,
+            &STrain {
+                layer_sizes: vec![10, 8, 4],
+                max_epochs: 200,
+                patience: 100,
+                ..STrain::default()
+            },
+        )?
+        .0,
+    );
+    let batch = 128;
+    let x = Matrix::from_fn(batch, 6, |i, j| ((i * 5 + j * 3) % 13) as f64 / 12.0);
+    let y: Vec<usize> = (0..batch).map(|i| i % 3).collect();
+
+    // --- stage 1: variation-aware training epochs ------------------------
+    eprintln!("timing {epochs} variation-aware epochs (n_mc = {n_mc}) ...");
+    let mut epoch_points = Vec::new();
+    for &threads in &counts {
+        let wall_ms = time_best(reps, || {
+            let mut pnn =
+                Pnn::new(PnnConfig::for_dataset(6, 3), surrogate.clone()).expect("valid config");
+            let data = LabeledData::new(&x, &y).expect("consistent");
+            Trainer::new(TrainConfig {
+                variation: VariationModel::Uniform { epsilon: 0.1 },
+                n_train_mc: n_mc,
+                n_val_mc: 2,
+                max_epochs: epochs,
+                patience: epochs,
+                parallel: ParallelConfig::with_threads(threads),
+                ..TrainConfig::default()
+            })
+            .train(&mut pnn, data, data)
+            .expect("trains");
+        });
+        eprintln!("  {threads:>2} threads: {wall_ms:>9.1} ms");
+        epoch_points.push(ScalingPoint {
+            threads,
+            wall_ms,
+            speedup: 0.0,
+        });
+    }
+    let serial_ms = epoch_points[0].wall_ms;
+    for p in &mut epoch_points {
+        p.speedup = serial_ms / p.wall_ms;
+    }
+
+    // --- stage 2: DC sweep throughput ------------------------------------
+    let sweep_points = arg_value(&args, "--points").unwrap_or(if quick { 256 } else { 1024 });
+    eprintln!("timing {sweep_points}-point DC sweeps ...");
+    let ckt = PtanhCircuit::build(&NonlinearCircuitParams::nominal())?;
+    let grid = linspace(0.0, VDD, sweep_points);
+    let mut sweep_results = Vec::new();
+    let mut points_per_s = Vec::new();
+    for &threads in &counts {
+        let parallel = ParallelConfig::with_threads(threads);
+        let wall_ms = time_best(reps, || {
+            ckt.transfer_curve_parallel(&grid, &parallel)
+                .expect("sweeps");
+        });
+        let throughput = sweep_points as f64 / (wall_ms * 1e-3);
+        eprintln!("  {threads:>2} threads: {wall_ms:>9.1} ms ({throughput:>9.0} points/s)");
+        points_per_s.push(throughput);
+        sweep_results.push(ScalingPoint {
+            threads,
+            wall_ms,
+            speedup: 0.0,
+        });
+    }
+    let serial_sweep = sweep_results[0].wall_ms;
+    for p in &mut sweep_results {
+        p.speedup = serial_sweep / p.wall_ms;
+    }
+
+    let report = Report {
+        machine_threads: machine,
+        note: format!(
+            "speedup is bounded by the {machine} physical core(s) of the measuring \
+             machine; thread counts above it only measure scheduling overhead. \
+             Numeric results are bit-identical at every thread count."
+        ),
+        epoch: EpochScaling {
+            n_mc,
+            epochs,
+            batch,
+            results: epoch_points,
+        },
+        sweep: SweepScaling {
+            points: sweep_points,
+            points_per_s,
+            results: sweep_results,
+        },
+    };
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("\nreport saved to {}", out.display());
+
+    println!("epoch-time speedup:");
+    for p in &report.epoch.results {
+        println!("  {:>2} threads: {:.2}x", p.threads, p.speedup);
+    }
+    println!("sweep-throughput speedup:");
+    for p in &report.sweep.results {
+        println!("  {:>2} threads: {:.2}x", p.threads, p.speedup);
+    }
+    Ok(())
+}

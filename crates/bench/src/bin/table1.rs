@@ -9,7 +9,9 @@ use pnc_surrogate::DesignSpace;
 
 fn main() {
     let space = DesignSpace::paper();
-    let names = ["R1 (Ω)", "R2 (Ω)", "R3 (kΩ)", "R4 (kΩ)", "R5 (kΩ)", "W (µm)", "L (µm)"];
+    let names = [
+        "R1 (Ω)", "R2 (Ω)", "R3 (kΩ)", "R4 (kΩ)", "R5 (kΩ)", "W (µm)", "L (µm)",
+    ];
     let scale = [1.0, 1.0, 1e-3, 1e-3, 1e-3, 1e6, 1e6];
 
     println!("TABLE I: FEASIBLE DESIGN SPACE OF NONLINEAR CIRCUIT");

@@ -15,7 +15,10 @@ use pnc_datasets::benchmark_suite;
 use std::path::Path;
 
 fn print_table(table: &Table2) {
-    println!("TABLE II: RESULT OF THE EXPERIMENT ON {} BENCHMARK DATASETS", table.rows.len());
+    println!(
+        "TABLE II: RESULT OF THE EXPERIMENT ON {} BENCHMARK DATASETS",
+        table.rows.len()
+    );
     println!(
         "(budget: {} seeds, {} max epochs, N_train={}, N_test={})",
         table.budget.seeds.len(),

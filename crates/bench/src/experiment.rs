@@ -103,10 +103,22 @@ pub struct Arm {
 impl Arm {
     /// All four ablation arms, baseline first.
     pub const ALL: [Arm; 4] = [
-        Arm { learnable: false, variation_aware: false },
-        Arm { learnable: false, variation_aware: true },
-        Arm { learnable: true, variation_aware: false },
-        Arm { learnable: true, variation_aware: true },
+        Arm {
+            learnable: false,
+            variation_aware: false,
+        },
+        Arm {
+            learnable: false,
+            variation_aware: true,
+        },
+        Arm {
+            learnable: true,
+            variation_aware: false,
+        },
+        Arm {
+            learnable: true,
+            variation_aware: true,
+        },
     ];
 
     /// Human-readable label.
@@ -114,7 +126,11 @@ impl Arm {
         format!(
             "{} nonlinear circuit, {} training",
             if self.learnable { "learnable" } else { "fixed" },
-            if self.variation_aware { "variation-aware" } else { "nominal" }
+            if self.variation_aware {
+                "variation-aware"
+            } else {
+                "nominal"
+            }
         )
     }
 }
@@ -273,7 +289,11 @@ pub fn run_cell(
     )?;
     Ok(CellResult {
         arm,
-        train_epsilon: if arm.variation_aware { train_epsilon } else { 0.0 },
+        train_epsilon: if arm.variation_aware {
+            train_epsilon
+        } else {
+            0.0
+        },
         test_epsilon,
         stats,
     })

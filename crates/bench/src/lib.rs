@@ -26,7 +26,6 @@ pub mod experiment;
 pub mod summary;
 
 pub use experiment::{
-    default_surrogate, run_table2, run_table2_parallel, Arm, Budget, CellResult, DatasetRow,
-    Table2,
+    default_surrogate, run_table2, run_table2_parallel, Arm, Budget, CellResult, DatasetRow, Table2,
 };
 pub use summary::{headline_improvements, summarize, Table3};

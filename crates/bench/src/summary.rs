@@ -36,10 +36,22 @@ pub struct Table3 {
 /// [`run_table2`](crate::run_table2)).
 pub fn summarize(table2: &Table2) -> Table3 {
     let arm_rows = [
-        Arm { learnable: true, variation_aware: true },
-        Arm { learnable: true, variation_aware: false },
-        Arm { learnable: false, variation_aware: true },
-        Arm { learnable: false, variation_aware: false },
+        Arm {
+            learnable: true,
+            variation_aware: true,
+        },
+        Arm {
+            learnable: true,
+            variation_aware: false,
+        },
+        Arm {
+            learnable: false,
+            variation_aware: true,
+        },
+        Arm {
+            learnable: false,
+            variation_aware: false,
+        },
     ];
     let rows = arm_rows
         .into_iter()
@@ -136,14 +148,78 @@ mod tests {
         let rows = vec![DatasetRow {
             dataset: "avg".into(),
             cells: vec![
-                cell(Arm { learnable: false, variation_aware: false }, 0.05, 0.678, 0.085),
-                cell(Arm { learnable: false, variation_aware: false }, 0.10, 0.626, 0.118),
-                cell(Arm { learnable: false, variation_aware: true }, 0.05, 0.731, 0.053),
-                cell(Arm { learnable: false, variation_aware: true }, 0.10, 0.691, 0.080),
-                cell(Arm { learnable: true, variation_aware: false }, 0.05, 0.752, 0.095),
-                cell(Arm { learnable: true, variation_aware: false }, 0.10, 0.697, 0.130),
-                cell(Arm { learnable: true, variation_aware: true }, 0.05, 0.809, 0.023),
-                cell(Arm { learnable: true, variation_aware: true }, 0.10, 0.786, 0.029),
+                cell(
+                    Arm {
+                        learnable: false,
+                        variation_aware: false,
+                    },
+                    0.05,
+                    0.678,
+                    0.085,
+                ),
+                cell(
+                    Arm {
+                        learnable: false,
+                        variation_aware: false,
+                    },
+                    0.10,
+                    0.626,
+                    0.118,
+                ),
+                cell(
+                    Arm {
+                        learnable: false,
+                        variation_aware: true,
+                    },
+                    0.05,
+                    0.731,
+                    0.053,
+                ),
+                cell(
+                    Arm {
+                        learnable: false,
+                        variation_aware: true,
+                    },
+                    0.10,
+                    0.691,
+                    0.080,
+                ),
+                cell(
+                    Arm {
+                        learnable: true,
+                        variation_aware: false,
+                    },
+                    0.05,
+                    0.752,
+                    0.095,
+                ),
+                cell(
+                    Arm {
+                        learnable: true,
+                        variation_aware: false,
+                    },
+                    0.10,
+                    0.697,
+                    0.130,
+                ),
+                cell(
+                    Arm {
+                        learnable: true,
+                        variation_aware: true,
+                    },
+                    0.05,
+                    0.809,
+                    0.023,
+                ),
+                cell(
+                    Arm {
+                        learnable: true,
+                        variation_aware: true,
+                    },
+                    0.10,
+                    0.786,
+                    0.029,
+                ),
             ],
         }];
         Table2 {

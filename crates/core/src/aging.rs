@@ -192,7 +192,9 @@ mod tests {
         age_noise(&mut sample, 0.5, &mut rng);
         let values: Vec<f64> = sample.theta_factors[0].as_slice().to_vec();
         // Per-device factors lie in [decay², 1] and are not all equal.
-        assert!(values.iter().all(|&v| (0.25 - 1e-12..=1.0 + 1e-12).contains(&v)));
+        assert!(values
+            .iter()
+            .all(|&v| (0.25 - 1e-12..=1.0 + 1e-12).contains(&v)));
         let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - values.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.1, "aging must be device-to-device stochastic");

@@ -4,7 +4,7 @@ use crate::network::Pnn;
 use crate::train::LabeledData;
 use crate::variation::{NoiseSample, VariationModel};
 use crate::PnnError;
-use pnc_linalg::stats;
+use pnc_linalg::{stats, ParallelConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -85,6 +85,34 @@ pub fn mc_evaluate(
     n_test: usize,
     seed: u64,
 ) -> Result<McStats, PnnError> {
+    mc_evaluate_with(
+        pnn,
+        data,
+        variation,
+        n_test,
+        seed,
+        ParallelConfig::automatic(),
+    )
+}
+
+/// [`mc_evaluate`] with an explicit thread-count configuration.
+///
+/// All noise is pre-drawn serially from the seeded generator (so the draw
+/// sequence never depends on scheduling), then the independent accuracy
+/// evaluations fan out over `parallel` workers and come back in draw order
+/// — the returned statistics are identical at every thread count.
+///
+/// # Errors
+///
+/// Same contract as [`mc_evaluate`].
+pub fn mc_evaluate_with(
+    pnn: &Pnn,
+    data: LabeledData<'_>,
+    variation: &VariationModel,
+    n_test: usize,
+    seed: u64,
+    parallel: ParallelConfig,
+) -> Result<McStats, PnnError> {
     if n_test == 0 {
         return Err(PnnError::Data {
             detail: "n_test must be positive".into(),
@@ -92,20 +120,22 @@ pub fn mc_evaluate(
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let shapes = pnn.theta_shapes();
-    let mut accuracies = Vec::with_capacity(n_test);
-    for _ in 0..n_test {
-        let noise = if variation.is_none() {
-            None
-        } else {
-            Some(NoiseSample::draw(
-                variation,
-                &mut rng,
-                &shapes,
-                pnn.num_circuits(),
-            ))
-        };
-        accuracies.push(accuracy(pnn, data, noise.as_ref())?);
-    }
+    let noise: Vec<Option<NoiseSample>> = (0..n_test)
+        .map(|_| {
+            if variation.is_none() {
+                None
+            } else {
+                Some(NoiseSample::draw(
+                    variation,
+                    &mut rng,
+                    &shapes,
+                    pnn.num_circuits(),
+                ))
+            }
+        })
+        .collect();
+    let accuracies =
+        parallel.try_ordered_par_map(&noise, |sample| accuracy(pnn, data, sample.as_ref()))?;
     Ok(McStats {
         mean: stats::mean(&accuracies),
         std: stats::std(&accuracies),
@@ -183,6 +213,28 @@ mod tests {
         // coincide (they are coarse fractions), but the call must succeed.
         let c = mc_evaluate(&pnn, data, &v, 20, 8).unwrap();
         assert_eq!(c.accuracies.len(), 20);
+    }
+
+    #[test]
+    fn mc_evaluate_is_identical_across_thread_counts() {
+        let pnn = quick_pnn();
+        let x = Matrix::from_fn(8, 2, |i, j| ((i * 3 + j) % 9) as f64 / 8.0);
+        let y = vec![0, 1, 1, 0, 1, 0, 0, 1];
+        let data = LabeledData::new(&x, &y).unwrap();
+        let v = VariationModel::Gaussian { sigma: 0.05 };
+        let serial = mc_evaluate_with(&pnn, data, &v, 24, 11, ParallelConfig::serial()).unwrap();
+        for threads in [2, 4] {
+            let parallel = mc_evaluate_with(
+                &pnn,
+                data,
+                &v,
+                24,
+                11,
+                ParallelConfig::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl PrintedDesign {
                 (make(act), make(inv))
             })
             .collect();
-        PrintedDesign { crossbars, circuits }
+        PrintedDesign {
+            crossbars,
+            circuits,
+        }
     }
 
     /// Total number of printed resistors across all crossbars (zeros are not
@@ -105,8 +108,12 @@ impl PrintedDesign {
     /// constraints.
     pub fn is_feasible(&self) -> bool {
         self.circuits.iter().all(|(a, i)| {
-            NonlinearCircuitParams::from_array(a.omega).validate().is_ok()
-                && NonlinearCircuitParams::from_array(i.omega).validate().is_ok()
+            NonlinearCircuitParams::from_array(a.omega)
+                .validate()
+                .is_ok()
+                && NonlinearCircuitParams::from_array(i.omega)
+                    .validate()
+                    .is_ok()
         })
     }
 }

@@ -178,7 +178,8 @@ impl HardwareSimulator {
             }
             let n = ckt.new_node();
             ckt.vsource(n, GROUND, v).map_err(spice_err)?;
-            ckt.resistor(n, z, 1.0 / (g * self.g_unit)).map_err(spice_err)?;
+            ckt.resistor(n, z, 1.0 / (g * self.g_unit))
+                .map_err(spice_err)?;
         }
         if bias_g > 0.0 {
             let n = ckt.new_node();
@@ -225,18 +226,15 @@ impl HardwareSimulator {
             let pair_base = match config.granularity {
                 crate::NonlinearityGranularity::Shared => 0,
                 crate::NonlinearityGranularity::PerLayer => layer_idx,
-                crate::NonlinearityGranularity::PerNeuron => pnn.layers()[..layer_idx]
-                    .iter()
-                    .map(|l| l.out_dim())
-                    .sum(),
+                crate::NonlinearityGranularity::PerNeuron => {
+                    pnn.layers()[..layer_idx].iter().map(|l| l.out_dim()).sum()
+                }
             };
 
             let mut next = Matrix::zeros(batch, outs);
             for s in 0..batch {
                 for j in 0..outs {
-                    let pair = if config.granularity
-                        == crate::NonlinearityGranularity::PerNeuron
-                    {
+                    let pair = if config.granularity == crate::NonlinearityGranularity::PerNeuron {
                         pair_base + j
                     } else {
                         pair_base
@@ -372,8 +370,7 @@ mod tests {
     fn tabulated_interpolation_matches_simulation() {
         let omega = NonlinearCircuitParams::nominal().to_array();
         let table = TabulatedCircuit::characterize(&omega, 201).unwrap();
-        let mut circuit =
-            PtanhCircuit::build(&NonlinearCircuitParams::from_array(omega)).unwrap();
+        let mut circuit = PtanhCircuit::build(&NonlinearCircuitParams::from_array(omega)).unwrap();
         for k in 0..10 {
             let v = 0.05 + 0.09 * k as f64;
             let direct = circuit.output_at(v).unwrap();

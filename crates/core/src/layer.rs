@@ -90,7 +90,9 @@ impl PLayer {
 
     /// The printable conductance matrix (projected θ values).
     pub fn printable_conductances(&self, g_min: f64, g_max: f64) -> Matrix {
-        self.theta.value().map(|t| project_printable(t, g_min, g_max))
+        self.theta
+            .value()
+            .map(|t| project_printable(t, g_min, g_max))
     }
 
     /// Builds the crossbar forward pass on the graph.
@@ -139,11 +141,7 @@ impl PLayer {
         let batch = g.shape(x).0;
         if g.shape(x).1 != self.in_dim {
             return Err(PnnError::Data {
-                detail: format!(
-                    "layer expects {} inputs, got {}",
-                    self.in_dim,
-                    g.shape(x).1
-                ),
+                detail: format!("layer expects {} inputs, got {}", self.in_dim, g.shape(x).1),
             });
         }
 
@@ -285,8 +283,7 @@ mod tests {
         // With positive θ and no activation, the output is the Eq. 1
         // weighted mean of inputs, bias 1 V, and the grounded g_d leg.
         let mut layer = PLayer::new(2, 1, 0.01, 1.0, 1);
-        *layer.theta.value_mut() =
-            Matrix::from_rows(&[&[0.2], &[0.3], &[0.4], &[0.1]]).unwrap();
+        *layer.theta.value_mut() = Matrix::from_rows(&[&[0.2], &[0.3], &[0.4], &[0.1]]).unwrap();
         let mut g = Graph::new();
         let theta = layer.theta.leaf(&mut g);
         let x = g.constant(Matrix::row_vector(&[0.8, 0.4]));

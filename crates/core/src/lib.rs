@@ -80,7 +80,7 @@ mod train;
 mod variation;
 
 pub use error::PnnError;
-pub use eval::{accuracy, mc_evaluate, McStats};
+pub use eval::{accuracy, mc_evaluate, mc_evaluate_with, McStats};
 pub use export::{CircuitDesign, CrossbarDesign, PrintedDesign};
 pub use layer::{project_printable, PLayer};
 pub use network::{LossKind, NonlinearityGranularity, Pnn, PnnConfig, PnnVars};

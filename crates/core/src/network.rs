@@ -111,7 +111,10 @@ impl PnnConfig {
         }
         if !(self.g_min > 0.0 && self.g_max > self.g_min) {
             return Err(PnnError::Config {
-                detail: format!("need 0 < g_min < g_max, got {} and {}", self.g_min, self.g_max),
+                detail: format!(
+                    "need 0 < g_min < g_max, got {} and {}",
+                    self.g_min, self.g_max
+                ),
             });
         }
         Ok(())
@@ -185,15 +188,16 @@ impl Pnn {
                 w[1],
                 config.g_min,
                 config.g_max,
-                config.seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                config
+                    .seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15),
             ));
         }
         let pairs = match config.granularity {
             NonlinearityGranularity::Shared => 1,
             NonlinearityGranularity::PerLayer => layers.len(),
-            NonlinearityGranularity::PerNeuron => {
-                layers.iter().map(|l| l.out_dim()).sum::<usize>()
-            }
+            NonlinearityGranularity::PerNeuron => layers.iter().map(|l| l.out_dim()).sum::<usize>(),
         };
         let nominal = NonlinearCircuitParams::nominal();
         let make = || {
@@ -513,11 +517,7 @@ mod tests {
         assert_eq!(vars.circuit_ws.len(), 4);
         assert_eq!(vars.thetas.len(), 2);
 
-        let fixed = Pnn::new(
-            PnnConfig::for_dataset(4, 3).with_fixed_nonlinearity(),
-            s,
-        )
-        .unwrap();
+        let fixed = Pnn::new(PnnConfig::for_dataset(4, 3).with_fixed_nonlinearity(), s).unwrap();
         let mut g = Graph::new();
         let (_, vars) = fixed.forward(&mut g, &toy_input(2, 4), None).unwrap();
         assert!(vars.circuit_ws.is_empty());
@@ -606,11 +606,11 @@ mod tests {
         );
         let varied = pnn.infer(&x, Some(&noise)).unwrap();
         assert_ne!(nominal, varied);
-        let max_shift = nominal
-            .sub(&varied)
-            .unwrap()
-            .norm_inf();
-        assert!(max_shift < 0.5, "10% component noise should not rail outputs: {max_shift}");
+        let max_shift = nominal.sub(&varied).unwrap().norm_inf();
+        assert!(
+            max_shift < 0.5,
+            "10% component noise should not rail outputs: {max_shift}"
+        );
     }
 
     #[test]
@@ -645,7 +645,9 @@ mod tests {
             .unwrap();
         let grads = g.backward(loss).unwrap();
         for (k, theta) in vars.thetas.iter().enumerate() {
-            let gt = grads.get(*theta).unwrap_or_else(|| panic!("theta {k} missing grad"));
+            let gt = grads
+                .get(*theta)
+                .unwrap_or_else(|| panic!("theta {k} missing grad"));
             assert!(gt.norm() > 0.0, "theta {k} has zero gradient");
         }
         let mut any_circuit_grad = false;

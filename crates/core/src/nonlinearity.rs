@@ -105,7 +105,9 @@ impl NonlinearCircuit {
                 let raw = w.value();
                 let sig = |x: f64| 1.0 / (1.0 + (-x).exp());
                 let s: Vec<f64> = (0..7).map(|k| sig(raw[(0, k)])).collect();
-                let denorm = |k_box: usize, s: f64| space.lo[k_box] + s * (space.hi[k_box] - space.lo[k_box]);
+                let denorm = |k_box: usize, s: f64| {
+                    space.lo[k_box] + s * (space.hi[k_box] - space.lo[k_box])
+                };
                 let r1 = denorm(0, s[0]);
                 let r3 = denorm(2, s[1]);
                 let r5 = denorm(4, s[2]);
@@ -294,10 +296,7 @@ mod tests {
         for (k, (a, b)) in omega.iter().zip(&expected).enumerate() {
             // The logit clamp at 0.98 allows a small deviation at the box
             // edges (W sits at its maximum in the nominal design).
-            assert!(
-                (a - b).abs() < 0.05 * b.abs(),
-                "component {k}: {a} vs {b}"
-            );
+            assert!((a - b).abs() < 0.05 * b.abs(), "component {k}: {a} vs {b}");
         }
     }
 
@@ -308,9 +307,9 @@ mod tests {
         let mut g = Graph::new();
         let w = c.register(&mut g);
         let node = c.printable_omega_graph(&mut g, w).unwrap();
-        for k in 0..7 {
+        for (k, &p) in plain.iter().enumerate() {
             assert!(
-                (g.value(node)[(0, k)] - plain[k]).abs() < 1e-9 * plain[k].abs().max(1.0),
+                (g.value(node)[(0, k)] - p).abs() < 1e-9 * p.abs().max(1.0),
                 "component {k}"
             );
         }
@@ -348,9 +347,9 @@ mod tests {
         let space = DesignSpace::paper();
         let params = NonlinearCircuitParams::from_array(omega);
         params.validate().expect("feasible");
-        for k in 0..7 {
-            assert!(omega[k] <= space.hi[k] + 1e-9);
-            assert!(omega[k] >= space.lo[k] - 1e-9);
+        for (k, &o) in omega.iter().enumerate() {
+            assert!(o <= space.hi[k] + 1e-9);
+            assert!(o >= space.lo[k] - 1e-9);
         }
     }
 
@@ -371,8 +370,8 @@ mod tests {
         let mut g = Graph::new();
         let w = c.register(&mut g);
         let eta = c.eta_graph(&mut g, w, &surrogate, None).unwrap();
-        for k in 0..4 {
-            assert!((g.value(eta)[(0, k)] - plain[k]).abs() < 1e-9);
+        for (k, &p) in plain.iter().enumerate() {
+            assert!((g.value(eta)[(0, k)] - p).abs() < 1e-9);
         }
     }
 

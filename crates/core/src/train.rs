@@ -4,7 +4,7 @@ use crate::network::{LossKind, Pnn};
 use crate::variation::{NoiseSample, VariationModel};
 use crate::PnnError;
 use pnc_autodiff::{Adam, Graph, Optimizer};
-use pnc_linalg::Matrix;
+use pnc_linalg::{Matrix, ParallelConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -94,6 +94,11 @@ pub struct TrainConfig {
     /// draws an age uniformly over the configured lifetime and decays the
     /// crossbar conductances accordingly (see [`crate::aging`]).
     pub aging: Option<crate::aging::AgingAwareness>,
+    /// Thread-count control for the Monte-Carlo loss, the fixed-noise
+    /// validation evaluation, and [`train_best_of_seeds`]. Training results
+    /// are bit-identical at every thread count; `PNC_NUM_THREADS` overrides
+    /// this setting process-wide.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for TrainConfig {
@@ -110,6 +115,7 @@ impl Default for TrainConfig {
             patience: 100,
             seed: 0,
             aging: None,
+            parallel: ParallelConfig::automatic(),
         }
     }
 }
@@ -174,9 +180,21 @@ impl Trainer {
             .collect()
     }
 
-    /// Builds the Monte-Carlo loss over `noise` draws on one graph and
-    /// returns `(loss value, per-parameter gradients)`; gradients are `None`
-    /// when `backward` is false.
+    /// Computes the Monte-Carlo loss over `noise` draws and returns
+    /// `(loss value, per-parameter gradients)`; gradients are `None` when
+    /// `backward` is false.
+    ///
+    /// Each draw records its forward pass (and, when requested, backward
+    /// pass) on its own private [`Graph`], so draws run independently on
+    /// worker threads under [`TrainConfig::parallel`]. Per-draw losses and
+    /// gradients come back in draw order and are reduced left-to-right
+    /// before the final `1/n` scaling — a fixed floating-point sequence, so
+    /// the result is bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Data`] for an empty `noise` slice and propagates
+    /// forward/backward failures (lowest draw index wins, deterministically).
     #[allow(clippy::type_complexity)]
     fn mc_loss(
         &self,
@@ -185,48 +203,90 @@ impl Trainer {
         noise: &[Option<NoiseSample>],
         backward: bool,
     ) -> Result<(f64, Option<(Vec<Matrix>, Vec<Matrix>)>), PnnError> {
-        let mut g = Graph::new();
-        let mut losses = Vec::with_capacity(noise.len());
-        let mut all_vars = Vec::with_capacity(noise.len());
-        for sample in noise {
-            let (scores, vars) = pnn.forward(&mut g, data.features, sample.as_ref())?;
-            let loss = pnn.loss(&mut g, scores, data.labels, self.config.loss)?;
-            losses.push(loss);
-            all_vars.push(vars);
+        if noise.is_empty() {
+            return Err(PnnError::Data {
+                detail: "Monte-Carlo loss needs at least one noise draw".into(),
+            });
         }
-        // Mean over Monte-Carlo draws.
-        let mut total = losses[0];
-        for &l in &losses[1..] {
-            total = g.add(total, l)?;
+        struct DrawOutcome {
+            loss: f64,
+            grads: Option<(Vec<Matrix>, Vec<Matrix>)>,
         }
-        let total = g.scale(total, 1.0 / losses.len() as f64);
-        let loss_value = g.value(total)[(0, 0)];
+        let theta_shapes = pnn.theta_shapes();
+        let outcomes: Vec<DrawOutcome> = self.config.parallel.try_ordered_par_map(
+            noise,
+            |sample| -> Result<DrawOutcome, PnnError> {
+                let mut g = Graph::new();
+                let (scores, vars) = pnn.forward(&mut g, data.features, sample.as_ref())?;
+                let loss = pnn.loss(&mut g, scores, data.labels, self.config.loss)?;
+                let loss_value = g.value(loss)[(0, 0)];
+                if !backward {
+                    return Ok(DrawOutcome {
+                        loss: loss_value,
+                        grads: None,
+                    });
+                }
+                let grads = g.backward(loss)?;
+                // Missing leaf gradients (e.g. unused parameters) count
+                // as zero so every draw contributes same-shaped terms.
+                let theta_grads: Vec<Matrix> = vars
+                    .thetas
+                    .iter()
+                    .zip(&theta_shapes)
+                    .map(|(v, &(r, c))| {
+                        grads
+                            .get(*v)
+                            .cloned()
+                            .unwrap_or_else(|| Matrix::zeros(r, c))
+                    })
+                    .collect();
+                let w_grads: Vec<Matrix> = vars
+                    .circuit_ws
+                    .iter()
+                    .map(|v| {
+                        grads
+                            .get(*v)
+                            .cloned()
+                            .unwrap_or_else(|| Matrix::zeros(1, 7))
+                    })
+                    .collect();
+                Ok(DrawOutcome {
+                    loss: loss_value,
+                    grads: Some((theta_grads, w_grads)),
+                })
+            },
+        )?;
+
+        // Deterministic ordered reduction: sum draws left-to-right in draw
+        // order, then scale once by 1/n.
+        let scale = 1.0 / outcomes.len() as f64;
+        let mut loss_total = 0.0;
+        for outcome in &outcomes {
+            loss_total += outcome.loss;
+        }
+        let loss_value = loss_total * scale;
 
         if !backward {
             return Ok((loss_value, None));
         }
 
-        let grads = g.backward(total)?;
-        // Sum each parameter's gradient over its per-sample leaf copies.
-        let theta_shapes = pnn.theta_shapes();
         let mut theta_grads: Vec<Matrix> = theta_shapes
             .iter()
             .map(|&(r, c)| Matrix::zeros(r, c))
             .collect();
-        let n_ws = all_vars[0].circuit_ws.len();
-        let mut w_grads: Vec<Matrix> = (0..n_ws).map(|_| Matrix::zeros(1, 7)).collect();
-        for vars in &all_vars {
-            for (k, theta_var) in vars.thetas.iter().enumerate() {
-                if let Some(gm) = grads.get(*theta_var) {
-                    theta_grads[k] = theta_grads[k].add(gm).expect("shapes match");
-                }
+        let first = outcomes[0].grads.as_ref().expect("backward requested");
+        let mut w_grads: Vec<Matrix> = (0..first.1.len()).map(|_| Matrix::zeros(1, 7)).collect();
+        for outcome in &outcomes {
+            let (draw_theta, draw_w) = outcome.grads.as_ref().expect("backward requested");
+            for (acc, g) in theta_grads.iter_mut().zip(draw_theta) {
+                *acc = acc.add(g).expect("shapes match");
             }
-            for (k, w_var) in vars.circuit_ws.iter().enumerate() {
-                if let Some(gm) = grads.get(*w_var) {
-                    w_grads[k] = w_grads[k].add(gm).expect("shapes match");
-                }
+            for (acc, g) in w_grads.iter_mut().zip(draw_w) {
+                *acc = acc.add(g).expect("shapes match");
             }
         }
+        let theta_grads: Vec<Matrix> = theta_grads.iter().map(|m| m.scale(scale)).collect();
+        let w_grads: Vec<Matrix> = w_grads.iter().map(|m| m.scale(scale)).collect();
         Ok((loss_value, Some((theta_grads, w_grads))))
     }
 
@@ -271,11 +331,8 @@ impl Trainer {
 
             // Crossbar group.
             {
-                let mut params: Vec<&mut pnc_autodiff::Parameter> = pnn
-                    .layers_mut()
-                    .iter_mut()
-                    .map(|l| &mut l.theta)
-                    .collect();
+                let mut params: Vec<&mut pnc_autodiff::Parameter> =
+                    pnn.layers_mut().iter_mut().map(|l| &mut l.theta).collect();
                 let grad_refs: Vec<&Matrix> = theta_grads.iter().collect();
                 opt_theta.step_dense(&mut params, &grad_refs);
             }
@@ -333,6 +390,15 @@ impl Trainer {
 /// ([`PnnConfig::with_seed`](crate::PnnConfig::with_seed)) and the training
 /// noise draws.
 ///
+/// Seeds fan out over [`TrainConfig::parallel`] worker threads; every
+/// seed's run is independent and internally deterministic, and the winner
+/// is chosen by a strict `<` scan in seed order, so the selected circuit is
+/// identical at every thread count (first seed wins ties, matching the old
+/// serial loop). With the automatic thread setting, the per-seed inner
+/// Monte-Carlo loop runs serially inside each worker rather than
+/// oversubscribing the machine; when only one seed is given, that single
+/// training run parallelizes over its Monte-Carlo draws instead.
+///
 /// # Errors
 ///
 /// Returns [`PnnError::Config`] for an empty seed list and propagates
@@ -354,22 +420,25 @@ pub fn train_best_of_seeds(
             detail: "need at least one seed".into(),
         });
     }
-    let mut best: Option<(Pnn, TrainReport)> = None;
-    for &seed in seeds {
-        let mut pnn = Pnn::new(config.clone().with_seed(seed), surrogate.clone())?;
-        let trainer = Trainer::new(TrainConfig {
-            seed,
-            ..*train_config
-        });
-        let report = trainer.train(&mut pnn, train, val)?;
-        let better = best
-            .as_ref()
-            .is_none_or(|(_, b)| report.best_val_loss < b.best_val_loss);
-        if better {
-            best = Some((pnn, report));
+    let results: Vec<(Pnn, TrainReport)> = train_config.parallel.try_ordered_par_map(
+        seeds,
+        |&seed| -> Result<(Pnn, TrainReport), PnnError> {
+            let mut pnn = Pnn::new(config.clone().with_seed(seed), surrogate.clone())?;
+            let trainer = Trainer::new(TrainConfig {
+                seed,
+                ..*train_config
+            });
+            let report = trainer.train(&mut pnn, train, val)?;
+            Ok((pnn, report))
+        },
+    )?;
+    let mut best = 0;
+    for (i, (_, report)) in results.iter().enumerate().skip(1) {
+        if report.best_val_loss < results[best].1.best_val_loss {
+            best = i;
         }
     }
-    Ok(best.expect("seeds is non-empty"))
+    Ok(results.into_iter().nth(best).expect("seeds is non-empty"))
 }
 
 #[cfg(test)]
@@ -436,7 +505,9 @@ mod tests {
         let (x, y) = blobs();
         let data = LabeledData::new(&x, &y).unwrap();
         let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
-        let report = Trainer::new(quick_config()).train(&mut pnn, data, data).unwrap();
+        let report = Trainer::new(quick_config())
+            .train(&mut pnn, data, data)
+            .unwrap();
 
         assert!(report.epochs_run > 0);
         assert!(
@@ -462,7 +533,10 @@ mod tests {
         let report = Trainer::new(config).train(&mut pnn, data, data).unwrap();
         assert!(report.best_val_loss.is_finite());
         let acc = crate::eval::accuracy(&pnn, data, None).unwrap();
-        assert!(acc > 0.85, "VA training should still learn blobs, got {acc}");
+        assert!(
+            acc > 0.85,
+            "VA training should still learn blobs, got {acc}"
+        );
     }
 
     #[test]
@@ -476,7 +550,9 @@ mod tests {
             .iter()
             .map(|(a, _)| a.printable_omega())
             .collect();
-        Trainer::new(quick_config()).train(&mut pnn, data, data).unwrap();
+        Trainer::new(quick_config())
+            .train(&mut pnn, data, data)
+            .unwrap();
         let after: Vec<[f64; 7]> = pnn
             .circuits()
             .iter()
@@ -494,17 +570,15 @@ mod tests {
         let s = quick_surrogate();
         let (x, y) = blobs();
         let data = LabeledData::new(&x, &y).unwrap();
-        let mut pnn = Pnn::new(
-            PnnConfig::for_dataset(2, 2).with_fixed_nonlinearity(),
-            s,
-        )
-        .unwrap();
+        let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2).with_fixed_nonlinearity(), s).unwrap();
         let before: Vec<[f64; 7]> = pnn
             .circuits()
             .iter()
             .map(|(a, _)| a.printable_omega())
             .collect();
-        Trainer::new(quick_config()).train(&mut pnn, data, data).unwrap();
+        Trainer::new(quick_config())
+            .train(&mut pnn, data, data)
+            .unwrap();
         let after: Vec<[f64; 7]> = pnn
             .circuits()
             .iter()
@@ -514,14 +588,105 @@ mod tests {
     }
 
     #[test]
+    fn mc_loss_rejects_empty_noise_slice() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
+        let trainer = Trainer::new(quick_config());
+        for backward in [false, true] {
+            let err = trainer.mc_loss(&pnn, data, &[], backward).unwrap_err();
+            assert!(
+                matches!(err, PnnError::Data { .. }),
+                "expected PnnError::Data, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let run = |threads: usize| {
+            let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s.clone()).unwrap();
+            let config = TrainConfig {
+                variation: VariationModel::Uniform { epsilon: 0.1 },
+                n_train_mc: 4,
+                n_val_mc: 3,
+                max_epochs: 20,
+                parallel: ParallelConfig::with_threads(threads),
+                ..quick_config()
+            };
+            let report = Trainer::new(config).train(&mut pnn, data, data).unwrap();
+            let thetas: Vec<Matrix> = pnn
+                .layers()
+                .iter()
+                .map(|l| l.theta.value().clone())
+                .collect();
+            let omegas: Vec<[f64; 7]> = pnn
+                .circuits()
+                .iter()
+                .map(|(a, _)| a.printable_omega())
+                .collect();
+            (report, thetas, omegas)
+        };
+        let (report_1, thetas_1, omegas_1) = run(1);
+        for threads in [2, 4] {
+            let (report_n, thetas_n, omegas_n) = run(threads);
+            assert_eq!(
+                report_1.train_losses, report_n.train_losses,
+                "train losses diverge at {threads} threads"
+            );
+            assert_eq!(
+                report_1.val_losses, report_n.val_losses,
+                "val losses diverge at {threads} threads"
+            );
+            assert_eq!(report_1.best_epoch, report_n.best_epoch);
+            assert_eq!(thetas_1, thetas_n, "final θ diverge at {threads} threads");
+            assert_eq!(omegas_1, omegas_n, "final ω diverge at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn best_of_seeds_is_identical_across_thread_counts() {
+        let s = quick_surrogate();
+        let (x, y) = blobs();
+        let data = LabeledData::new(&x, &y).unwrap();
+        let run = |threads: usize| {
+            train_best_of_seeds(
+                &PnnConfig::for_dataset(2, 2),
+                s.clone(),
+                &TrainConfig {
+                    max_epochs: 15,
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..quick_config()
+                },
+                data,
+                data,
+                &[1, 2, 3, 4],
+            )
+            .unwrap()
+        };
+        let (_, report_1) = run(1);
+        let (_, report_4) = run(4);
+        assert_eq!(report_1.best_val_loss, report_4.best_val_loss);
+        assert_eq!(report_1.train_losses, report_4.train_losses);
+    }
+
+    #[test]
     fn training_is_deterministic_in_the_seed() {
         let s = quick_surrogate();
         let (x, y) = blobs();
         let data = LabeledData::new(&x, &y).unwrap();
         let mut a = Pnn::new(PnnConfig::for_dataset(2, 2), s.clone()).unwrap();
         let mut b = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
-        let ra = Trainer::new(quick_config()).train(&mut a, data, data).unwrap();
-        let rb = Trainer::new(quick_config()).train(&mut b, data, data).unwrap();
+        let ra = Trainer::new(quick_config())
+            .train(&mut a, data, data)
+            .unwrap();
+        let rb = Trainer::new(quick_config())
+            .train(&mut b, data, data)
+            .unwrap();
         assert_eq!(ra.train_losses, rb.train_losses);
     }
 
@@ -531,15 +696,9 @@ mod tests {
         let (x, y) = blobs();
         let data = LabeledData::new(&x, &y).unwrap();
         let config = PnnConfig::for_dataset(2, 2);
-        let (pnn, best) = train_best_of_seeds(
-            &config,
-            s.clone(),
-            &quick_config(),
-            data,
-            data,
-            &[1, 2, 3],
-        )
-        .unwrap();
+        let (pnn, best) =
+            train_best_of_seeds(&config, s.clone(), &quick_config(), data, data, &[1, 2, 3])
+                .unwrap();
         // Each individual seed's loss must be >= the selected one.
         for seed in [1u64, 2, 3] {
             let mut single = Pnn::new(config.clone().with_seed(seed), s.clone()).unwrap();
@@ -582,6 +741,8 @@ mod tests {
             labels: &[],
         };
         let mut pnn = Pnn::new(PnnConfig::for_dataset(2, 2), s).unwrap();
-        assert!(Trainer::new(quick_config()).train(&mut pnn, empty, data).is_err());
+        assert!(Trainer::new(quick_config())
+            .train(&mut pnn, empty, data)
+            .is_err());
     }
 }

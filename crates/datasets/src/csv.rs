@@ -111,13 +111,12 @@ impl Dataset {
                     })
                 }
             };
-            let label: usize =
-                fields[fields.len() - 1]
-                    .parse()
-                    .map_err(|_| CsvError::Parse {
-                        line: idx + 1,
-                        detail: format!("non-integer label {:?}", fields[fields.len() - 1]),
-                    })?;
+            let label: usize = fields[fields.len() - 1]
+                .parse()
+                .map_err(|_| CsvError::Parse {
+                    line: idx + 1,
+                    detail: format!("non-integer label {:?}", fields[fields.len() - 1]),
+                })?;
             if let Some(w) = width {
                 if features.len() != w {
                     return Err(CsvError::Parse {

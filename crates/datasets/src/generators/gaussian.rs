@@ -52,8 +52,8 @@ pub fn cardiotocography() -> Dataset {
         145.0, 147.0, 145.0, 9.0, 0.8,
     ];
     let suspect_std = vec![
-        10.0, 0.2, 4.0, 0.2, 0.4, 0.05, 1.2, 18.0, 0.6, 6.0, 7.0, 30.0, 25.0, 18.0, 2.2, 0.7,
-        16.0, 16.0, 16.0, 8.0, 0.7,
+        10.0, 0.2, 4.0, 0.2, 0.4, 0.05, 1.2, 18.0, 0.6, 6.0, 7.0, 30.0, 25.0, 18.0, 2.2, 0.7, 16.0,
+        16.0, 16.0, 8.0, 0.7,
     ];
     let path_mean = vec![
         131.0, 0.05, 2.0, 0.05, 1.5, 0.1, 4.0, 85.0, 0.4, 20.0, 18.0, 90.0, 80.0, 178.0, 2.2, 0.8,
@@ -170,11 +170,7 @@ pub fn seeds() -> Dataset {
 /// features, classes normal (100) / disk hernia (60) / spondylolisthesis
 /// (150) with the published per-class spine geometry.
 pub fn vertebral_column_3c() -> Dataset {
-    gaussian_dataset(
-        "Vertebral Column (3 cl.)",
-        &vertebral_classes(),
-        0x3BAC,
-    )
+    gaussian_dataset("Vertebral Column (3 cl.)", &vertebral_classes(), 0x3BAC)
 }
 
 /// *Vertebral Column* (UCI), 2-class variant: the same cohort with disk

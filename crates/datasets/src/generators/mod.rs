@@ -8,8 +8,8 @@ mod rules;
 mod simulated;
 
 pub use gaussian::{
-    breast_cancer_wisconsin, cardiotocography, iris, mammographic_mass, seeds,
-    vertebral_column_2c, vertebral_column_3c,
+    breast_cancer_wisconsin, cardiotocography, iris, mammographic_mass, seeds, vertebral_column_2c,
+    vertebral_column_3c,
 };
 pub use rules::{acute_inflammation, balance_scale, tic_tac_toe};
 pub use simulated::{energy_efficiency_y1, energy_efficiency_y2, pendigits};

@@ -55,8 +55,7 @@ fn building_grid() -> Vec<[f64; 8]> {
 /// area, tall storeys and generous glazing all increase demand.
 fn heating_load(row: &[f64; 8]) -> f64 {
     let [rc, _surface, wall, roof, height, orientation, glazing, gdist] = *row;
-    40.0 * (1.0 - rc) + 0.06 * wall + 0.03 * roof + 2.0 * height + 22.0 * glazing
-        - 0.4 * gdist
+    40.0 * (1.0 - rc) + 0.06 * wall + 0.03 * roof + 2.0 * height + 22.0 * glazing - 0.4 * gdist
         + 0.3 * (orientation - 3.5).abs()
 }
 
@@ -64,7 +63,11 @@ fn heating_load(row: &[f64; 8]) -> f64 {
 /// glazing dominates).
 fn cooling_load(row: &[f64; 8]) -> f64 {
     let [rc, surface, _wall, roof, height, orientation, glazing, gdist] = *row;
-    25.0 * (1.0 - rc) + 0.02 * surface + 0.05 * roof + 2.4 * height + 30.0 * glazing
+    25.0 * (1.0 - rc)
+        + 0.02 * surface
+        + 0.05 * roof
+        + 2.4 * height
+        + 30.0 * glazing
         + 0.2 * gdist
         + 0.5 * (orientation - 3.5).abs()
 }
@@ -80,7 +83,15 @@ fn energy_dataset(name: &str, load: impl Fn(&[f64; 8]) -> f64) -> Dataset {
     let t2 = sorted[2 * sorted.len() / 3];
     let labels = scores
         .iter()
-        .map(|&s| if s < t1 { 0 } else if s < t2 { 1 } else { 2 })
+        .map(|&s| {
+            if s < t1 {
+                0
+            } else if s < t2 {
+                1
+            } else {
+                2
+            }
+        })
         .collect();
     let mut features = Matrix::from_fn(rows.len(), 8, |i, j| rows[i][j]);
     normalize_columns(&mut features);

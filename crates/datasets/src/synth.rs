@@ -32,7 +32,9 @@ pub(crate) fn randn(rng: &mut StdRng) -> f64 {
 pub(crate) fn gaussian_dataset(name: &str, classes: &[GaussianClass], seed: u64) -> Dataset {
     let dim = classes.first().map(|c| c.mean.len()).unwrap_or(0);
     assert!(
-        classes.iter().all(|c| c.mean.len() == dim && c.std.len() == dim),
+        classes
+            .iter()
+            .all(|c| c.mean.len() == dim && c.std.len() == dim),
         "all classes must share the feature dimension"
     );
     let total: usize = classes.iter().map(|c| c.n).sum();

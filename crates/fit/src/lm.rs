@@ -183,7 +183,10 @@ mod tests {
     fn fits_exponential_decay() {
         let truth = (2.5, 1.3);
         let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
-        let data: Vec<(f64, f64)> = xs.iter().map(|&x| (x, truth.0 * (-truth.1 * x).exp())).collect();
+        let data: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x, truth.0 * (-truth.1 * x).exp()))
+            .collect();
 
         let result = levenberg_marquardt(&[1.0, 0.5], LmOptions::default(), |p| {
             let r: Vec<f64> = data
@@ -212,14 +215,18 @@ mod tests {
     #[test]
     fn rosenbrock_valley() {
         // Rosenbrock as a residual problem: r = [10(y − x²), 1 − x].
-        let result = levenberg_marquardt(&[-1.2, 1.0], LmOptions {
-            max_iterations: 500,
-            ..LmOptions::default()
-        }, |p| {
-            let r = vec![10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]];
-            let j = Matrix::from_rows(&[&[-20.0 * p[0], 10.0], &[-1.0, 0.0]]).unwrap();
-            (r, j)
-        })
+        let result = levenberg_marquardt(
+            &[-1.2, 1.0],
+            LmOptions {
+                max_iterations: 500,
+                ..LmOptions::default()
+            },
+            |p| {
+                let r = vec![10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]];
+                let j = Matrix::from_rows(&[&[-20.0 * p[0], 10.0], &[-1.0, 0.0]]).unwrap();
+                (r, j)
+            },
+        )
         .unwrap();
         assert!((result.params[0] - 1.0).abs() < 1e-6);
         assert!((result.params[1] - 1.0).abs() < 1e-6);
@@ -227,9 +234,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_parameters() {
-        let err = levenberg_marquardt(&[], LmOptions::default(), |_| {
-            (vec![], Matrix::zeros(1, 1))
-        });
+        let err = levenberg_marquardt(&[], LmOptions::default(), |_| (vec![], Matrix::zeros(1, 1)));
         assert!(matches!(err, Err(FitError::InvalidData { .. })));
     }
 

@@ -160,7 +160,10 @@ pub fn fit_ptanh_with(points: &[(f64, f64)], options: LmOptions) -> Result<Ptanh
             best = Some((result.cost, result));
         }
         // Early exit on an essentially perfect fit.
-        if best.as_ref().is_some_and(|(c, _)| *c < 1e-18 * points.len() as f64) {
+        if best
+            .as_ref()
+            .is_some_and(|(c, _)| *c < 1e-18 * points.len() as f64)
+        {
             break;
         }
     }
@@ -194,7 +197,10 @@ fn validate(points: &[(f64, f64)]) -> Result<(), FitError> {
             detail: format!("need at least 5 points, got {}", points.len()),
         });
     }
-    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+    if points
+        .iter()
+        .any(|&(x, y)| !x.is_finite() || !y.is_finite())
+    {
         return Err(FitError::InvalidData {
             detail: "non-finite sample".into(),
         });
@@ -288,14 +294,14 @@ mod tests {
         };
         let v = 0.7;
         let g = p.grad_eta(v);
-        for k in 0..4 {
+        for (k, &gk) in g.iter().enumerate() {
             let h = 1e-7;
             let mut up = p;
             up.eta[k] += h;
             let mut dn = p;
             dn.eta[k] -= h;
             let fd = (up.eval(v) - dn.eval(v)) / (2.0 * h);
-            assert!((fd - g[k]).abs() < 1e-6, "component {k}: {fd} vs {}", g[k]);
+            assert!((fd - gk).abs() < 1e-6, "component {k}: {fd} vs {gk}");
         }
     }
 
@@ -346,7 +352,10 @@ mod tests {
         // The identifiability anchor biases the saturated falling curve by a
         // few tens of microvolts.
         assert!(fit.rmse < 1e-4, "rmse {}", fit.rmse);
-        assert!(fit.curve.eta[1] < 0.0, "falling curve keeps negative η₂ after canonicalization");
+        assert!(
+            fit.curve.eta[1] < 0.0,
+            "falling curve keeps negative η₂ after canonicalization"
+        );
     }
 
     #[test]
@@ -398,10 +407,7 @@ mod tests {
     #[test]
     fn rejects_too_few_points() {
         let pts = vec![(0.0, 0.0), (1.0, 1.0)];
-        assert!(matches!(
-            fit_ptanh(&pts),
-            Err(FitError::InvalidData { .. })
-        ));
+        assert!(matches!(fit_ptanh(&pts), Err(FitError::InvalidData { .. })));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   normal equations of the Levenberg–Marquardt fitter in `pnc-fit`.
 //! * [`stats`] — scalar summary statistics (mean/std/min/max) used when
 //!   reporting Monte-Carlo robustness results.
+//! * [`ParallelConfig`] — the workspace-wide thread-count knob and its
+//!   deterministic ordered parallel map, honoring the `PNC_NUM_THREADS`
+//!   environment variable.
 //!
 //! # Examples
 //!
@@ -36,8 +39,10 @@
 mod error;
 mod lu;
 mod matrix;
+pub mod parallel;
 pub mod stats;
 
 pub use error::LinalgError;
 pub use lu::{solve, Lu};
 pub use matrix::Matrix;
+pub use parallel::ParallelConfig;

@@ -233,10 +233,7 @@ mod tests {
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(
-            Lu::factor(&a),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
     }
 
     #[test]

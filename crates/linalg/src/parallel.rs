@@ -1,0 +1,210 @@
+//! Thread-count control and deterministic ordered parallel mapping.
+//!
+//! Every parallel fan-out in the workspace (Monte-Carlo training draws,
+//! SPICE sweep chunks, surrogate dataset characterization, seed search)
+//! goes through [`ParallelConfig`], so one knob — programmatic or the
+//! `PNC_NUM_THREADS` environment variable — governs them all.
+//!
+//! Determinism contract: [`ParallelConfig::ordered_par_map`] returns
+//! results in input-index order no matter how work was scheduled, and the
+//! per-item closures must not share mutable state. Callers then reduce the
+//! returned `Vec` left-to-right, which makes every floating-point
+//! reduction bit-identical across thread counts — the property
+//! `training_is_deterministic_in_the_seed` and the 1-vs-N-thread tests
+//! assert.
+
+use rayon::prelude::*;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// How many worker threads parallel sections may use.
+///
+/// Resolution order for the effective count:
+/// 1. the `PNC_NUM_THREADS` environment variable, when set to a positive
+///    integer (lets operators serialize or widen any binary without code
+///    changes),
+/// 2. the configured [`threads`](Self::threads), when non-zero,
+/// 3. the ambient rayon thread count (available parallelism, or 1 inside
+///    an outer parallel section so nesting does not oversubscribe).
+///
+/// # Examples
+///
+/// ```
+/// use pnc_linalg::ParallelConfig;
+///
+/// let squares = ParallelConfig::with_threads(4)
+///     .ordered_par_map(&[1.0_f64, 2.0, 3.0], |x| x * x);
+/// assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+/// assert_eq!(ParallelConfig::serial().effective_threads(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelConfig {
+    /// Requested thread count; 0 means automatic.
+    num_threads: usize,
+}
+
+impl ParallelConfig {
+    /// Environment variable overriding the thread count process-wide.
+    pub const ENV_VAR: &'static str = "PNC_NUM_THREADS";
+
+    /// Automatic thread count (all available cores).
+    pub fn automatic() -> Self {
+        ParallelConfig { num_threads: 0 }
+    }
+
+    /// Single-threaded execution: every `ordered_par_map` degenerates to a
+    /// plain serial loop with no pool setup.
+    pub fn serial() -> Self {
+        ParallelConfig { num_threads: 1 }
+    }
+
+    /// A fixed thread count; 0 means automatic.
+    pub fn with_threads(num_threads: usize) -> Self {
+        ParallelConfig { num_threads }
+    }
+
+    /// The configured (not resolved) thread count; 0 means automatic.
+    pub fn threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The thread count a parallel section started now would use, after
+    /// applying the `PNC_NUM_THREADS` override and automatic resolution.
+    pub fn effective_threads(&self) -> usize {
+        if let Ok(raw) = std::env::var(Self::ENV_VAR) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        if self.num_threads >= 1 {
+            return self.num_threads;
+        }
+        rayon::current_num_threads().max(1)
+    }
+
+    /// Maps `f` over `items` on up to [`effective_threads`] workers and
+    /// returns the results **in input order**. With one effective thread
+    /// (or one item) this is exactly `items.iter().map(f).collect()` — the
+    /// serial fallback costs no pool setup.
+    ///
+    /// [`effective_threads`]: Self::effective_threads
+    pub fn ordered_par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.effective_threads();
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail");
+        pool.install(|| items.par_iter().map(&f).collect())
+    }
+
+    /// Fallible [`ordered_par_map`](Self::ordered_par_map): every item is
+    /// evaluated, then the lowest-index error (if any) is returned — so the
+    /// reported error does not depend on thread timing.
+    pub fn try_ordered_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        self.ordered_par_map(items, f).into_iter().collect()
+    }
+}
+
+impl Serialize for ParallelConfig {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![(
+            "num_threads".to_string(),
+            Value::U64(self.num_threads as u64),
+        )])
+    }
+}
+
+impl Deserialize for ParallelConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Null (e.g. the field is absent in a pre-parallelism artifact)
+        // deserializes to the automatic default.
+        if matches!(v, Value::Null) {
+            return Ok(ParallelConfig::default());
+        }
+        let obj = serde::expect_object(v, "ParallelConfig")?;
+        let num_threads = match serde::field(obj, "num_threads") {
+            Value::Null => 0,
+            other => usize::from_value(other)?,
+        };
+        Ok(ParallelConfig { num_threads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_matches_serial_at_any_width() {
+        let items: Vec<f64> = (0..317).map(|i| i as f64 * 0.37 - 40.0).collect();
+        let serial = ParallelConfig::serial().ordered_par_map(&items, |x| x.sin() * x.cos());
+        for threads in [2, 3, 4, 8] {
+            let parallel = ParallelConfig::with_threads(threads)
+                .ordered_par_map(&items, |x| x.sin() * x.cos());
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let items: Vec<u32> = (0..64).collect();
+        let out = ParallelConfig::with_threads(4).try_ordered_par_map(&items, |&x| {
+            if x == 5 || x == 60 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(out, Err("bad 5".to_string()));
+        let ok: Result<Vec<u32>, String> =
+            ParallelConfig::automatic().try_ordered_par_map(&items, |&x| Ok(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(ParallelConfig::serial().effective_threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(3).effective_threads(), 3);
+        assert!(ParallelConfig::automatic().effective_threads() >= 1);
+        assert_eq!(ParallelConfig::with_threads(3).threads(), 3);
+        assert_eq!(ParallelConfig::automatic().threads(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_and_null_default() {
+        let config = ParallelConfig::with_threads(6);
+        let back = ParallelConfig::from_value(&config.to_value()).unwrap();
+        assert_eq!(config, back);
+        // A missing field (Null) means "automatic", so configs saved before
+        // parallelism existed still load.
+        let defaulted = ParallelConfig::from_value(&Value::Null).unwrap();
+        assert_eq!(defaulted, ParallelConfig::automatic());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<i32> = vec![];
+        assert!(ParallelConfig::automatic()
+            .ordered_par_map(&none, |x| *x)
+            .is_empty());
+        assert_eq!(
+            ParallelConfig::with_threads(8).ordered_par_map(&[7], |x| x * 2),
+            vec![14]
+        );
+    }
+}

@@ -65,7 +65,10 @@ impl fmt::Display for QmcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QmcError::UnsupportedDimension { requested, max } => {
-                write!(f, "unsupported dimension {requested} (supported: 1..={max})")
+                write!(
+                    f,
+                    "unsupported dimension {requested} (supported: 1..={max})"
+                )
             }
             QmcError::InvalidBounds { detail } => write!(f, "invalid bounds: {detail}"),
         }

@@ -14,26 +14,106 @@ struct Params {
 /// Any table of odd `m_k < 2^k` over primitive polynomials yields a valid
 /// Sobol' sequence; these are the standard low-dimension values.
 const PARAMS: &[Params] = &[
-    Params { s: 1, a: 0, m: &[1] },                    // dim 2
-    Params { s: 2, a: 1, m: &[1, 3] },                 // dim 3
-    Params { s: 3, a: 1, m: &[1, 3, 1] },              // dim 4
-    Params { s: 3, a: 2, m: &[1, 1, 1] },              // dim 5
-    Params { s: 4, a: 1, m: &[1, 1, 3, 3] },           // dim 6
-    Params { s: 4, a: 4, m: &[1, 3, 5, 13] },          // dim 7
-    Params { s: 5, a: 2, m: &[1, 1, 5, 5, 17] },       // dim 8
-    Params { s: 5, a: 4, m: &[1, 1, 5, 5, 5] },        // dim 9
-    Params { s: 5, a: 7, m: &[1, 1, 7, 11, 19] },      // dim 10
-    Params { s: 5, a: 11, m: &[1, 1, 5, 1, 1] },       // dim 11
-    Params { s: 5, a: 13, m: &[1, 1, 1, 3, 11] },      // dim 12
-    Params { s: 5, a: 14, m: &[1, 3, 5, 5, 31] },      // dim 13
-    Params { s: 6, a: 1, m: &[1, 3, 3, 9, 7, 49] },    // dim 14
-    Params { s: 6, a: 13, m: &[1, 1, 1, 15, 21, 21] }, // dim 15
-    Params { s: 6, a: 16, m: &[1, 3, 1, 13, 27, 49] }, // dim 16
-    Params { s: 6, a: 19, m: &[1, 1, 1, 15, 7, 5] },   // dim 17
-    Params { s: 6, a: 22, m: &[1, 3, 1, 3, 25, 61] },  // dim 18
-    Params { s: 6, a: 25, m: &[1, 1, 5, 5, 19, 61] },  // dim 19
-    Params { s: 7, a: 1, m: &[1, 3, 7, 11, 23, 15, 57] }, // dim 20
-    Params { s: 7, a: 4, m: &[1, 1, 3, 5, 17, 13, 39] },  // dim 21
+    Params {
+        s: 1,
+        a: 0,
+        m: &[1],
+    }, // dim 2
+    Params {
+        s: 2,
+        a: 1,
+        m: &[1, 3],
+    }, // dim 3
+    Params {
+        s: 3,
+        a: 1,
+        m: &[1, 3, 1],
+    }, // dim 4
+    Params {
+        s: 3,
+        a: 2,
+        m: &[1, 1, 1],
+    }, // dim 5
+    Params {
+        s: 4,
+        a: 1,
+        m: &[1, 1, 3, 3],
+    }, // dim 6
+    Params {
+        s: 4,
+        a: 4,
+        m: &[1, 3, 5, 13],
+    }, // dim 7
+    Params {
+        s: 5,
+        a: 2,
+        m: &[1, 1, 5, 5, 17],
+    }, // dim 8
+    Params {
+        s: 5,
+        a: 4,
+        m: &[1, 1, 5, 5, 5],
+    }, // dim 9
+    Params {
+        s: 5,
+        a: 7,
+        m: &[1, 1, 7, 11, 19],
+    }, // dim 10
+    Params {
+        s: 5,
+        a: 11,
+        m: &[1, 1, 5, 1, 1],
+    }, // dim 11
+    Params {
+        s: 5,
+        a: 13,
+        m: &[1, 1, 1, 3, 11],
+    }, // dim 12
+    Params {
+        s: 5,
+        a: 14,
+        m: &[1, 3, 5, 5, 31],
+    }, // dim 13
+    Params {
+        s: 6,
+        a: 1,
+        m: &[1, 3, 3, 9, 7, 49],
+    }, // dim 14
+    Params {
+        s: 6,
+        a: 13,
+        m: &[1, 1, 1, 15, 21, 21],
+    }, // dim 15
+    Params {
+        s: 6,
+        a: 16,
+        m: &[1, 3, 1, 13, 27, 49],
+    }, // dim 16
+    Params {
+        s: 6,
+        a: 19,
+        m: &[1, 1, 1, 15, 7, 5],
+    }, // dim 17
+    Params {
+        s: 6,
+        a: 22,
+        m: &[1, 3, 1, 3, 25, 61],
+    }, // dim 18
+    Params {
+        s: 6,
+        a: 25,
+        m: &[1, 1, 5, 5, 19, 61],
+    }, // dim 19
+    Params {
+        s: 7,
+        a: 1,
+        m: &[1, 3, 7, 11, 23, 15, 57],
+    }, // dim 20
+    Params {
+        s: 7,
+        a: 4,
+        m: &[1, 1, 3, 5, 17, 13, 39],
+    }, // dim 21
 ];
 
 const BITS: u32 = 32;
@@ -176,10 +256,7 @@ mod tests {
         let mut s = Sobol::new(1).unwrap();
         let seq: Vec<f64> = (0..8).map(|_| s.next_point()[0]).collect();
         // Gray-code ordering of the base-2 van der Corput sequence.
-        assert_eq!(
-            seq,
-            vec![0.0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125]
-        );
+        assert_eq!(seq, vec![0.0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125]);
     }
 
     #[test]
@@ -257,7 +334,10 @@ mod tests {
                 assert_eq!(m % 2, 1, "m must be odd");
                 assert!(m < (1 << (k + 1)), "m_k must be < 2^(k+1)");
             }
-            assert!(p.a < (1 << (p.s.saturating_sub(1))), "a must fit in s-1 bits");
+            assert!(
+                p.a < (1 << (p.s.saturating_sub(1))),
+                "a must fit in s-1 bits"
+            );
         }
     }
 }

@@ -127,7 +127,10 @@ impl NonlinearCircuitParams {
         ];
         for (name, v) in checks {
             if !(v.is_finite() && v > 0.0) {
-                return Err(SpiceError::InvalidValue { device: name, value: v });
+                return Err(SpiceError::InvalidValue {
+                    device: name,
+                    value: v,
+                });
             }
         }
         if self.r2 >= self.r1 {
@@ -242,6 +245,28 @@ impl PtanhCircuit {
             .collect())
     }
 
+    /// Like [`transfer_curve`](Self::transfer_curve), but sweeps fixed-size
+    /// chunks of the grid on `parallel` worker threads (see
+    /// [`sweep::dc_sweep_parallel`]) and leaves `self` unchanged. The curve
+    /// is identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures at any sweep point (lowest grid index
+    /// wins).
+    pub fn transfer_curve_parallel(
+        &self,
+        v_in: &[f64],
+        parallel: &pnc_linalg::ParallelConfig,
+    ) -> Result<Vec<(f64, f64)>, SpiceError> {
+        let sols = sweep::dc_sweep_parallel(&self.circuit, self.vin, v_in, &self.solver, parallel)?;
+        Ok(v_in
+            .iter()
+            .zip(sols)
+            .map(|(&v, sol)| (v, sol.voltage(self.out)))
+            .collect())
+    }
+
     /// Access to the underlying netlist (for inspection and tests).
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
@@ -275,6 +300,31 @@ pub fn characteristic_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pnc_linalg::ParallelConfig;
+
+    #[test]
+    fn parallel_transfer_curve_is_thread_invariant_and_close_to_serial() {
+        let params = NonlinearCircuitParams::nominal();
+        let ckt = PtanhCircuit::build(&params).unwrap();
+        let grid = sweep::linspace(0.0, VDD, 61);
+        let serial = ckt
+            .transfer_curve_parallel(&grid, &ParallelConfig::serial())
+            .unwrap();
+        let four = ckt
+            .transfer_curve_parallel(&grid, &ParallelConfig::with_threads(4))
+            .unwrap();
+        assert_eq!(serial, four, "curve must not depend on thread count");
+        // Chunked warm starts may differ from full continuation only at
+        // solver-tolerance level.
+        let full = PtanhCircuit::build(&params)
+            .unwrap()
+            .transfer_curve(&grid)
+            .unwrap();
+        for ((v_full, out_full), (v_chunk, out_chunk)) in full.iter().zip(&serial) {
+            assert_eq!(v_full, v_chunk);
+            assert!((out_full - out_chunk).abs() < 1e-6);
+        }
+    }
 
     #[test]
     fn nominal_params_are_valid() {
@@ -335,7 +385,10 @@ mod tests {
             .zip(&b)
             .map(|((_, ya), (_, yb))| (ya - yb).abs())
             .fold(0.0_f64, f64::max);
-        assert!(max_diff > 0.05, "W/L should reshape the curve, diff {max_diff}");
+        assert!(
+            max_diff > 0.05,
+            "W/L should reshape the curve, diff {max_diff}"
+        );
     }
 
     #[test]

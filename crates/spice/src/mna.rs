@@ -248,7 +248,11 @@ impl DcSolver {
                         g[(j, i)] -= cond;
                     }
                 }
-                Device::VSource { plus, minus, voltage } => {
+                Device::VSource {
+                    plus,
+                    minus,
+                    voltage,
+                } => {
                     let k = n + vsrc_counter;
                     vsrc_counter += 1;
                     if let Some(i) = idx(*plus) {
@@ -444,8 +448,14 @@ mod tests {
 
         let high = out_at(0.0);
         let low = out_at(1.0);
-        assert!(high > 0.95, "inverter output should be near VDD when off, got {high}");
-        assert!(low < 0.3, "inverter output should be pulled low when on, got {low}");
+        assert!(
+            high > 0.95,
+            "inverter output should be near VDD when off, got {high}"
+        );
+        assert!(
+            low < 0.3,
+            "inverter output should be pulled low when on, got {low}"
+        );
     }
 
     #[test]
@@ -468,7 +478,10 @@ mod tests {
             c.set_vsource(vin_id, vin).unwrap();
             let sol = solver.solve_with_guess(&c, guess.as_deref()).unwrap();
             let v = sol.voltage(out);
-            assert!(v <= prev + 1e-9, "inverter must be monotone: {v} after {prev}");
+            assert!(
+                v <= prev + 1e-9,
+                "inverter must be monotone: {v} after {prev}"
+            );
             prev = v;
             guess = Some(sol.voltages()[1..].to_vec());
         }
@@ -491,7 +504,11 @@ mod tests {
         let warm = solver
             .solve_with_guess(&c, Some(&cold.voltages()[1..]))
             .unwrap();
-        assert!(warm.iterations() <= 2, "warm start took {} iterations", warm.iterations());
+        assert!(
+            warm.iterations() <= 2,
+            "warm start took {} iterations",
+            warm.iterations()
+        );
         assert!((warm.voltage(out) - cold.voltage(out)).abs() < 1e-8);
     }
 

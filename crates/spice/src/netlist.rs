@@ -191,7 +191,12 @@ impl Circuit {
     /// Returns [`SpiceError::UnknownNode`] for invalid nodes and
     /// [`SpiceError::InvalidValue`] if `voltage` is not finite (any finite
     /// value, including zero and negatives, is allowed).
-    pub fn vsource(&mut self, plus: Node, minus: Node, voltage: f64) -> Result<DeviceId, SpiceError> {
+    pub fn vsource(
+        &mut self,
+        plus: Node,
+        minus: Node,
+        voltage: f64,
+    ) -> Result<DeviceId, SpiceError> {
         self.check_node(plus)?;
         self.check_node(minus)?;
         if !voltage.is_finite() {

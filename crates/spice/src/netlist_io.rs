@@ -120,7 +120,11 @@ impl Circuit {
                         format_value(*resistance)
                     );
                 }
-                Device::VSource { plus, minus, voltage } => {
+                Device::VSource {
+                    plus,
+                    minus,
+                    voltage,
+                } => {
                     let _ = writeln!(
                         out,
                         "V{idx} {} {} {}",
@@ -271,9 +275,9 @@ impl Circuit {
                     }
                     let mut model = EgtModel::printed(1e-6, 1e-6);
                     for kv in &tokens[4..] {
-                        let (key, value) = kv.split_once('=').ok_or_else(|| {
-                            bad(format!("expected KEY=VALUE, got {kv:?}"))
-                        })?;
+                        let (key, value) = kv
+                            .split_once('=')
+                            .ok_or_else(|| bad(format!("expected KEY=VALUE, got {kv:?}")))?;
                         let v = parse_value(value)?;
                         match key.to_ascii_uppercase().as_str() {
                             "W" => model.w = v,

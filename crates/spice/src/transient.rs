@@ -33,7 +33,7 @@
 //! # }
 //! ```
 
-use crate::{Circuit, DcSolver, SpiceError, Solution};
+use crate::{Circuit, DcSolver, Solution, SpiceError};
 
 /// A simulated waveform: one solution per accepted timestep (the initial
 /// operating point first, at `t = 0`).

@@ -84,9 +84,9 @@ proptest! {
         let raw: Vec<f64> = (0..7).map(|k| lo[k] + u[k] * (hi[k] - lo[k])).collect();
         let params = NonlinearCircuitParams {
             r1: raw[0],
-            r2: (raw[0] * raw[1]).max(5.0).min(250.0).min(raw[0] * 0.999),
+            r2: (raw[0] * raw[1]).clamp(5.0, 250.0).min(raw[0] * 0.999),
             r3: raw[2],
-            r4: (raw[2] * raw[3]).max(8e3).min(400e3).min(raw[2] * 0.999),
+            r4: (raw[2] * raw[3]).clamp(8e3, 400e3).min(raw[2] * 0.999),
             r5: raw[4],
             w: raw[5],
             l: raw[6],

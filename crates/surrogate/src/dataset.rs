@@ -1,8 +1,8 @@
 use crate::{DesignSpace, SurrogateError, OMEGA_DIM};
 use pnc_fit::fit_ptanh;
+use pnc_linalg::ParallelConfig;
 use pnc_spice::circuits::{NonlinearCircuitParams, PtanhCircuit};
 use pnc_spice::sweep::linspace;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One characterized circuit: physical parameters and fitted curve
@@ -148,13 +148,29 @@ impl CircuitDataset {
 /// # Ok::<(), pnc_surrogate::SurrogateError>(())
 /// ```
 pub fn build_dataset(config: &DatasetConfig) -> Result<CircuitDataset, SurrogateError> {
+    build_dataset_with(config, &ParallelConfig::automatic())
+}
+
+/// [`build_dataset`] with an explicit thread-count configuration.
+///
+/// The QMC design points are sampled serially (their sequence never depends
+/// on scheduling); only the independent per-circuit simulate-and-fit work
+/// fans out, and results come back in sample order — the dataset is
+/// identical at every thread count.
+///
+/// # Errors
+///
+/// Same contract as [`build_dataset`].
+pub fn build_dataset_with(
+    config: &DatasetConfig,
+    parallel: &ParallelConfig,
+) -> Result<CircuitDataset, SurrogateError> {
     let space = DesignSpace::paper();
     let omegas = space.sample(config.samples)?;
     let grid = linspace(0.0, pnc_spice::circuits::VDD, config.sweep_points.max(5));
 
-    let results: Vec<Result<DatasetEntry, SurrogateError>> = omegas
-        .par_iter()
-        .map(|omega| {
+    let results: Vec<Result<DatasetEntry, SurrogateError>> =
+        parallel.ordered_par_map(&omegas, |omega| {
             let params = NonlinearCircuitParams::from_array(*omega);
             let mut circuit = PtanhCircuit::build(&params)?;
             let curve = circuit.transfer_curve(&grid)?;
@@ -164,8 +180,7 @@ pub fn build_dataset(config: &DatasetConfig) -> Result<CircuitDataset, Surrogate
                 eta: fit.curve.eta,
                 fit_rmse: fit.rmse,
             })
-        })
-        .collect();
+        });
 
     let mut entries = Vec::with_capacity(results.len());
     let mut failures = 0usize;
@@ -218,6 +233,20 @@ mod tests {
     }
 
     #[test]
+    fn dataset_is_identical_across_thread_counts() {
+        let config = DatasetConfig {
+            samples: 40,
+            sweep_points: 21,
+        };
+        let serial = build_dataset_with(&config, &ParallelConfig::serial()).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                build_dataset_with(&config, &ParallelConfig::with_threads(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn eta_bounds_normalize_round_trips() {
         let data = tiny_dataset();
         let b = data.eta_bounds;
@@ -227,8 +256,8 @@ mod tests {
                 assert!((-1e-9..=1.0 + 1e-9).contains(&v));
             }
             let back = b.denormalize(&n);
-            for k in 0..4 {
-                assert!((back[k] - e.eta[k]).abs() < 1e-9);
+            for (k, &v) in back.iter().enumerate() {
+                assert!((v - e.eta[k]).abs() < 1e-9);
             }
         }
     }

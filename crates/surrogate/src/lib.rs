@@ -43,7 +43,9 @@ mod error;
 mod mlp;
 mod model;
 
-pub use dataset::{build_dataset, CircuitDataset, DatasetConfig, DatasetEntry, EtaBounds};
+pub use dataset::{
+    build_dataset, build_dataset_with, CircuitDataset, DatasetConfig, DatasetEntry, EtaBounds,
+};
 pub use design_space::{DesignSpace, EXTENDED_DIM, OMEGA_DIM};
 pub use error::SurrogateError;
 pub use mlp::{Mlp, PAPER_LAYER_SIZES};

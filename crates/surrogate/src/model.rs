@@ -343,11 +343,8 @@ mod tests {
         let mut g = Graph::new();
         let node = g.leaf(Matrix::row_vector(&omega));
         let eta = model.predict_eta_graph(&mut g, node).unwrap();
-        for k in 0..4 {
-            assert!(
-                (g.value(eta)[(0, k)] - plain[k]).abs() < 1e-9,
-                "component {k}"
-            );
+        for (k, &p) in plain.iter().enumerate() {
+            assert!((g.value(eta)[(0, k)] - p).abs() < 1e-9, "component {k}");
         }
     }
 

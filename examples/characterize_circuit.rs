@@ -82,7 +82,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     ];
 
     let mut curves = Vec::new();
-    println!("simulating {} circuit designs and fitting Eq. 2 ...\n", designs.len());
+    println!(
+        "simulating {} circuit designs and fitting Eq. 2 ...\n",
+        designs.len()
+    );
     for (mark, (name, params)) in ["a", "b", "c", "d"].iter().zip(&designs) {
         let curve = characteristic_curve(params, 81)?;
         let fit = fit_ptanh(&curve)?;

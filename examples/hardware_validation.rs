@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         LabeledData::new(&val.features, &val.labels)?,
     )?;
     let test_d = LabeledData::new(&test.features, &test.labels)?;
-    println!("model test accuracy: {:.3}\n", accuracy(&pnn, test_d, None)?);
+    println!(
+        "model test accuracy: {:.3}\n",
+        accuracy(&pnn, test_d, None)?
+    );
 
     let hw = HardwareSimulator::new();
 

@@ -8,9 +8,7 @@
 //! ```
 
 use printed_neuromorphic::linalg::stats;
-use printed_neuromorphic::surrogate::{
-    build_dataset, train_surrogate, DatasetConfig, TrainConfig,
-};
+use printed_neuromorphic::surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -39,7 +37,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         "   {} epochs; mse train {:.5} / val {:.5} / test {:.5}",
         report.epochs_run, report.train_mse, report.val_mse, report.test_mse
     );
-    println!("   test R² (pooled over η components): {:.4}", report.test_r2);
+    println!(
+        "   test R² (pooled over η components): {:.4}",
+        report.test_r2
+    );
 
     println!("3. parity check on a few test-style points (cf. Fig. 4 right):");
     println!("   {:>28} | {:>28}", "true η (fit)", "predicted η(ω)");

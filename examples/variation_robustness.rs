@@ -78,13 +78,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             val_d,
             &[1, 2, 3],
         )?;
-        let stats = mc_evaluate(
-            &pnn,
-            test_d,
-            &VariationModel::Uniform { epsilon },
-            100,
-            7,
-        )?;
+        let stats = mc_evaluate(&pnn, test_d, &VariationModel::Uniform { epsilon }, 100, 7)?;
         println!("{name:<45} {:>9.3} ± {:.3}", stats.mean, stats.std);
     }
 

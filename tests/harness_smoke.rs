@@ -28,14 +28,62 @@ fn miniature_grid_produces_well_formed_tables() {
         // The paper's 8-column layout, in order.
         assert_eq!(row.cells.len(), 8);
         let expected_arms = [
-            (Arm { learnable: false, variation_aware: false }, 0.05),
-            (Arm { learnable: false, variation_aware: false }, 0.10),
-            (Arm { learnable: false, variation_aware: true }, 0.05),
-            (Arm { learnable: false, variation_aware: true }, 0.10),
-            (Arm { learnable: true, variation_aware: false }, 0.05),
-            (Arm { learnable: true, variation_aware: false }, 0.10),
-            (Arm { learnable: true, variation_aware: true }, 0.05),
-            (Arm { learnable: true, variation_aware: true }, 0.10),
+            (
+                Arm {
+                    learnable: false,
+                    variation_aware: false,
+                },
+                0.05,
+            ),
+            (
+                Arm {
+                    learnable: false,
+                    variation_aware: false,
+                },
+                0.10,
+            ),
+            (
+                Arm {
+                    learnable: false,
+                    variation_aware: true,
+                },
+                0.05,
+            ),
+            (
+                Arm {
+                    learnable: false,
+                    variation_aware: true,
+                },
+                0.10,
+            ),
+            (
+                Arm {
+                    learnable: true,
+                    variation_aware: false,
+                },
+                0.05,
+            ),
+            (
+                Arm {
+                    learnable: true,
+                    variation_aware: false,
+                },
+                0.10,
+            ),
+            (
+                Arm {
+                    learnable: true,
+                    variation_aware: true,
+                },
+                0.05,
+            ),
+            (
+                Arm {
+                    learnable: true,
+                    variation_aware: true,
+                },
+                0.10,
+            ),
         ];
         for (cell, (arm, eps)) in row.cells.iter().zip(expected_arms) {
             assert_eq!(cell.arm, arm);

@@ -1,0 +1,189 @@
+//! Offline vendored stand-in for the `criterion` crate (API subset).
+//!
+//! Implements the surface the workspace benches use: [`Criterion`] with
+//! `sample_size`, [`Criterion::bench_function`] handing a [`Bencher`] to a
+//! closure that calls [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is honest wall-clock timing —
+//! per-sample iteration counts are calibrated, then `sample_size` samples
+//! are taken and mean / median / min reported — but there is none of real
+//! criterion's statistical machinery (no outlier analysis, no baselines,
+//! no HTML reports).
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one calibrated sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Sampling for one benchmark stops early past this budget.
+const MAX_BENCH_TIME: Duration = Duration::from_secs(10);
+
+/// Re-export for drop-in compatibility with `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, sample_size: usize) -> Self {
+        assert!(sample_size >= 2, "sample_size must be at least 2");
+        self.sample_size = sample_size;
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count, takes samples,
+    /// and prints mean / median / min per-iteration times.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: one iteration, to size the per-sample batch.
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let iterations = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000);
+        bencher.iterations = iterations as u64;
+
+        let started = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+            if started.elapsed() > MAX_BENCH_TIME {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        println!(
+            "{id:<50} mean {:>12} median {:>12} min {:>12} ({} samples x {} iters)",
+            format_time(mean),
+            format_time(median),
+            format_time(samples[0]),
+            samples.len(),
+            bencher.iterations,
+        );
+        self
+    }
+}
+
+/// Times the routine handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Renders seconds with an auto-selected unit, criterion-style.
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} us", seconds * 1e6)
+    } else {
+        format!("{:.2} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0u64;
+        c.bench_function("smoke/sum_to_100", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            runs += 1;
+        });
+        // Calibration pass + 5 samples.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(2.5e-3).ends_with(" ms"));
+        assert!(format_time(2.5e-6).ends_with(" us"));
+        assert!(format_time(2.5e-9).ends_with(" ns"));
+    }
+
+    mod group_macros {
+        use crate::Criterion;
+
+        fn target_a(c: &mut Criterion) {
+            c.bench_function("macro/a", |b| b.iter(|| 1 + 1));
+        }
+
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(3);
+            targets = target_a
+        }
+
+        #[test]
+        fn named_group_compiles_and_runs() {
+            benches();
+        }
+    }
+}

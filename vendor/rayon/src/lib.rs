@@ -1,0 +1,417 @@
+//! Offline vendored stand-in for the `rayon` crate (API subset).
+//!
+//! Backed by [`std::thread::scope`]: a parallel iterator is an indexed
+//! recipe (`length` + `eval(i)`); collection splits the index space into
+//! contiguous chunks, evaluates each chunk on its own scoped thread, and
+//! concatenates the chunk results **in index order**. Output is therefore
+//! bit-identical to the serial evaluation regardless of thread count —
+//! a stronger guarantee than real rayon's `collect`, and one the
+//! workspace's determinism tests rely on.
+//!
+//! Thread-count resolution, strongest first:
+//! 1. inside a worker thread spawned by this crate → 1 (nested
+//!    parallelism runs serial instead of oversubscribing),
+//! 2. a [`ThreadPool::install`] scope on the current thread,
+//! 3. a global pool from [`ThreadPoolBuilder::build_global`],
+//! 4. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Glob-import surface, matching `rayon::prelude::*` usage.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    /// Per-thread override: 0 = unset, otherwise the forced thread count.
+    static CURRENT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Global pool size from `build_global`: 0 = unset.
+static GLOBAL: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads a parallel call issued right now would use.
+pub fn current_num_threads() -> usize {
+    let cur = CURRENT.with(Cell::get);
+    if cur != 0 {
+        return cur;
+    }
+    let global = GLOBAL.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An indexed parallel computation: `length()` items, item `i` produced by
+/// `eval(i)`. `&self` evaluation (plus `Sync`) is what lets chunks run on
+/// scoped threads concurrently.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn length(&self) -> usize;
+
+    /// Produces item `i`. Must be safe to call concurrently for distinct `i`.
+    fn eval(&self, index: usize) -> Self::Item;
+
+    /// Lazily applies `f` to every item.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Evaluates everything in parallel and gathers the results in index
+    /// order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Runs the iterator to completion and builds `Self`.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        run_in_order(&iter)
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<P: ParallelIterator<Item = Result<T, E>>>(iter: P) -> Self {
+        // Evaluate every item (no short-circuit across threads), then
+        // surface the first error by index — deterministic in the input,
+        // not in thread timing.
+        run_in_order(&iter).into_iter().collect()
+    }
+}
+
+/// Evaluates all items of `iter`, fanning contiguous index chunks out over
+/// scoped threads, and returns them in index order.
+fn run_in_order<P: ParallelIterator>(iter: &P) -> Vec<P::Item> {
+    let n = iter.length();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(|i| iter.eval(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            handles.push(scope.spawn(move || {
+                // Workers run nested parallel calls serially.
+                CURRENT.with(|c| c.set(1));
+                (start..end).map(|i| iter.eval(i)).collect::<Vec<_>>()
+            }));
+            start = end;
+        }
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Lazy map adaptor returned by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn length(&self) -> usize {
+        self.base.length()
+    }
+
+    fn eval(&self, index: usize) -> R {
+        (self.f)(self.base.eval(index))
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on collections, yielding references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T, C> IntoParallelRefIterator<'a> for C
+where
+    C: 'a + ?Sized,
+    &'a C: IntoParallelIterator<Item = &'a T>,
+    T: Sync + 'a,
+{
+    type Item = &'a T;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn length(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn eval(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `start..end`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn length(&self) -> usize {
+        self.len
+    }
+
+    fn eval(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this stub,
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (thread count = automatic).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count; 0 means automatic.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds a pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.resolved(),
+        })
+    }
+
+    /// Installs the configuration as the process-global default.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL.store(self.resolved(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn resolved(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A handle fixing the thread count for parallel calls made under
+/// [`ThreadPool::install`]. Threads are spawned per call (scoped), not
+/// pooled — same observable behavior, simpler lifetime story.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with parallel calls on this thread bounded to this pool's
+    /// thread count.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT.with(Cell::get));
+        CURRENT.with(|c| c.set(self.num_threads));
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (10..20).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (11..21).collect::<Vec<_>>());
+        let empty: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn result_collect_reports_first_error_by_index() {
+        let input: Vec<i32> = (0..100).collect();
+        let out: Result<Vec<i32>, String> = input
+            .par_iter()
+            .map(|&x| {
+                if x == 7 || x == 90 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out, Err("bad 7".to_string()));
+        let ok: Result<Vec<i32>, String> = input.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), input);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let input: Vec<u64> = (0..257).collect();
+        let work = |pool_threads: usize| -> Vec<f64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(pool_threads)
+                .build()
+                .unwrap();
+            pool.install(|| input.par_iter().map(|&x| (x as f64).sqrt().sin()).collect())
+        };
+        let serial = work(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(serial, work(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(super::current_num_threads(), 3));
+        assert_ne!(super::current_num_threads(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let _: Vec<usize> = (0..64)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 33 {
+                        panic!("worker boom");
+                    }
+                    i
+                })
+                .collect();
+        });
+    }
+}

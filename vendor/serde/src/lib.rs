@@ -1,0 +1,399 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external dependencies are replaced by small vendored implementations that
+//! cover exactly the API surface the workspace uses. This crate provides:
+//!
+//! - [`Serialize`] / [`Deserialize`] traits over a simple JSON-like
+//!   [`Value`] data model (rather than real serde's visitor architecture),
+//! - `#[derive(Serialize, Deserialize)]` proc macros (re-exported from the
+//!   companion `serde_derive` crate) supporting named structs, tuple
+//!   structs, and enums with unit/struct/tuple variants,
+//! - implementations for the primitive, array, tuple, `Option` and `Vec`
+//!   types the workspace serializes.
+//!
+//! The companion vendored `serde_json` crate renders [`Value`] to JSON text
+//! and parses it back. Field order is preserved, newtype structs
+//! transparently serialize their inner value, and enums use the externally
+//! tagged representation — all matching real serde's default behavior so the
+//! emitted JSON stays conventional.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+///
+/// Integers keep their signedness so `u64`/`usize` round-trip exactly;
+/// objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A static `null`, used when an object field is absent.
+    pub const NULL: Value = Value::Null;
+
+    /// The value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Standard "expected X, found Y" constructor.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the data model into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (used by the generated code; not a public API in
+// real serde, but harmless to expose here).
+// ---------------------------------------------------------------------------
+
+/// Expects an object and returns its fields.
+pub fn expect_object<'a>(v: &'a Value, type_name: &str) -> Result<&'a [(String, Value)], DeError> {
+    match v {
+        Value::Object(pairs) => Ok(pairs),
+        other => Err(DeError::new(format!(
+            "expected object for {type_name}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Looks up a field by name, yielding `null` when absent so `Option` fields
+/// deserialize to `None` and everything else reports a type mismatch.
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> &'a Value {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::NULL)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match *v {
+                    Value::U64(u) => u,
+                    Value::I64(i) if i >= 0 => i as u64,
+                    ref other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match *v {
+                    Value::I64(i) => i,
+                    Value::U64(u) if u <= i64::MAX as u64 => u as i64,
+                    ref other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(u) => Ok(u as f64),
+            Value::I64(i) => Ok(i as f64),
+            // Non-finite floats serialize as null (JSON has no representation
+            // for them); read them back as NaN.
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::new(format!(
+                        "expected {ARITY}-tuple, found array of length {}",
+                        items.len()
+                    ))),
+                    other => Err(DeError::expected("array (tuple)", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = Deserialize::from_value(&a.to_value()).unwrap();
+        assert_eq!(a, back);
+        let t = (1usize, 2.5f64);
+        let back: (usize, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let obj = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(field(&obj, "a"), &Value::U64(1));
+        assert_eq!(field(&obj, "b"), &Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_reports_kinds() {
+        let err = bool::from_value(&Value::Str("no".into())).unwrap_err();
+        assert!(err.message.contains("expected bool"));
+        assert!(err.message.contains("string"));
+    }
+}

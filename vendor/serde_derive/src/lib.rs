@@ -1,0 +1,495 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). The parser extracts exactly what code
+//! generation needs — item kind, name, field names / arities, enum variant
+//! shapes — and never has to understand Rust types: serialization calls
+//! trait methods on field references, and deserialization lets the struct
+//! literal drive type inference.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - named-field structs,
+//! - tuple structs (newtype structs serialize transparently),
+//! - enums with unit, struct, and tuple variants (externally tagged).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under derive.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips `#[...]` attributes (doc comments arrive in this form too).
+    fn skip_attributes(&mut self) {
+        while self.is_punct('#') {
+            self.next();
+            // The bracketed attribute body.
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`, etc.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("serde derive: expected identifier, got {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+
+    let kind = c.expect_ident()?;
+    match kind.as_str() {
+        "struct" => {
+            let name = c.expect_ident()?;
+            if c.is_punct('<') {
+                return Err(format!(
+                    "serde derive: generic struct `{name}` is not supported by the vendored derive"
+                ));
+            }
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => {
+                    return Err(format!(
+                        "serde derive: unexpected token after struct name: {other:?}"
+                    ))
+                }
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let name = c.expect_ident()?;
+            if c.is_punct('<') {
+                return Err(format!(
+                    "serde derive: generic enum `{name}` is not supported by the vendored derive"
+                ));
+            }
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde derive: expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!(
+            "serde derive: only structs and enums are supported, got `{other}`"
+        )),
+    }
+}
+
+/// Parses `name: Type, ...`, tracking `<...>` depth so commas inside
+/// generic arguments don't split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        fields.push(c.expect_ident()?);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after field name, got {other:?}"
+                ))
+            }
+        }
+        skip_type_until_comma(&mut c);
+    }
+    Ok(fields)
+}
+
+/// Consumes type tokens up to and including the next top-level `,`.
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0usize;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut c);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                c.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a possible discriminant and the trailing comma.
+        let mut angle_depth = 0usize;
+        while let Some(t) = c.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        c.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            c.next();
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+                }
+                // Newtype structs serialize transparently, like real serde.
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let pairs: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              ::serde::Value::Object(::std::vec![{}]))]),",
+                            pairs.join(", ")
+                        )
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_named_constructor(path: &str, names: &[String], obj_expr: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::field({obj_expr}, {f:?}))\
+                 .map_err(|e| ::serde::DeError::new(::std::format!(\
+                 \"{path}.{f}: {{}}\", e)))?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", fields.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let ctor = gen_named_constructor(name, names, "__obj");
+                    format!(
+                        "let __obj = ::serde::expect_object(v, {name:?})?;\n\
+                         ::std::result::Result::Ok({ctor})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}({})),\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected({name:?}, other)),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Named(names) => {
+                        let path = format!("{name}::{v}");
+                        let ctor = gen_named_constructor(&path, names, "__obj");
+                        format!(
+                            "{v:?} => {{\n\
+                                 let __obj = ::serde::expect_object(__inner, {path:?})?;\n\
+                                 ::std::result::Result::Ok({ctor})\n\
+                             }}"
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => match __inner {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{v}({})),\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\"variant tuple\", other)),\n\
+                             }},",
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Unit => unreachable!("filtered above"),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__pairs[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected({name:?}, other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
