@@ -51,6 +51,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         samples,
         sweep_points: 61,
     })?;
+    let tally = data.failure_tally();
+    println!(
+        "characterized {} / {samples} points (failures: build {}, sweep {}, fit {})",
+        data.entries.len(),
+        tally.build,
+        tally.sweep,
+        tally.fit
+    );
+    for f in data.failures.iter().take(5) {
+        println!("  failed sample {} at {:?}: {}", f.index, f.stage, f.cause);
+    }
     let (model, report) = train_surrogate(&data, &TrainConfig::default())?;
     println!(
         "mse: train {:.5}, val {:.5}, test {:.5}; pooled test R2 {:.4}; {} epochs",

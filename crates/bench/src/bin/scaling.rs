@@ -111,6 +111,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         samples: 150,
         sweep_points: 31,
     })?;
+    let fixture_tally = data.failure_tally();
+    if fixture_tally.total() > 0 {
+        eprintln!(
+            "  fixture dataset dropped {} point(s): build {}, sweep {}, fit {}",
+            fixture_tally.total(),
+            fixture_tally.build,
+            fixture_tally.sweep,
+            fixture_tally.fit
+        );
+    }
     let surrogate = Arc::new(
         train_surrogate(
             &data,

@@ -101,6 +101,10 @@ pub struct Headline {
 
 /// Computes the headline improvements from a Tab. III summary.
 ///
+/// A degenerate baseline cell (zero or non-finite, as produced by an empty
+/// result set) yields `0.0` for the affected ratio rather than letting
+/// `inf`/NaN leak into serialized artifacts.
+///
 /// # Panics
 ///
 /// Panics if the summary does not contain both the full-method and baseline
@@ -116,11 +120,19 @@ pub fn headline_improvements(table3: &Table3) -> Headline {
         .iter()
         .find(|r| !r.arm.learnable && !r.arm.variation_aware)
         .expect("baseline row");
+    let ratio = |num: f64, den: f64| -> f64 {
+        let r = num / den;
+        if r.is_finite() {
+            r
+        } else {
+            0.0
+        }
+    };
     Headline {
-        accuracy_gain_5: (full.mean_5 - base.mean_5) / base.mean_5,
-        accuracy_gain_10: (full.mean_10 - base.mean_10) / base.mean_10,
-        std_reduction_5: (base.std_5 - full.std_5) / base.std_5,
-        std_reduction_10: (base.std_10 - full.std_10) / base.std_10,
+        accuracy_gain_5: ratio(full.mean_5 - base.mean_5, base.mean_5),
+        accuracy_gain_10: ratio(full.mean_10 - base.mean_10, base.mean_10),
+        std_reduction_5: ratio(base.std_5 - full.std_5, base.std_5),
+        std_reduction_10: ratio(base.std_10 - full.std_10, base.std_10),
     }
 }
 
@@ -238,6 +250,30 @@ mod tests {
         // Baseline last.
         assert!(!t3.rows[3].arm.learnable && !t3.rows[3].arm.variation_aware);
         assert!((t3.rows[3].std_10 - 0.118).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_stays_finite_on_degenerate_baseline() {
+        // An empty result set yields all-zero summary cells; the headline
+        // ratios must degrade to 0.0, never to inf/NaN in JSON artifacts.
+        let mut t3 = summarize(&synthetic_table());
+        for row in &mut t3.rows {
+            if !row.arm.learnable && !row.arm.variation_aware {
+                row.mean_5 = 0.0;
+                row.std_10 = 0.0;
+            }
+        }
+        let h = headline_improvements(&t3);
+        for v in [
+            h.accuracy_gain_5,
+            h.accuracy_gain_10,
+            h.std_reduction_5,
+            h.std_reduction_10,
+        ] {
+            assert!(v.is_finite(), "{h:?}");
+        }
+        assert_eq!(h.accuracy_gain_5, 0.0);
+        assert_eq!(h.std_reduction_10, 0.0);
     }
 
     #[test]

@@ -51,9 +51,28 @@ pub struct LmResult {
 ///
 /// # Errors
 ///
-/// Returns [`FitError::InvalidData`] for an empty parameter vector and
-/// [`FitError::Singular`] if the damped normal equations stay singular even
-/// at very large λ.
+/// Returns [`FitError::InvalidData`] for an empty parameter vector or a
+/// non-finite cost at the starting point, and [`FitError::Singular`] if the
+/// damped normal equations stay singular even at very large λ (every damped
+/// factorization in an inner loop failed).
+///
+/// When the inner damping loop exhausts its λ escalations without an
+/// accepted step, the result distinguishes a genuine local optimum — the
+/// smallest attempted step was below `step_tolerance`, reported as
+/// `converged: true` — from giving up (a meaningful step existed but no
+/// candidate improved the finite cost), reported as `converged: false`. A
+/// `converged: true` result always carries a finite `cost`.
+///
+/// ```
+/// use pnc_fit::{levenberg_marquardt, FitError, LmOptions};
+/// use pnc_linalg::Matrix;
+///
+/// // NaN residuals at the starting point are rejected up front.
+/// let err = levenberg_marquardt(&[1.0], LmOptions::default(), |p| {
+///     (vec![f64::NAN * p[0]], Matrix::from_rows(&[&[1.0]]).unwrap())
+/// });
+/// assert!(matches!(err, Err(FitError::InvalidData { .. })));
+/// ```
 ///
 /// # Examples
 ///
@@ -94,6 +113,11 @@ pub fn levenberg_marquardt(
     let mut params = initial.to_vec();
     let (mut residual, mut jacobian) = model(&params);
     let mut cost = 0.5 * residual.iter().map(|r| r * r).sum::<f64>();
+    if !cost.is_finite() {
+        return Err(FitError::InvalidData {
+            detail: format!("initial cost is not finite ({cost})"),
+        });
+    }
     let mut lambda = options.initial_lambda;
     let mut converged = false;
     let mut iterations = 0;
@@ -120,6 +144,11 @@ pub fn levenberg_marquardt(
         // Try steps with increasing damping until one is accepted or λ
         // explodes.
         let mut accepted = false;
+        let mut last_singular = None;
+        // Step norm of the least-damped solvable system: heavy damping
+        // shrinks later steps toward zero regardless of the gradient, so only
+        // the first attempt says whether a meaningful step existed.
+        let mut first_step_norm = None;
         for _ in 0..30 {
             let mut damped = jtj.clone();
             for j in 0..n {
@@ -131,17 +160,19 @@ pub fn levenberg_marquardt(
             let neg_g: Vec<f64> = jtr.iter().map(|g| -g).collect();
             let step = match Lu::factor(&damped).and_then(|lu| lu.solve(&neg_g)) {
                 Ok(s) => s,
-                Err(_) => {
+                Err(source) => {
+                    last_singular = Some(source);
                     lambda *= 10.0;
                     continue;
                 }
             };
+            let step_norm = step.iter().fold(0.0_f64, |m, s| m.max(s.abs()));
+            first_step_norm.get_or_insert(step_norm);
             let candidate: Vec<f64> = params.iter().zip(&step).map(|(p, s)| p + s).collect();
             let (cand_res, cand_jac) = model(&candidate);
             let cand_cost = 0.5 * cand_res.iter().map(|r| r * r).sum::<f64>();
 
             if cand_cost.is_finite() && cand_cost < cost {
-                let step_norm = step.iter().fold(0.0_f64, |m, s| m.max(s.abs()));
                 let improvement = (cost - cand_cost) / cost.max(f64::MIN_POSITIVE);
                 params = candidate;
                 residual = cand_res;
@@ -158,8 +189,23 @@ pub fn levenberg_marquardt(
         }
 
         if !accepted {
-            // No downhill step found even with heavy damping: local optimum.
-            converged = true;
+            // The damping loop exhausted every λ escalation. Distinguish the
+            // documented failure modes instead of claiming convergence:
+            match first_step_norm {
+                // Every damped factorization failed — the normal equations
+                // are singular at any achievable damping.
+                None => {
+                    let source = last_singular.expect("30 attempts all failed to solve");
+                    return Err(FitError::Singular { source });
+                }
+                // The least-damped proposed step already vanished: genuine
+                // local optimum.
+                Some(norm) if norm < options.step_tolerance => converged = true,
+                // A meaningful step existed but nothing went downhill (e.g.
+                // the model returns non-finite residuals nearby): give up
+                // honestly rather than reporting convergence.
+                Some(_) => break,
+            }
         }
         if converged {
             break;
@@ -251,6 +297,72 @@ mod tests {
         assert!((result.params[0] - 3.0).abs() < 1e-8);
         // Insensitive parameter stays where it started.
         assert!((result.params[1] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn nan_initial_cost_is_rejected() {
+        // A model that is NaN at the starting point must not "converge".
+        let err = levenberg_marquardt(&[0.0], LmOptions::default(), |p| {
+            let r = vec![if p[0] == 0.0 { f64::NAN } else { p[0] - 1.0 }];
+            (r, Matrix::from_rows(&[&[1.0]]).unwrap())
+        });
+        match err {
+            Err(FitError::InvalidData { detail }) => {
+                assert!(detail.contains("initial cost"), "{detail}")
+            }
+            other => panic!("expected InvalidData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_initial_cost_is_rejected() {
+        let err = levenberg_marquardt(&[0.0], LmOptions::default(), |_| {
+            (vec![f64::INFINITY], Matrix::from_rows(&[&[1.0]]).unwrap())
+        });
+        assert!(matches!(err, Err(FitError::InvalidData { .. })));
+    }
+
+    #[test]
+    fn exhausted_damping_reports_not_converged() {
+        // Finite at the start, NaN everywhere else: every candidate step is
+        // rejected although the proposed steps are large. The solver must
+        // give up honestly instead of claiming a tolerance-based stop.
+        let result = levenberg_marquardt(&[0.0], LmOptions::default(), |p| {
+            let r = vec![if p[0] == 0.0 { 1.0 } else { f64::NAN }];
+            (r, Matrix::from_rows(&[&[1.0]]).unwrap())
+        })
+        .unwrap();
+        assert!(!result.converged, "gave-up path must not claim convergence");
+        assert!(result.cost.is_finite());
+        assert_eq!(result.params, vec![0.0], "params stay at the best point");
+        assert_eq!(result.iterations, 1, "one exhausted outer iteration");
+    }
+
+    #[test]
+    fn persistently_singular_normal_equations_return_the_documented_error() {
+        // A Jacobian so small that JᵀJ ≈ 1e-40 keeps the damped pivot under
+        // the LU tolerance at every achievable λ: all 30 damped solves fail
+        // and the documented `FitError::Singular` must surface (previously
+        // this was silently reported as converged).
+        let err = levenberg_marquardt(&[1.0], LmOptions::default(), |p| {
+            let r = vec![1e-20 * p[0] - 1.0];
+            (r, Matrix::from_rows(&[&[1e-20]]).unwrap())
+        });
+        assert!(matches!(err, Err(FitError::Singular { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn converged_never_pairs_with_nonfinite_cost() {
+        // A model that degrades to NaN after improving for a while: whatever
+        // the outcome, `converged` must imply a finite cost.
+        let result = levenberg_marquardt(&[10.0], LmOptions::default(), |p| {
+            let r = vec![if p[0].abs() < 5.0 { f64::NAN } else { p[0] }];
+            (r, Matrix::from_rows(&[&[1.0]]).unwrap())
+        })
+        .unwrap();
+        if result.converged {
+            assert!(result.cost.is_finite());
+        }
     }
 
     #[test]

@@ -43,14 +43,28 @@ pub fn sample_std(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
-/// Minimum of a slice, or `f64::INFINITY` for an empty slice.
-pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::INFINITY, f64::min)
+/// Minimum of a slice, or `None` for an empty slice.
+///
+/// Returning `Option` (rather than `f64::INFINITY`) keeps non-finite
+/// sentinels out of serialized artifacts when a summary is built from an
+/// empty result set.
+///
+/// ```
+/// assert_eq!(pnc_linalg::stats::min(&[]), None);
+/// assert_eq!(pnc_linalg::stats::min(&[2.0, -1.0]), Some(-1.0));
+/// ```
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
 }
 
-/// Maximum of a slice, or `f64::NEG_INFINITY` for an empty slice.
-pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+/// Maximum of a slice, or `None` for an empty slice.
+///
+/// ```
+/// assert_eq!(pnc_linalg::stats::max(&[]), None);
+/// assert_eq!(pnc_linalg::stats::max(&[2.0, -1.0]), Some(2.0));
+/// ```
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
 }
 
 /// Coefficient of determination R² of predictions against targets.
@@ -141,8 +155,16 @@ mod tests {
     #[test]
     fn min_max_basic() {
         let xs = [3.0, -1.0, 2.0];
-        assert_eq!(min(&xs), -1.0);
-        assert_eq!(max(&xs), 3.0);
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(3.0));
+    }
+
+    #[test]
+    fn min_max_of_empty_is_none() {
+        // Regression: these used to return ±INFINITY, which leaked
+        // non-finite values into JSON artifacts.
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
     }
 
     #[test]

@@ -267,6 +267,20 @@ impl PtanhCircuit {
             .collect())
     }
 
+    /// Replaces the DC solver used for all subsequent analyses.
+    ///
+    /// The dataset builder uses this to install solvers with custom
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy) or (in tests) fault
+    /// injection; everything else keeps the [`DcSolver::new`] default.
+    pub fn set_solver(&mut self, solver: DcSolver) {
+        self.solver = solver;
+    }
+
+    /// The DC solver currently used by this circuit.
+    pub fn solver(&self) -> &DcSolver {
+        &self.solver
+    }
+
     /// Access to the underlying netlist (for inspection and tests).
     pub fn circuit(&self) -> &Circuit {
         &self.circuit

@@ -55,7 +55,7 @@ mod transient;
 
 pub use egt::{EgtModel, EgtOperatingPoint};
 pub use error::SpiceError;
-pub use mna::{DcSolver, Solution};
+pub use mna::{DcSolver, FaultInjection, RecoveryPolicy, RecoveryRung, Solution, SolveDiagnostics};
 pub use netlist::{Circuit, Device, DeviceId, Node, GROUND};
 pub use netlist_io::parse_value;
 pub use transient::{TransientSolver, Waveform};

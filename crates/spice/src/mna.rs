@@ -1,5 +1,175 @@
 use crate::{Circuit, Device, SpiceError};
 use pnc_linalg::{Lu, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Which rung of the convergence-recovery ladder produced a solution.
+///
+/// The variants are ordered by escalation cost: [`DcSolver`] tries them in
+/// declaration order and stops at the first rung that converges, so
+/// `rung == RecoveryRung::Plain` means no recovery was needed at all.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum RecoveryRung {
+    /// The plain damped Newton loop from the caller's initial guess.
+    #[default]
+    Plain,
+    /// Retry from a deterministically perturbed initial guess.
+    PerturbedGuess,
+    /// Gmin stepping: solve with a large shunt conductance on every node and
+    /// relax it geometrically back to the configured `gmin`, warm-starting
+    /// each step from the previous solution.
+    GminStepping,
+    /// Source stepping: ramp every independent source from zero to its full
+    /// value, continuing from each intermediate solution.
+    SourceStepping,
+}
+
+/// Structured outcome of a (possibly recovered) Newton solve.
+///
+/// Every [`Solution`] carries one of these instead of a bare iteration
+/// count, so sweep and dataset layers can account for *how* each operating
+/// point was obtained — not just that it was.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveDiagnostics {
+    /// Total Newton iterations (LU solves) across all attempts, including
+    /// failed rungs.
+    pub iterations: usize,
+    /// Infinity norm of the KCL residual (amperes on node rows, volts on
+    /// source branch rows) at the accepted solution.
+    pub residual: f64,
+    /// The recovery rung that produced the solution.
+    pub rung: RecoveryRung,
+    /// Newton attempts made, counting every continuation step; `1` means the
+    /// plain solve succeeded directly.
+    pub attempts: usize,
+}
+
+impl SolveDiagnostics {
+    /// `true` if the plain Newton loop converged without any recovery.
+    pub fn recovered(&self) -> bool {
+        self.rung != RecoveryRung::Plain
+    }
+}
+
+/// Configuration of the convergence-recovery ladder of [`DcSolver`].
+///
+/// When the plain damped Newton loop fails (iteration budget exhausted, a
+/// stalled update, or a singular Jacobian mid-iteration), the solver
+/// escalates through the enabled rungs in [`RecoveryRung`] order. Every rung
+/// is deterministic — no randomness, no dependence on thread scheduling — so
+/// recovered sweeps stay bit-identical across thread counts.
+///
+/// Set a rung's step/attempt count to `0` to disable it;
+/// [`RecoveryPolicy::disabled`] turns the ladder off entirely, restoring the
+/// historical fail-fast behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Number of perturbed-guess retries (rung 1). Each retry `k` starts from
+    /// the caller's guess (or zero) shifted by `k · perturbation_scale` with
+    /// alternating sign per node.
+    pub guess_perturbations: usize,
+    /// Magnitude of the deterministic initial-guess perturbation, in volts.
+    pub perturbation_scale: f64,
+    /// Number of geometric gmin relaxation steps (rung 2); the shunt
+    /// conductance travels from `gmin_initial` down to the solver's `gmin`.
+    pub gmin_steps: usize,
+    /// Starting shunt conductance of gmin stepping, in siemens.
+    pub gmin_initial: f64,
+    /// Number of source-ramp steps (rung 3); sources scale through
+    /// `k / source_steps` for `k = 1..=source_steps`. Only applied to DC
+    /// solves (never inside a transient timestep).
+    pub source_steps: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            guess_perturbations: 2,
+            perturbation_scale: 0.1,
+            gmin_steps: 8,
+            gmin_initial: 1e-3,
+            source_steps: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Disables every rung: a failed plain Newton solve errors immediately.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            guess_perturbations: 0,
+            perturbation_scale: 0.0,
+            gmin_steps: 0,
+            gmin_initial: 0.0,
+            source_steps: 0,
+        }
+    }
+}
+
+/// Deterministic fault injection for exercising the recovery ladder and the
+/// downstream degradation paths in tests.
+///
+/// When any independent voltage source in the circuit matches one of
+/// `trigger_values` (within `tolerance`), Newton attempts on rungs *below*
+/// `min_successful_rung` fail instantly with
+/// [`SpiceError::NoConvergence`]; attempts at or above that rung run
+/// normally. `min_successful_rung: None` makes matching solves unrecoverable
+/// at every rung.
+///
+/// This is a test-only diagnostic device: it lets a test force
+/// non-convergence on chosen sweep points (a sweep grid value is a vsource
+/// value) and assert that the ladder rescues them — or, with `None`, that
+/// failure accounting degrades gracefully. Production solvers leave
+/// [`DcSolver::fault_injection`] as `None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjection {
+    /// Voltage-source values (in volts) that trigger an injected failure.
+    pub trigger_values: Vec<f64>,
+    /// Absolute tolerance used when matching trigger values.
+    pub tolerance: f64,
+    /// First rung allowed to succeed on a triggered solve; `None` means no
+    /// rung succeeds.
+    pub min_successful_rung: Option<RecoveryRung>,
+}
+
+impl FaultInjection {
+    /// A plan that fails plain Newton (and perturbed restarts) on the given
+    /// source values but lets gmin stepping rescue the solve.
+    pub fn recoverable_at(trigger_values: Vec<f64>) -> Self {
+        FaultInjection {
+            trigger_values,
+            tolerance: 1e-9,
+            min_successful_rung: Some(RecoveryRung::GminStepping),
+        }
+    }
+
+    /// A plan under which the triggered solves fail at every rung.
+    pub fn unrecoverable_at(trigger_values: Vec<f64>) -> Self {
+        FaultInjection {
+            trigger_values,
+            tolerance: 1e-9,
+            min_successful_rung: None,
+        }
+    }
+
+    fn triggers(&self, circuit: &Circuit, rung: RecoveryRung) -> bool {
+        let below = match self.min_successful_rung {
+            Some(min) => rung < min,
+            None => true,
+        };
+        below
+            && circuit.devices().iter().any(|d| {
+                if let Device::VSource { voltage, .. } = d {
+                    self.trigger_values
+                        .iter()
+                        .any(|t| (voltage - t).abs() <= self.tolerance)
+                } else {
+                    false
+                }
+            })
+    }
+}
 
 /// The result of a DC operating-point analysis.
 ///
@@ -12,8 +182,8 @@ pub struct Solution {
     /// Current through each voltage source (flowing from `plus` through the
     /// source to `minus`), in source insertion order.
     source_currents: Vec<f64>,
-    /// Newton iterations used.
-    iterations: usize,
+    /// How the solve went: iterations, recovery rung, final residual.
+    diagnostics: SolveDiagnostics,
 }
 
 impl Solution {
@@ -34,9 +204,15 @@ impl Solution {
         self.source_currents[k]
     }
 
-    /// Newton iterations the solve needed.
+    /// Newton iterations the solve needed (summed over all recovery
+    /// attempts).
     pub fn iterations(&self) -> usize {
-        self.iterations
+        self.diagnostics.iterations
+    }
+
+    /// Full structured diagnostics of the solve.
+    pub fn diagnostics(&self) -> &SolveDiagnostics {
+        &self.diagnostics
     }
 }
 
@@ -48,10 +224,18 @@ impl Solution {
 /// a damped step. A `gmin` conductance from every node to ground keeps the
 /// system well posed even with floating subcircuits.
 ///
+/// Convergence requires *both* a settled voltage update (`tolerance`) and a
+/// small KCL residual (`residual_tolerance`), so a stalled damped update
+/// cannot be reported as a solution. When the plain loop fails, the solver
+/// escalates through the deterministic recovery ladder configured by
+/// [`RecoveryPolicy`] — perturbed restarts, gmin stepping, source stepping —
+/// and every returned [`Solution`] carries [`SolveDiagnostics`] describing
+/// which rung succeeded.
+///
 /// # Examples
 ///
 /// ```
-/// use pnc_spice::{Circuit, DcSolver, GROUND};
+/// use pnc_spice::{Circuit, DcSolver, RecoveryRung, GROUND};
 ///
 /// # fn main() -> Result<(), pnc_spice::SpiceError> {
 /// let mut ckt = Circuit::new();
@@ -60,6 +244,7 @@ impl Solution {
 /// ckt.resistor(n, GROUND, 2_000.0)?;
 /// let sol = DcSolver::new().solve(&ckt)?;
 /// assert!((sol.voltage(n) - 2.0).abs() < 1e-6);
+/// assert_eq!(sol.diagnostics().rung, RecoveryRung::Plain);
 /// # Ok(())
 /// # }
 /// ```
@@ -70,10 +255,17 @@ pub struct DcSolver {
     /// Convergence tolerance on the infinity norm of the voltage update, in
     /// volts.
     pub tolerance: f64,
+    /// Convergence tolerance on the infinity norm of the KCL residual
+    /// (amperes on node rows, volts on source branch rows).
+    pub residual_tolerance: f64,
     /// Per-iteration limit on any voltage change, in volts (Newton damping).
     pub max_step: f64,
     /// Safety conductance from every node to ground, in siemens.
     pub gmin: f64,
+    /// The convergence-recovery ladder used when plain Newton fails.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic test-only fault injection; `None` in production.
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl Default for DcSolver {
@@ -81,8 +273,11 @@ impl Default for DcSolver {
         DcSolver {
             max_iterations: 500,
             tolerance: 1e-10,
+            residual_tolerance: 1e-9,
             max_step: 0.25,
             gmin: 1e-12,
+            recovery: RecoveryPolicy::default(),
+            fault_injection: None,
         }
     }
 }
@@ -99,8 +294,10 @@ impl DcSolver {
     /// # Errors
     ///
     /// Returns [`SpiceError::NoConvergence`] if the Newton iteration does not
-    /// settle within the budget and [`SpiceError::SingularSystem`] if the MNA
-    /// matrix cannot be factored (e.g. a loop of ideal sources).
+    /// settle within the budget on any recovery rung and
+    /// [`SpiceError::SingularSystem`] if the MNA matrix cannot be factored
+    /// even with recovery (e.g. a loop of ideal sources). When every rung
+    /// fails, the error of the *plain* attempt is reported.
     pub fn solve(&self, circuit: &Circuit) -> Result<Solution, SpiceError> {
         self.solve_with_guess(circuit, None)
     }
@@ -121,18 +318,210 @@ impl DcSolver {
         circuit: &Circuit,
         guess: Option<&[f64]>,
     ) -> Result<Solution, SpiceError> {
-        self.newton_solve(circuit, guess, None)
+        self.solve_recovered(circuit, guess, None)
+    }
+
+    /// Runs the recovery ladder around [`Self::newton_solve`]: plain solve,
+    /// then perturbed restarts, gmin stepping and (for DC solves) source
+    /// stepping, stopping at the first rung that converges.
+    pub(crate) fn solve_recovered(
+        &self,
+        circuit: &Circuit,
+        guess: Option<&[f64]>,
+        cap_state: Option<(&[f64], f64)>,
+    ) -> Result<Solution, SpiceError> {
+        // Total iterations and attempts across the ladder, folded into the
+        // successful solution's diagnostics.
+        let mut iterations = 0usize;
+        let mut attempts = 1usize;
+
+        let first_err = match self.newton_solve(circuit, guess, cap_state, RecoveryRung::Plain) {
+            Ok(sol) => return Ok(sol),
+            Err(e @ (SpiceError::NoConvergence { .. } | SpiceError::SingularSystem { .. })) => {
+                if let SpiceError::NoConvergence { iterations: n, .. } = e {
+                    iterations += n;
+                }
+                e
+            }
+            Err(e) => return Err(e),
+        };
+
+        let finish = |mut sol: Solution, rung: RecoveryRung, iterations: usize, attempts: usize| {
+            sol.diagnostics.iterations += iterations;
+            sol.diagnostics.rung = rung;
+            sol.diagnostics.attempts = attempts;
+            sol
+        };
+
+        // Rung 1: deterministic perturbed restarts.
+        let n = circuit.num_nodes();
+        for k in 1..=self.recovery.guess_perturbations {
+            attempts += 1;
+            let start = perturbed_guess(n, guess, k, self.recovery.perturbation_scale);
+            match self.newton_solve(
+                circuit,
+                Some(&start),
+                cap_state,
+                RecoveryRung::PerturbedGuess,
+            ) {
+                Ok(sol) => {
+                    return Ok(finish(
+                        sol,
+                        RecoveryRung::PerturbedGuess,
+                        iterations,
+                        attempts,
+                    ))
+                }
+                Err(SpiceError::NoConvergence { iterations: n, .. }) => iterations += n,
+                Err(SpiceError::SingularSystem { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Rung 2: gmin stepping.
+        if self.recovery.gmin_steps > 0 {
+            match self.gmin_stepping(circuit, guess, cap_state, &mut iterations, &mut attempts) {
+                Ok(sol) => {
+                    return Ok(finish(
+                        sol,
+                        RecoveryRung::GminStepping,
+                        iterations,
+                        attempts,
+                    ))
+                }
+                Err(SpiceError::NoConvergence { .. } | SpiceError::SingularSystem { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Rung 3: source stepping — DC only; ramping sources inside a
+        // backward-Euler step would fight the capacitor history terms.
+        if self.recovery.source_steps > 0 && cap_state.is_none() {
+            match self.source_stepping(circuit, &mut iterations, &mut attempts) {
+                Ok(sol) => {
+                    return Ok(finish(
+                        sol,
+                        RecoveryRung::SourceStepping,
+                        iterations,
+                        attempts,
+                    ))
+                }
+                Err(SpiceError::NoConvergence { .. } | SpiceError::SingularSystem { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        Err(first_err)
+    }
+
+    /// Rung 2: solve with a large gmin and geometrically relax it back to
+    /// the configured value, warm-starting each step.
+    fn gmin_stepping(
+        &self,
+        circuit: &Circuit,
+        guess: Option<&[f64]>,
+        cap_state: Option<(&[f64], f64)>,
+        iterations: &mut usize,
+        attempts: &mut usize,
+    ) -> Result<Solution, SpiceError> {
+        let steps = self.recovery.gmin_steps;
+        let start = self.recovery.gmin_initial.max(self.gmin.max(1e-15));
+        let target = self.gmin.max(1e-15);
+        let mut relaxed = self.clone();
+        let mut guess_vec: Option<Vec<f64>> = guess.map(<[f64]>::to_vec);
+        let mut last: Option<Solution> = None;
+        for step in 0..=steps {
+            relaxed.gmin = if step == steps {
+                self.gmin
+            } else {
+                start * (target / start).powf(step as f64 / steps as f64)
+            };
+            *attempts += 1;
+            match relaxed.newton_solve(
+                circuit,
+                guess_vec.as_deref(),
+                cap_state,
+                RecoveryRung::GminStepping,
+            ) {
+                Ok(sol) => {
+                    *iterations += sol.diagnostics.iterations;
+                    guess_vec = Some(sol.voltages()[1..].to_vec());
+                    last = Some(sol);
+                }
+                Err(e) => {
+                    if let SpiceError::NoConvergence { iterations: n, .. } = e {
+                        *iterations += n;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let mut sol = last.expect("at least one gmin step runs");
+        // The accumulated total is applied by `finish`; this solution's own
+        // count is already inside `iterations`.
+        sol.diagnostics.iterations = 0;
+        Ok(sol)
+    }
+
+    /// Rung 3: ramp all independent sources from zero to full value,
+    /// continuing from each intermediate solution.
+    fn source_stepping(
+        &self,
+        circuit: &Circuit,
+        iterations: &mut usize,
+        attempts: &mut usize,
+    ) -> Result<Solution, SpiceError> {
+        let steps = self.recovery.source_steps;
+        let mut guess_vec: Option<Vec<f64>> = None;
+        let mut last: Option<Solution> = None;
+        for k in 1..=steps {
+            // The final step solves the original circuit verbatim, so the
+            // returned operating point is exact — not a scaled variant.
+            let scaled = if k == steps {
+                circuit.clone()
+            } else {
+                circuit.scaled_sources(k as f64 / steps as f64)
+            };
+            *attempts += 1;
+            match self.newton_solve(
+                &scaled,
+                guess_vec.as_deref(),
+                None,
+                RecoveryRung::SourceStepping,
+            ) {
+                Ok(sol) => {
+                    *iterations += sol.diagnostics.iterations;
+                    guess_vec = Some(sol.voltages()[1..].to_vec());
+                    last = Some(sol);
+                }
+                Err(e) => {
+                    if let SpiceError::NoConvergence { iterations: n, .. } = e {
+                        *iterations += n;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let mut sol = last.expect("at least one source step runs");
+        sol.diagnostics.iterations = 0;
+        Ok(sol)
     }
 
     /// Newton iteration shared by DC analysis (`cap_state` = `None`,
     /// capacitors open) and the transient solver's backward-Euler steps
     /// (`cap_state` = previous node voltages including ground, and the
-    /// timestep).
+    /// timestep). `rung` tags the attempt for diagnostics and fault
+    /// injection; it does not change the numerics.
+    ///
+    /// Acceptance requires the voltage update *and* the KCL residual to be
+    /// below their tolerances, so a stalled damped update is not mistaken
+    /// for convergence.
     pub(crate) fn newton_solve(
         &self,
         circuit: &Circuit,
         guess: Option<&[f64]>,
         cap_state: Option<(&[f64], f64)>,
+        rung: RecoveryRung,
     ) -> Result<Solution, SpiceError> {
         let n = circuit.num_nodes();
         let m = circuit.num_vsources();
@@ -152,13 +541,60 @@ impl DcSolver {
             return Ok(Solution {
                 voltages: vec![0.0],
                 source_currents: Vec::new(),
-                iterations: 0,
+                diagnostics: SolveDiagnostics {
+                    iterations: 0,
+                    residual: 0.0,
+                    rung,
+                    attempts: 1,
+                },
             });
         }
 
+        if let Some(fault) = &self.fault_injection {
+            if fault.triggers(circuit, rung) {
+                return Err(SpiceError::NoConvergence {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+        }
+
         let mut last_update = f64::INFINITY;
-        for iter in 0..self.max_iterations {
+        let mut last_residual = f64::INFINITY;
+        for iter in 0..=self.max_iterations {
             let (g, rhs) = self.assemble(circuit, &x, cap_state);
+
+            // KCL residual of the nonlinear system at x: the companion
+            // linearization is exact at its expansion point, so
+            // F(x) = G(x)·x − rhs(x).
+            let mut residual = 0.0_f64;
+            for i in 0..dim {
+                let mut acc = -rhs[i];
+                for (j, xj) in x.iter().enumerate() {
+                    acc += g[(i, j)] * xj;
+                }
+                residual = residual.max(acc.abs());
+            }
+            last_residual = residual;
+
+            if last_update < self.tolerance && residual < self.residual_tolerance {
+                let mut voltages = vec![0.0; n + 1];
+                voltages[1..].copy_from_slice(&x[..n]);
+                return Ok(Solution {
+                    voltages,
+                    source_currents: x[n..].to_vec(),
+                    diagnostics: SolveDiagnostics {
+                        iterations: iter,
+                        residual,
+                        rung,
+                        attempts: 1,
+                    },
+                });
+            }
+            if iter == self.max_iterations {
+                break;
+            }
+
             let lu = Lu::factor(&g)?;
             let x_new = lu.solve(&rhs)?;
 
@@ -176,20 +612,11 @@ impl DcSolver {
                 }
             }
             last_update = max_delta;
-            if max_delta < self.tolerance {
-                let mut voltages = vec![0.0; n + 1];
-                voltages[1..].copy_from_slice(&x[..n]);
-                return Ok(Solution {
-                    voltages,
-                    source_currents: x[n..].to_vec(),
-                    iterations: iter + 1,
-                });
-            }
         }
 
         Err(SpiceError::NoConvergence {
             iterations: self.max_iterations,
-            residual: last_update,
+            residual: last_residual,
         })
     }
 
@@ -337,6 +764,21 @@ impl DcSolver {
 
         (g, rhs)
     }
+}
+
+/// The deterministic rung-1 starting point: the caller's guess (or zero)
+/// shifted by `k · scale` with alternating sign per node, so successive
+/// retries explore both directions at growing amplitude.
+fn perturbed_guess(n: usize, guess: Option<&[f64]>, k: usize, scale: f64) -> Vec<f64> {
+    let mut x: Vec<f64> = match guess {
+        Some(g) => g.to_vec(),
+        None => vec![0.0; n],
+    };
+    for (i, xi) in x.iter_mut().enumerate() {
+        let sign = if (i + k).is_multiple_of(2) { 1.0 } else { -1.0 };
+        *xi += sign * scale * k as f64;
+    }
+    x
 }
 
 #[cfg(test)]
@@ -526,5 +968,188 @@ mod tests {
         let c = Circuit::new();
         let sol = DcSolver::new().solve(&c).unwrap();
         assert_eq!(sol.voltages(), &[0.0]);
+        assert_eq!(sol.diagnostics().rung, RecoveryRung::Plain);
+    }
+
+    #[test]
+    fn plain_solve_reports_residual_and_rung() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 1.0).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let sol = DcSolver::new().solve(&c).unwrap();
+        let d = sol.diagnostics();
+        assert_eq!(d.rung, RecoveryRung::Plain);
+        assert_eq!(d.attempts, 1);
+        assert!(d.residual.is_finite());
+        assert!(d.residual < 1e-9, "residual {}", d.residual);
+        assert!(!d.recovered());
+    }
+
+    #[test]
+    fn residual_check_rejects_stalled_updates() {
+        // A solver whose residual tolerance can never be met must report
+        // NoConvergence even though the (tiny) voltage updates settle.
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 1.0).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let solver = DcSolver {
+            residual_tolerance: 0.0, // unachievable
+            recovery: RecoveryPolicy::disabled(),
+            ..DcSolver::new()
+        };
+        let err = solver.solve(&c);
+        assert!(
+            matches!(err, Err(SpiceError::NoConvergence { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fault_injection_fails_without_recovery() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 0.5).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let solver = DcSolver {
+            recovery: RecoveryPolicy::disabled(),
+            fault_injection: Some(FaultInjection::recoverable_at(vec![0.5])),
+            ..DcSolver::new()
+        };
+        assert!(matches!(
+            solver.solve(&c),
+            Err(SpiceError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn ladder_rescues_injected_fault_via_gmin_stepping() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 0.5).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let solver = DcSolver {
+            fault_injection: Some(FaultInjection::recoverable_at(vec![0.5])),
+            ..DcSolver::new()
+        };
+        let sol = solver.solve(&c).unwrap();
+        assert!((sol.voltage(n) - 0.5).abs() < 1e-9);
+        let d = sol.diagnostics();
+        assert_eq!(d.rung, RecoveryRung::GminStepping);
+        assert!(d.recovered());
+        // Plain + 2 perturbed restarts failed before the gmin rung ran.
+        assert!(d.attempts > 3, "attempts {}", d.attempts);
+    }
+
+    #[test]
+    fn ladder_rescues_via_source_stepping_when_gmin_is_disabled() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 0.5).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let solver = DcSolver {
+            recovery: RecoveryPolicy {
+                gmin_steps: 0,
+                guess_perturbations: 0,
+                ..RecoveryPolicy::default()
+            },
+            fault_injection: Some(FaultInjection {
+                trigger_values: vec![0.5],
+                tolerance: 1e-9,
+                min_successful_rung: Some(RecoveryRung::SourceStepping),
+            }),
+            ..DcSolver::new()
+        };
+        let sol = solver.solve(&c).unwrap();
+        assert!((sol.voltage(n) - 0.5).abs() < 1e-9);
+        assert_eq!(sol.diagnostics().rung, RecoveryRung::SourceStepping);
+    }
+
+    #[test]
+    fn unrecoverable_fault_fails_at_every_rung() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 0.5).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let solver = DcSolver {
+            fault_injection: Some(FaultInjection::unrecoverable_at(vec![0.5])),
+            ..DcSolver::new()
+        };
+        assert!(matches!(
+            solver.solve(&c),
+            Err(SpiceError::NoConvergence { .. })
+        ));
+        // A non-triggering source value solves normally.
+        let mut ok = Circuit::new();
+        let m = ok.new_node();
+        ok.vsource(m, GROUND, 0.7).unwrap();
+        ok.resistor(m, GROUND, 1_000.0).unwrap();
+        let sol = solver.solve(&ok).unwrap();
+        assert_eq!(sol.diagnostics().rung, RecoveryRung::Plain);
+    }
+
+    #[test]
+    fn recovered_solution_matches_plain_solution() {
+        // The rescued EGT inverter operating point must equal the one plain
+        // Newton finds without injection.
+        let model = EgtModel::printed(600e-6, 20e-6);
+        let build = || {
+            let mut c = Circuit::new();
+            let supply = c.new_node();
+            let input = c.new_node();
+            let out = c.new_node();
+            c.vsource(supply, GROUND, 1.0).unwrap();
+            c.vsource(input, GROUND, 0.4).unwrap();
+            c.resistor(supply, out, 200_000.0).unwrap();
+            c.egt(out, input, GROUND, model).unwrap();
+            (c, out)
+        };
+        let (c, out) = build();
+        let plain = DcSolver::new().solve(&c).unwrap();
+        let faulted = DcSolver {
+            fault_injection: Some(FaultInjection::recoverable_at(vec![0.4])),
+            ..DcSolver::new()
+        };
+        let rescued = faulted.solve(&c).unwrap();
+        assert_eq!(rescued.diagnostics().rung, RecoveryRung::GminStepping);
+        assert!(
+            (rescued.voltage(out) - plain.voltage(out)).abs() < 1e-8,
+            "rescued {} vs plain {}",
+            rescued.voltage(out),
+            plain.voltage(out)
+        );
+    }
+
+    #[test]
+    fn ladder_is_deterministic() {
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(n, GROUND, 0.5).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let solver = DcSolver {
+            fault_injection: Some(FaultInjection::recoverable_at(vec![0.5])),
+            ..DcSolver::new()
+        };
+        let a = solver.solve(&c).unwrap();
+        let b = solver.solve(&c).unwrap();
+        assert_eq!(a, b, "recovery must be deterministic");
+    }
+
+    #[test]
+    fn recovery_policy_default_and_disabled() {
+        let p = RecoveryPolicy::default();
+        assert!(p.guess_perturbations > 0 && p.gmin_steps > 0 && p.source_steps > 0);
+        let off = RecoveryPolicy::disabled();
+        assert_eq!(off.guess_perturbations, 0);
+        assert_eq!(off.gmin_steps, 0);
+        assert_eq!(off.source_steps, 0);
+    }
+
+    #[test]
+    fn rung_ordering_matches_escalation_cost() {
+        assert!(RecoveryRung::Plain < RecoveryRung::PerturbedGuess);
+        assert!(RecoveryRung::PerturbedGuess < RecoveryRung::GminStepping);
+        assert!(RecoveryRung::GminStepping < RecoveryRung::SourceStepping);
     }
 }

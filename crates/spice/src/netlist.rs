@@ -285,6 +285,38 @@ impl Circuit {
         Ok(DeviceId(self.devices.len() - 1))
     }
 
+    /// Returns a copy of the circuit with every independent source scaled by
+    /// `alpha` (voltage sources and current sources alike). Used by the
+    /// source-stepping recovery rung to ramp excitations from zero to full
+    /// value.
+    pub(crate) fn scaled_sources(&self, alpha: f64) -> Circuit {
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| match d {
+                Device::VSource {
+                    plus,
+                    minus,
+                    voltage,
+                } => Device::VSource {
+                    plus: *plus,
+                    minus: *minus,
+                    voltage: voltage * alpha,
+                },
+                Device::ISource { from, to, current } => Device::ISource {
+                    from: *from,
+                    to: *to,
+                    current: current * alpha,
+                },
+                other => other.clone(),
+            })
+            .collect();
+        Circuit {
+            num_nodes: self.num_nodes,
+            devices,
+        }
+    }
+
     /// Replaces the value of the voltage source `id`.
     ///
     /// Used by DC sweeps to step an input source without rebuilding the

@@ -125,7 +125,7 @@ impl TransientSolver {
             let prev = solutions.last().expect("at least the initial point");
             let prev_voltages = prev.voltages().to_vec();
             let guess = prev_voltages[1..].to_vec();
-            let sol = self.dc.newton_solve(
+            let sol = self.dc.solve_recovered(
                 circuit,
                 Some(&guess),
                 Some((&prev_voltages, self.timestep)),

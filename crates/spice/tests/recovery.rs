@@ -1,0 +1,147 @@
+//! Integration checks of the convergence-recovery ladder: under deterministic
+//! fault injection, plain damped Newton must fail on the targeted sweep
+//! points, while the same solver with the default [`RecoveryPolicy`] rescues
+//! every Tab. I circuit and reproduces the clean solver's curve.
+
+use pnc_spice::circuits::{NonlinearCircuitParams, PtanhCircuit};
+use pnc_spice::sweep::linspace;
+use pnc_spice::{DcSolver, FaultInjection, RecoveryPolicy, RecoveryRung, SpiceError};
+use proptest::prelude::*;
+
+/// The fault-injection trigger: a sweep grid value that is neither 0 nor the
+/// 1.0 V supply (which is itself a voltage source).
+const TRIGGER: f64 = 0.5;
+
+fn plain_solver_with_fault() -> DcSolver {
+    DcSolver {
+        recovery: RecoveryPolicy::disabled(),
+        fault_injection: Some(FaultInjection::recoverable_at(vec![TRIGGER])),
+        ..DcSolver::new()
+    }
+}
+
+fn ladder_solver_with_fault() -> DcSolver {
+    DcSolver {
+        fault_injection: Some(FaultInjection::recoverable_at(vec![TRIGGER])),
+        ..DcSolver::new()
+    }
+}
+
+/// Tab. I corner values of ω = [R1, R2, R3, R4, R5, W, L].
+const LO: [f64; 7] = [10.0, 5.0, 10e3, 8e3, 10e3, 200e-6, 10e-6];
+const HI: [f64; 7] = [500.0, 250.0, 500e3, 400e3, 500e3, 800e-6, 70e-6];
+
+/// All feasible corners of the Tab. I box (the divider constraints
+/// `r2 < r1`, `r4 < r3` rule some out).
+fn feasible_corners() -> Vec<NonlinearCircuitParams> {
+    (0..128u32)
+        .filter_map(|mask| {
+            let mut omega = [0.0; 7];
+            for (k, slot) in omega.iter_mut().enumerate() {
+                *slot = if mask & (1 << k) == 0 { LO[k] } else { HI[k] };
+            }
+            let params = NonlinearCircuitParams::from_array(omega);
+            params.validate().is_ok().then_some(params)
+        })
+        .collect()
+}
+
+#[test]
+fn every_feasible_corner_fails_plain_and_is_rescued_by_the_ladder() {
+    let corners = feasible_corners();
+    assert!(corners.len() >= 64, "expected most corners feasible");
+    let grid = linspace(0.0, 1.0, 21);
+
+    for params in &corners {
+        // Clean reference curve.
+        let mut clean = PtanhCircuit::build(params).expect("corner builds");
+        let reference = clean.transfer_curve(&grid).expect("clean sweep converges");
+
+        // Plain Newton under injection fails at the triggered sweep point.
+        let mut faulted = PtanhCircuit::build(params).expect("corner builds");
+        faulted.set_solver(plain_solver_with_fault());
+        match faulted.transfer_curve(&grid) {
+            Err(SpiceError::NoConvergence { .. }) => {}
+            other => panic!("plain Newton should fail under injection, got {other:?}"),
+        }
+
+        // The same circuit with the default ladder solves every point and
+        // matches the clean curve.
+        let mut rescued = PtanhCircuit::build(params).expect("corner builds");
+        rescued.set_solver(ladder_solver_with_fault());
+        let curve = rescued.transfer_curve(&grid).expect("ladder rescues");
+        for ((v_ref, out_ref), (v_resc, out_resc)) in reference.iter().zip(&curve) {
+            assert_eq!(v_ref, v_resc);
+            assert!(
+                (out_ref - out_resc).abs() < 1e-6,
+                "corner {params:?} at Vin {v_ref}: clean {out_ref} vs rescued {out_resc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rescued_solve_reports_the_rung_used() {
+    // An EGT inverter biased at the trigger voltage: the diagnostics must
+    // show the gmin rung (plain and perturbed restarts are forced to fail)
+    // and the operating point must match the clean solver's.
+    use pnc_spice::{Circuit, EgtModel, GROUND};
+    let mut c = Circuit::new();
+    let supply = c.new_node();
+    let input = c.new_node();
+    let out = c.new_node();
+    c.vsource(supply, GROUND, 1.0).unwrap();
+    c.vsource(input, GROUND, TRIGGER).unwrap();
+    c.resistor(supply, out, 200_000.0).unwrap();
+    c.egt(out, input, GROUND, EgtModel::printed(600e-6, 20e-6))
+        .unwrap();
+
+    let clean = DcSolver::new().solve(&c).unwrap();
+    assert_eq!(clean.diagnostics().rung, RecoveryRung::Plain);
+
+    let rescued = ladder_solver_with_fault().solve(&c).unwrap();
+    let d = rescued.diagnostics();
+    assert_eq!(d.rung, RecoveryRung::GminStepping);
+    assert!(d.recovered());
+    assert!(d.residual.is_finite());
+    assert!((rescued.voltage(out) - clean.voltage(out)).abs() < 1e-8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Anywhere in the Tab. I box (not just corners): plain Newton under
+    /// injection fails, the default ladder rescues, and the rescued curve
+    /// matches the clean one.
+    #[test]
+    fn ladder_rescues_random_tab1_circuits(
+        u in proptest::collection::vec(0.0..1.0f64, 7),
+    ) {
+        let raw: Vec<f64> = (0..7).map(|k| LO[k] + u[k] * (HI[k] - LO[k])).collect();
+        let params = NonlinearCircuitParams {
+            r1: raw[0],
+            r2: raw[1].min(raw[0] * 0.999),
+            r3: raw[2],
+            r4: raw[3].min(raw[2] * 0.999),
+            r5: raw[4],
+            w: raw[5],
+            l: raw[6],
+        };
+        prop_assume!(params.validate().is_ok());
+        let grid = linspace(0.0, 1.0, 11);
+
+        let mut clean = PtanhCircuit::build(&params).expect("builds");
+        let reference = clean.transfer_curve(&grid).expect("clean sweep");
+
+        let mut faulted = PtanhCircuit::build(&params).expect("builds");
+        faulted.set_solver(plain_solver_with_fault());
+        prop_assert!(faulted.transfer_curve(&grid).is_err());
+
+        let mut rescued = PtanhCircuit::build(&params).expect("builds");
+        rescued.set_solver(ladder_solver_with_fault());
+        let curve = rescued.transfer_curve(&grid).expect("ladder rescues");
+        for ((_, out_ref), (_, out_resc)) in reference.iter().zip(&curve) {
+            prop_assert!((out_ref - out_resc).abs() < 1e-6);
+        }
+    }
+}

@@ -3,7 +3,55 @@ use pnc_fit::fit_ptanh;
 use pnc_linalg::ParallelConfig;
 use pnc_spice::circuits::{NonlinearCircuitParams, PtanhCircuit};
 use pnc_spice::sweep::linspace;
+use pnc_spice::DcSolver;
 use serde::{Deserialize, Serialize};
+
+/// The pipeline stage at which a design point failed to characterize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureStage {
+    /// Netlist construction rejected the parameters.
+    Build,
+    /// A DC sweep point did not converge (even after recovery).
+    Sweep,
+    /// The ptanh curve fit failed.
+    Fit,
+}
+
+/// One failed design point: which ω, at which stage, and why.
+///
+/// The builder records these instead of silently dropping the point, so a
+/// dataset consumer can audit exactly what was excluded — and a corrupted
+/// solver or degenerate design-space region shows up as data rather than as
+/// a mysteriously smaller dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Index of the design point in the QMC sample sequence.
+    pub index: usize,
+    /// The physical parameters ω of the failed point.
+    pub omega: [f64; OMEGA_DIM],
+    /// The stage that failed.
+    pub stage: FailureStage,
+    /// Human-readable cause (the underlying error's message).
+    pub cause: String,
+}
+
+/// Per-stage failure counts of a dataset build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureTally {
+    /// Points rejected at netlist construction.
+    pub build: usize,
+    /// Points lost to non-convergent sweeps.
+    pub sweep: usize,
+    /// Points whose curve fit failed.
+    pub fit: usize,
+}
+
+impl FailureTally {
+    /// Total failed points across all stages.
+    pub fn total(&self) -> usize {
+        self.build + self.sweep + self.fit
+    }
+}
 
 /// One characterized circuit: physical parameters and fitted curve
 /// parameters.
@@ -105,9 +153,25 @@ pub struct CircuitDataset {
     pub entries: Vec<DatasetEntry>,
     /// Target-normalization bounds computed over `entries`.
     pub eta_bounds: EtaBounds,
+    /// Design points that could not be characterized, with stage and cause.
+    /// Ordered by sample index; identical at every thread count.
+    pub failures: Vec<FailureRecord>,
 }
 
 impl CircuitDataset {
+    /// Per-stage counts of the recorded failures.
+    pub fn failure_tally(&self) -> FailureTally {
+        let mut tally = FailureTally::default();
+        for f in &self.failures {
+            match f.stage {
+                FailureStage::Build => tally.build += 1,
+                FailureStage::Sweep => tally.sweep += 1,
+                FailureStage::Fit => tally.fit += 1,
+            }
+        }
+        tally
+    }
+
     /// Splits the dataset into train/validation/test index sets with the
     /// paper's 70/20/10 proportions, deterministically shuffled by `seed`.
     pub fn split(&self, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
@@ -165,36 +229,97 @@ pub fn build_dataset_with(
     config: &DatasetConfig,
     parallel: &ParallelConfig,
 ) -> Result<CircuitDataset, SurrogateError> {
+    build_dataset_opts(
+        config,
+        &BuildOptions {
+            parallel: *parallel,
+            ..BuildOptions::default()
+        },
+    )
+}
+
+/// Extended knobs of the dataset builder, for diagnostics and tests.
+#[derive(Clone, Copy, Default)]
+pub struct BuildOptions<'a> {
+    /// Thread-count configuration (see [`build_dataset_with`]).
+    pub parallel: ParallelConfig,
+    /// Abort the build when more than this fraction of points fails
+    /// (`None` = the default 5 %).
+    pub max_failure_fraction: Option<f64>,
+    /// Optional per-sample DC solver override, keyed by the QMC sample
+    /// index. Used to install custom
+    /// [`RecoveryPolicy`](pnc_spice::RecoveryPolicy)s, or — in tests — fault
+    /// injection on chosen samples. Keying on the (thread-invariant) sample
+    /// index keeps the build deterministic.
+    pub solver_factory: Option<&'a (dyn Fn(usize) -> DcSolver + Sync)>,
+}
+
+/// [`build_dataset_with`] with full [`BuildOptions`].
+///
+/// # Errors
+///
+/// Same contract as [`build_dataset`]; the failure threshold is
+/// [`BuildOptions::max_failure_fraction`].
+pub fn build_dataset_opts(
+    config: &DatasetConfig,
+    options: &BuildOptions<'_>,
+) -> Result<CircuitDataset, SurrogateError> {
     let space = DesignSpace::paper();
     let omegas = space.sample(config.samples)?;
     let grid = linspace(0.0, pnc_spice::circuits::VDD, config.sweep_points.max(5));
 
-    let results: Vec<Result<DatasetEntry, SurrogateError>> =
-        parallel.ordered_par_map(&omegas, |omega| {
-            let params = NonlinearCircuitParams::from_array(*omega);
-            let mut circuit = PtanhCircuit::build(&params)?;
-            let curve = circuit.transfer_curve(&grid)?;
-            let fit = fit_ptanh(&curve)?;
-            Ok(DatasetEntry {
-                omega: *omega,
-                eta: fit.curve.eta,
-                fit_rmse: fit.rmse,
-            })
-        });
+    // Indices ride along with the samples so the worker closure (which only
+    // sees one item) can key the solver factory and the failure records on
+    // the scheduling-independent sample index.
+    let indexed: Vec<(usize, [f64; OMEGA_DIM])> = omegas.into_iter().enumerate().collect();
+    let fail = |index: usize, omega: &[f64; OMEGA_DIM], stage: FailureStage, cause: String| {
+        FailureRecord {
+            index,
+            omega: *omega,
+            stage,
+            cause,
+        }
+    };
+    let results: Vec<Result<DatasetEntry, FailureRecord>> =
+        options
+            .parallel
+            .ordered_par_map(&indexed, |(index, omega)| {
+                let params = NonlinearCircuitParams::from_array(*omega);
+                let mut circuit = PtanhCircuit::build(&params)
+                    .map_err(|e| fail(*index, omega, FailureStage::Build, e.to_string()))?;
+                if let Some(factory) = options.solver_factory {
+                    circuit.set_solver(factory(*index));
+                }
+                let curve = circuit
+                    .transfer_curve(&grid)
+                    .map_err(|e| fail(*index, omega, FailureStage::Sweep, e.to_string()))?;
+                let fit = fit_ptanh(&curve)
+                    .map_err(|e| fail(*index, omega, FailureStage::Fit, e.to_string()))?;
+                Ok(DatasetEntry {
+                    omega: *omega,
+                    eta: fit.curve.eta,
+                    fit_rmse: fit.rmse,
+                })
+            });
 
     let mut entries = Vec::with_capacity(results.len());
-    let mut failures = 0usize;
+    let mut failures = Vec::new();
     for r in results {
         match r {
             Ok(e) => entries.push(e),
-            Err(_) => failures += 1,
+            Err(record) => failures.push(record),
         }
     }
-    if failures * 20 > config.samples {
+    let max_fraction = options.max_failure_fraction.unwrap_or(0.05);
+    if failures.len() as f64 > max_fraction * config.samples as f64 {
         return Err(SurrogateError::BadDataset {
             detail: format!(
-                "{failures} of {} circuit characterizations failed",
-                config.samples
+                "{} of {} circuit characterizations failed (first: index {}, {:?} stage: {})",
+                failures.len(),
+                config.samples,
+                failures[0].index,
+                failures[0].stage,
+                failures[0].cause,
             ),
         });
     }
@@ -204,6 +329,7 @@ pub fn build_dataset_with(
         space,
         entries,
         eta_bounds,
+        failures,
     })
 }
 
@@ -287,6 +413,182 @@ mod tests {
         assert_eq!(all.len(), n, "splits must be disjoint");
         // Deterministic in the seed.
         assert_eq!(data.split(7), (train, val, test));
+    }
+
+    #[test]
+    fn successful_build_has_no_failure_records() {
+        let data = tiny_dataset();
+        assert!(data.failures.is_empty());
+        assert_eq!(data.failure_tally().total(), 0);
+    }
+
+    /// A solver factory injecting an unrecoverable fault on chosen sample
+    /// indices: those samples fail mid-sweep at `V_in = 0.5`.
+    fn faulting_factory(bad: &'static [usize]) -> impl Fn(usize) -> pnc_spice::DcSolver + Sync {
+        move |index| {
+            let mut solver = pnc_spice::DcSolver::new();
+            if bad.contains(&index) {
+                solver.fault_injection =
+                    Some(pnc_spice::FaultInjection::unrecoverable_at(vec![0.5]));
+            }
+            solver
+        }
+    }
+
+    #[test]
+    fn injected_faults_are_recorded_with_stage_and_cause() {
+        const BAD: &[usize] = &[3, 17];
+        let config = DatasetConfig {
+            samples: 40,
+            sweep_points: 21,
+        };
+        let factory = faulting_factory(BAD);
+        let data = build_dataset_opts(
+            &config,
+            &BuildOptions {
+                solver_factory: Some(&factory),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(data.entries.len(), 40 - BAD.len());
+        assert_eq!(data.failures.len(), BAD.len());
+        let tally = data.failure_tally();
+        assert_eq!(tally.sweep, BAD.len());
+        assert_eq!(tally.build + tally.fit, 0);
+        for (record, &expected_index) in data.failures.iter().zip(BAD) {
+            assert_eq!(record.index, expected_index);
+            assert_eq!(record.stage, FailureStage::Sweep);
+            assert!(
+                record.cause.contains("did not converge"),
+                "cause: {}",
+                record.cause
+            );
+            assert!(record.omega.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn failure_records_are_identical_across_thread_counts() {
+        const BAD: &[usize] = &[1, 9, 22];
+        let config = DatasetConfig {
+            samples: 40,
+            sweep_points: 21,
+        };
+        let factory = faulting_factory(BAD);
+        let build = |parallel: ParallelConfig| {
+            build_dataset_opts(
+                &config,
+                &BuildOptions {
+                    parallel,
+                    max_failure_fraction: Some(0.2),
+                    solver_factory: Some(&factory),
+                },
+            )
+            .unwrap()
+        };
+        let serial = build(ParallelConfig::serial());
+        assert_eq!(serial.failures.len(), BAD.len());
+        for threads in [2, 4] {
+            let parallel = build(ParallelConfig::with_threads(threads));
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn recoverable_faults_leave_the_dataset_intact() {
+        // When the ladder can rescue the injected failure, the dataset must
+        // contain every sample and no failure records — and match the
+        // unfaulted build, because recovery converges to the same operating
+        // points.
+        let config = DatasetConfig {
+            samples: 20,
+            sweep_points: 21,
+        };
+        let clean = build_dataset_with(&config, &ParallelConfig::serial()).unwrap();
+        let factory = |_index: usize| pnc_spice::DcSolver {
+            fault_injection: Some(pnc_spice::FaultInjection::recoverable_at(vec![0.5])),
+            ..pnc_spice::DcSolver::new()
+        };
+        let rescued = build_dataset_opts(
+            &config,
+            &BuildOptions {
+                parallel: ParallelConfig::serial(),
+                solver_factory: Some(&factory),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(rescued.failures.is_empty(), "ladder should rescue all");
+        assert_eq!(clean.entries.len(), rescued.entries.len());
+        for (a, b) in clean.entries.iter().zip(&rescued.entries) {
+            assert_eq!(a.omega, b.omega);
+            for k in 0..4 {
+                assert!(
+                    (a.eta[k] - b.eta[k]).abs() < 1e-6,
+                    "eta[{k}]: {} vs {}",
+                    a.eta[k],
+                    b.eta[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_failures_abort_with_stage_detail() {
+        const BAD: &[usize] = &[0, 1, 2, 3, 4];
+        let config = DatasetConfig {
+            samples: 20,
+            sweep_points: 21,
+        };
+        let factory = faulting_factory(BAD);
+        let err = build_dataset_opts(
+            &config,
+            &BuildOptions {
+                solver_factory: Some(&factory),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("5 of 20"), "{msg}");
+        assert!(msg.contains("Sweep"), "{msg}");
+        // Raising the threshold lets the same build succeed and keep records.
+        let data = build_dataset_opts(
+            &config,
+            &BuildOptions {
+                max_failure_fraction: Some(0.5),
+                solver_factory: Some(&factory),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(data.failure_tally().sweep, BAD.len());
+    }
+
+    #[test]
+    fn failure_records_serialize_round_trip() {
+        const BAD: &[usize] = &[2];
+        let config = DatasetConfig {
+            samples: 20,
+            sweep_points: 21,
+        };
+        let factory = faulting_factory(BAD);
+        let data = build_dataset_opts(
+            &config,
+            &BuildOptions {
+                solver_factory: Some(&factory),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let json = serde_json::to_string(&data).unwrap();
+        let back: CircuitDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.failures.len(), 1);
+        assert_eq!(back.failures[0].index, 2);
+        assert_eq!(back.failures[0].stage, FailureStage::Sweep);
+        assert_eq!(back.failures[0].cause, data.failures[0].cause);
     }
 
     #[test]

@@ -44,7 +44,8 @@ mod mlp;
 mod model;
 
 pub use dataset::{
-    build_dataset, build_dataset_with, CircuitDataset, DatasetConfig, DatasetEntry, EtaBounds,
+    build_dataset, build_dataset_opts, build_dataset_with, BuildOptions, CircuitDataset,
+    DatasetConfig, DatasetEntry, EtaBounds, FailureRecord, FailureStage, FailureTally,
 };
 pub use design_space::{DesignSpace, EXTENDED_DIM, OMEGA_DIM};
 pub use error::SurrogateError;

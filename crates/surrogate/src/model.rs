@@ -394,6 +394,7 @@ mod tests {
                 lo: [0.0; 4],
                 hi: [1.0; 4],
             },
+            failures: vec![],
         };
         assert!(train_surrogate(&data, &quick_config()).is_err());
     }

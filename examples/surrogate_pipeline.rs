@@ -28,8 +28,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         "   {} circuits characterized; ptanh fit rmse: mean {:.4} V, max {:.4} V",
         data.entries.len(),
         stats::mean(&rmses),
-        stats::max(&rmses),
+        stats::max(&rmses).unwrap_or(0.0),
     );
+    let tally = data.failure_tally();
+    if tally.total() > 0 {
+        println!(
+            "   {} points failed (build {}, sweep {}, fit {}); first: {}",
+            tally.total(),
+            tally.build,
+            tally.sweep,
+            tally.fit,
+            data.failures
+                .first()
+                .map(|f| f.cause.as_str())
+                .unwrap_or("-"),
+        );
+    }
 
     println!("2. training the 13-layer surrogate network (70/20/10 split) ...");
     let (model, report) = train_surrogate(&data, &TrainConfig::default())?;
