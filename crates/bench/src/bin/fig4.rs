@@ -9,11 +9,16 @@
 //! ```sh
 //! cargo run --release -p pnc-bench --bin fig4 [--samples N]
 //! ```
+//!
+//! Besides the stdout tables, the run's observability counters (Newton
+//! iterations, recovery-rung usage, LM effort — see `docs/METRICS.md`) are
+//! saved to `artifacts/fig4_metrics.json`.
 
 use pnc_fit::fit_ptanh;
 use pnc_linalg::stats;
 use pnc_spice::circuits::{characteristic_curve, NonlinearCircuitParams};
 use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig};
+use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -100,5 +105,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t[0], t[1], t[2], t[3], p[0], p[1], p[2], p[3]
         );
     }
+
+    // End-of-run metrics summary: solver effort and robustness counters for
+    // this figure's trajectory (deterministic across PNC_NUM_THREADS).
+    let metrics_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../artifacts");
+    std::fs::create_dir_all(&metrics_path)?;
+    let metrics_path = metrics_path.join("fig4_metrics.json");
+    pnc_obs::write_summary(&metrics_path)?;
+    eprintln!("metrics summary saved to {}", metrics_path.display());
     Ok(())
 }

@@ -220,6 +220,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
     eprintln!("\nreport saved to {}", out.display());
 
+    // End-of-run metrics summary next to the timing report: total solver and
+    // training effort behind the numbers above (see docs/METRICS.md).
+    let metrics_out =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel_metrics.json");
+    pnc_obs::write_summary(&metrics_out)?;
+    eprintln!("metrics summary saved to {}", metrics_out.display());
+
     println!("epoch-time speedup:");
     for p in &report.epoch.results {
         println!("  {:>2} threads: {:.2}x", p.threads, p.speedup);

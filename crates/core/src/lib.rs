@@ -64,6 +64,13 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Observability
+//!
+//! Training feeds the `core.*` counters and histograms of `pnc-obs`
+//! (epochs, Monte-Carlo draws, gradient norms, early stops, seed-search
+//! progress) and emits per-epoch / end-of-run events when the `PNC_OBS`
+//! sink is enabled — see `docs/METRICS.md` at the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

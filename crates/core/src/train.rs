@@ -5,9 +5,45 @@ use crate::variation::{NoiseSample, VariationModel};
 use crate::PnnError;
 use pnc_autodiff::{Adam, Graph, Optimizer};
 use pnc_linalg::{Matrix, ParallelConfig};
+use pnc_obs::{Counter, FieldValue, Histogram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+// Observability: training-loop effort and progress. Catalogued in
+// docs/METRICS.md.
+static OBS_RUNS: Counter = Counter::new("core.train.runs");
+static OBS_EPOCHS: Counter = Counter::new("core.train.epochs");
+static OBS_MC_DRAWS: Counter = Counter::new("core.train.mc_draws");
+static OBS_EARLY_STOPS: Counter = Counter::new("core.train.early_stops");
+static OBS_GRAD_NORM: Histogram = Histogram::new("core.train.grad_norm");
+static OBS_SEEDS: Counter = Counter::new("core.seed_search.seeds");
+
+fn obs_register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        OBS_RUNS.register();
+        OBS_EPOCHS.register();
+        OBS_MC_DRAWS.register();
+        OBS_EARLY_STOPS.register();
+        OBS_GRAD_NORM.register();
+        OBS_SEEDS.register();
+    });
+}
+
+/// Infinity norm over a gradient group (the scalar the per-epoch
+/// `core.train.grad_norm` histogram records).
+fn grad_inf_norm(grads: &[Matrix]) -> f64 {
+    let mut norm = 0.0_f64;
+    for g in grads {
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                norm = norm.max(g[(i, j)].abs());
+            }
+        }
+    }
+    norm
+}
 
 /// A labeled batch: feature voltages and class targets.
 ///
@@ -208,6 +244,7 @@ impl Trainer {
                 detail: "Monte-Carlo loss needs at least one noise draw".into(),
             });
         }
+        OBS_MC_DRAWS.add(noise.len() as u64);
         struct DrawOutcome {
             loss: f64,
             grads: Option<(Vec<Matrix>, Vec<Matrix>)>,
@@ -308,6 +345,7 @@ impl Trainer {
                 detail: "training and validation sets must be non-empty".into(),
             });
         }
+        obs_register();
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         // Fixed validation noise so early stopping compares epochs fairly.
@@ -328,6 +366,9 @@ impl Trainer {
             let noise = self.draw_noise(pnn, &mut rng, self.config.n_train_mc.max(1));
             let (train_loss, grads) = self.mc_loss(pnn, train, &noise, true)?;
             let (theta_grads, w_grads) = grads.expect("backward requested");
+
+            OBS_EPOCHS.increment();
+            OBS_GRAD_NORM.observe(grad_inf_norm(&theta_grads));
 
             // Crossbar group.
             {
@@ -352,6 +393,17 @@ impl Trainer {
             train_losses.push(train_loss);
             val_losses.push(val_loss);
 
+            if pnc_obs::sink::enabled() {
+                pnc_obs::sink::emit(
+                    "core.train.epoch",
+                    &[
+                        ("epoch", FieldValue::U64(epoch as u64)),
+                        ("train_loss", FieldValue::F64(train_loss)),
+                        ("val_loss", FieldValue::F64(val_loss)),
+                    ],
+                );
+            }
+
             if val_loss < best_val {
                 best_val = val_loss;
                 best_epoch = epoch;
@@ -360,6 +412,7 @@ impl Trainer {
             } else {
                 stale += 1;
                 if stale >= self.config.patience {
+                    OBS_EARLY_STOPS.increment();
                     break;
                 }
             }
@@ -370,6 +423,18 @@ impl Trainer {
         let (layers, circuits) = best_snapshot;
         pnn.layers_mut().clone_from_slice(&layers);
         pnn.circuits_mut().clone_from_slice(&circuits);
+
+        OBS_RUNS.increment();
+        if pnc_obs::sink::enabled() {
+            pnc_obs::sink::emit(
+                "core.train.done",
+                &[
+                    ("epochs_run", FieldValue::U64(epochs_run as u64)),
+                    ("best_epoch", FieldValue::U64(best_epoch as u64)),
+                    ("best_val_loss", FieldValue::F64(best_val)),
+                ],
+            );
+        }
 
         Ok(TrainReport {
             best_val_loss: best_val,
@@ -406,7 +471,54 @@ impl Trainer {
 ///
 /// # Examples
 ///
-/// See `examples/variation_robustness.rs` in the workspace root.
+/// Two-seed best-of-validation selection on a toy task, against a tiny
+/// surrogate (a full-size one is cached by `artifacts::default_surrogate`
+/// in the facade crate):
+///
+/// ```
+/// use pnc_core::{train_best_of_seeds, LabeledData, PnnConfig, TrainConfig, VariationModel};
+/// use pnc_linalg::Matrix;
+/// use pnc_surrogate::{build_dataset_opts, train_surrogate, BuildOptions, DatasetConfig};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = build_dataset_opts(
+///     &DatasetConfig { samples: 12, sweep_points: 21 },
+///     &BuildOptions { max_failure_fraction: Some(0.5), ..BuildOptions::default() },
+/// )?;
+/// let (surrogate, _) = train_surrogate(
+///     &data,
+///     &pnc_surrogate::TrainConfig {
+///         layer_sizes: vec![10, 8, 4],
+///         max_epochs: 30,
+///         patience: 30,
+///         ..pnc_surrogate::TrainConfig::default()
+///     },
+/// )?;
+///
+/// let x = Matrix::from_fn(8, 2, |i, j| ((i * 3 + j) % 5) as f64 / 4.0);
+/// let y: Vec<usize> = (0..8).map(|i| i % 2).collect();
+/// let labeled = LabeledData::new(&x, &y)?;
+/// let (pnn, report) = train_best_of_seeds(
+///     &PnnConfig::for_dataset(2, 2),
+///     Arc::new(surrogate),
+///     &TrainConfig {
+///         variation: VariationModel::Uniform { epsilon: 0.1 },
+///         n_train_mc: 2,
+///         n_val_mc: 2,
+///         max_epochs: 3,
+///         patience: 3,
+///         ..TrainConfig::default()
+///     },
+///     labeled,
+///     labeled,
+///     &[0, 1],
+/// )?;
+/// assert!(report.best_val_loss.is_finite());
+/// assert_eq!(pnn.config().layer_sizes, vec![2, 3, 2]);
+/// # Ok(())
+/// # }
+/// ```
 pub fn train_best_of_seeds(
     config: &crate::PnnConfig,
     surrogate: std::sync::Arc<pnc_surrogate::SurrogateModel>,
@@ -437,6 +549,20 @@ pub fn train_best_of_seeds(
         if report.best_val_loss < results[best].1.best_val_loss {
             best = i;
         }
+    }
+    OBS_SEEDS.add(seeds.len() as u64);
+    if pnc_obs::sink::enabled() {
+        pnc_obs::sink::emit(
+            "core.seed_search.done",
+            &[
+                ("seeds", FieldValue::U64(seeds.len() as u64)),
+                ("best_seed", FieldValue::U64(seeds[best])),
+                (
+                    "best_val_loss",
+                    FieldValue::F64(results[best].1.best_val_loss),
+                ),
+            ],
+        );
     }
     Ok(results.into_iter().nth(best).expect("seeds is non-empty"))
 }

@@ -35,6 +35,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Observability
+//!
+//! Completed LM runs and ptanh fits feed the `fit.*` counters and
+//! histograms of `pnc-obs` (iterations, λ escalations, final cost, fit
+//! RMSE) — see `docs/METRICS.md` at the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,5 +1,26 @@
 use crate::FitError;
 use pnc_linalg::{Lu, Matrix};
+use pnc_obs::{Counter, Histogram};
+
+// Observability: one record per completed LM run, accumulated locally and
+// flushed with a handful of atomic adds at the end so the inner damping loop
+// stays untouched. Catalogued in docs/METRICS.md.
+static OBS_RUNS: Counter = Counter::new("fit.lm.runs");
+static OBS_ITERATIONS: Counter = Counter::new("fit.lm.iterations");
+static OBS_LAMBDA_ESCALATIONS: Counter = Counter::new("fit.lm.lambda_escalations");
+static OBS_NONCONVERGED: Counter = Counter::new("fit.lm.nonconverged");
+static OBS_FINAL_COST: Histogram = Histogram::new("fit.lm.final_cost");
+
+pub(crate) fn obs_register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        OBS_RUNS.register();
+        OBS_ITERATIONS.register();
+        OBS_LAMBDA_ESCALATIONS.register();
+        OBS_NONCONVERGED.register();
+        OBS_FINAL_COST.register();
+    });
+}
 
 /// Options for the Levenberg–Marquardt solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,9 +139,11 @@ pub fn levenberg_marquardt(
             detail: format!("initial cost is not finite ({cost})"),
         });
     }
+    obs_register();
     let mut lambda = options.initial_lambda;
     let mut converged = false;
     let mut iterations = 0;
+    let mut lambda_escalations: u64 = 0;
 
     for iter in 0..options.max_iterations {
         iterations = iter + 1;
@@ -163,6 +186,7 @@ pub fn levenberg_marquardt(
                 Err(source) => {
                     last_singular = Some(source);
                     lambda *= 10.0;
+                    lambda_escalations += 1;
                     continue;
                 }
             };
@@ -186,6 +210,7 @@ pub fn levenberg_marquardt(
                 break;
             }
             lambda *= 10.0;
+            lambda_escalations += 1;
         }
 
         if !accepted {
@@ -211,6 +236,14 @@ pub fn levenberg_marquardt(
             break;
         }
     }
+
+    OBS_RUNS.increment();
+    OBS_ITERATIONS.add(iterations as u64);
+    OBS_LAMBDA_ESCALATIONS.add(lambda_escalations);
+    if !converged {
+        OBS_NONCONVERGED.increment();
+    }
+    OBS_FINAL_COST.observe(cost);
 
     Ok(LmResult {
         params,

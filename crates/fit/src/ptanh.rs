@@ -1,6 +1,21 @@
 use crate::{levenberg_marquardt, FitError, LmOptions};
 use pnc_linalg::Matrix;
+use pnc_obs::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
+
+// Observability: completed ptanh extractions and their data-only fit
+// quality. Catalogued in docs/METRICS.md.
+static OBS_FITS: Counter = Counter::new("fit.ptanh.fits");
+static OBS_RMSE: Histogram = Histogram::new("fit.ptanh.rmse");
+
+fn obs_register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        crate::lm::obs_register();
+        OBS_FITS.register();
+        OBS_RMSE.register();
+    });
+}
 
 /// The modified tanh curve of Eq. 2: `ptanh(v) = η₁ + η₂·tanh((v − η₃)·η₄)`.
 ///
@@ -129,6 +144,7 @@ const ETA_PRIOR_WEIGHT: [f64; 4] = [0.01, 0.01, 0.01, 0.001];
 ///
 /// See [`fit_ptanh`].
 pub fn fit_ptanh_with(points: &[(f64, f64)], options: LmOptions) -> Result<PtanhFit, FitError> {
+    obs_register();
     validate(points)?;
 
     let starts = initial_guesses(points);
@@ -184,6 +200,8 @@ pub fn fit_ptanh_with(points: &[(f64, f64)], options: LmOptions) -> Result<Ptanh
         .map(|&(x, y)| (curve.eval(x) - y).powi(2))
         .sum();
     let rmse = (data_sse / points.len() as f64).sqrt();
+    OBS_FITS.increment();
+    OBS_RMSE.observe(rmse);
     Ok(PtanhFit {
         curve,
         rmse,

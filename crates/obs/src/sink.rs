@@ -1,0 +1,206 @@
+//! Opt-in JSON-lines event sink.
+//!
+//! Events are structured `{"event": "...", "ts_ms": ..., <fields>}` lines
+//! written to a destination selected once, lazily, from the `PNC_OBS`
+//! environment variable:
+//!
+//! * unset / empty / `0` / `off` — sink disabled (the default). A disabled
+//!   sink costs one relaxed atomic load per [`emit`] call and writes
+//!   nothing.
+//! * `jsonl:<path>` — append JSON lines to `<path>` (created if missing).
+//! * `stderr` — write JSON lines to standard error.
+//!
+//! Any other value is treated as disabled after a one-time warning on
+//! stderr. Event names and their fields are catalogued in
+//! `docs/METRICS.md`; emission is best-effort (I/O errors are swallowed so
+//! instrumentation can never fail the instrumented computation).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::metrics::{escape, format_f64};
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn writer_slot() -> &'static Mutex<Option<Box<dyn Write + Send>>> {
+    static WRITER: OnceLock<Mutex<Option<Box<dyn Write + Send>>>> = OnceLock::new();
+    WRITER.get_or_init(|| Mutex::new(None))
+}
+
+/// One typed field value of a sink event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, iteration totals, epochs).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point quantity; non-finite values serialize as `null`.
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A static string (rung names, failure stages).
+    Str(&'static str),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) if v.is_finite() => format_f64(*v),
+            FieldValue::F64(_) => "null".to_string(),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(s) => format!("\"{}\"", escape(s)),
+        }
+    }
+}
+
+/// Whether the event sink is currently enabled. The first call resolves
+/// `PNC_OBS`; afterwards this is a single relaxed atomic load.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+fn init_from_env() -> bool {
+    // Serialize initialization through the writer lock so two racing first
+    // emitters cannot both open the destination.
+    let mut slot = writer_slot().lock().expect("unpoisoned");
+    match STATE.load(Ordering::Relaxed) {
+        ON => return true,
+        OFF => return false,
+        _ => {}
+    }
+    let spec = std::env::var("PNC_OBS").unwrap_or_default();
+    let writer: Option<Box<dyn Write + Send>> = match spec.trim() {
+        "" | "0" | "off" => None,
+        "stderr" => Some(Box::new(std::io::stderr())),
+        s => match s.strip_prefix("jsonl:") {
+            Some(path) => match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                Ok(f) => Some(Box::new(f)),
+                Err(e) => {
+                    eprintln!("pnc-obs: cannot open PNC_OBS sink {path:?}: {e}; sink disabled");
+                    None
+                }
+            },
+            None => {
+                eprintln!(
+                    "pnc-obs: unrecognized PNC_OBS value {s:?} \
+                     (expected `jsonl:<path>` or `stderr`); sink disabled"
+                );
+                None
+            }
+        },
+    };
+    let on = writer.is_some();
+    *slot = writer;
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Routes subsequent events to `w` (and enables the sink), bypassing
+/// `PNC_OBS`. Test hook: lets unit tests capture the event stream in an
+/// in-memory buffer.
+pub fn install_writer(w: Box<dyn Write + Send>) {
+    let mut slot = writer_slot().lock().expect("unpoisoned");
+    *slot = Some(w);
+    STATE.store(ON, Ordering::Relaxed);
+}
+
+/// Disables the sink and drops any installed writer. Test hook: the inverse
+/// of [`install_writer`].
+pub fn disable() {
+    let mut slot = writer_slot().lock().expect("unpoisoned");
+    *slot = None;
+    STATE.store(OFF, Ordering::Relaxed);
+}
+
+/// Emits one structured event line if the sink is enabled; a no-op (one
+/// relaxed atomic load) otherwise.
+///
+/// The line is `{"event": <name>, "ts_ms": <unix millis>, <fields>}`.
+/// Field order follows the caller's slice, so lines are stable apart from
+/// the timestamp. I/O errors are swallowed.
+pub fn emit(event: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled() {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = format!("{{\"event\": \"{}\", \"ts_ms\": {}", escape(event), ts_ms);
+    for (key, value) in fields {
+        line.push_str(&format!(", \"{}\": {}", escape(key), value.to_json()));
+    }
+    line.push_str("}\n");
+    let mut slot = writer_slot().lock().expect("unpoisoned");
+    if let Some(w) = slot.as_mut() {
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_values_serialize_as_json() {
+        assert_eq!(FieldValue::from(3u64).to_json(), "3");
+        assert_eq!(FieldValue::from(-2i64).to_json(), "-2");
+        assert_eq!(FieldValue::from(0.25).to_json(), "0.25");
+        assert_eq!(FieldValue::from(f64::NAN).to_json(), "null");
+        assert_eq!(FieldValue::from(true).to_json(), "true");
+        assert_eq!(FieldValue::from("gmin").to_json(), "\"gmin\"");
+    }
+}

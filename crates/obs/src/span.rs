@@ -1,0 +1,72 @@
+//! RAII wall-clock span timers.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::sink::{emit, enabled, FieldValue};
+
+/// An RAII timer: records the elapsed wall-clock time (in seconds) into a
+/// [`Histogram`] when dropped, and optionally emits a sink event carrying
+/// the duration.
+///
+/// Wall time is inherently nondeterministic, so duration histograms are
+/// **excluded** from the bit-identical determinism contract — only their
+/// observation `count` is deterministic. See `DESIGN.md` §9.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_obs::{Histogram, Span};
+///
+/// static BUILD_SECONDS: Histogram = Histogram::new("doc.build_seconds");
+///
+/// {
+///     let _span = Span::new(&BUILD_SECONDS);
+///     // ... timed work ...
+/// } // drop records the elapsed seconds
+/// assert_eq!(pnc_obs::snapshot().histogram("doc.build_seconds").unwrap().count, 1);
+/// ```
+#[must_use = "a Span records its duration on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    histogram: &'static Histogram,
+    event: Option<&'static str>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span that records into `histogram` on drop.
+    pub fn new(histogram: &'static Histogram) -> Self {
+        Span {
+            histogram,
+            event: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts a span that additionally emits a sink event named `event`
+    /// (with a `seconds` field) on drop, when the sink is enabled.
+    pub fn with_event(histogram: &'static Histogram, event: &'static str) -> Self {
+        Span {
+            histogram,
+            event: Some(event),
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the span started (without ending it).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let seconds = self.elapsed_seconds();
+        self.histogram.observe(seconds);
+        if let Some(event) = self.event {
+            if enabled() {
+                emit(event, &[("seconds", FieldValue::F64(seconds))]);
+            }
+        }
+    }
+}

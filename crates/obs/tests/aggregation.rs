@@ -1,0 +1,132 @@
+//! Determinism tests for pnc-obs aggregation: counter and histogram merges
+//! must be bit-identical at 1, 2, and 8 threads, and a disabled sink must
+//! add no events.
+//!
+//! All tests in this binary share the process-global metric registry, so
+//! they serialize through a single mutex and `reset()` between runs.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pnc_obs::{sink, Counter, FieldValue, Histogram, MetricsSnapshot};
+
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("unpoisoned")
+}
+
+static SOLVES: Counter = Counter::new("test.solves");
+static RESIDUAL: Histogram = Histogram::new("test.residual");
+
+/// The observations every thread partition must reduce to the same
+/// aggregate: a fixed set of values split across `threads` workers.
+fn workload() -> Vec<f64> {
+    (0..640)
+        .map(|i| 10f64.powf((i % 97) as f64 / 4.0 - 12.0) * (1.0 + i as f64 * 1e-3))
+        .collect()
+}
+
+fn run_partitioned(threads: usize) -> MetricsSnapshot {
+    pnc_obs::reset();
+    let values = workload();
+    let chunk = values.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in values.chunks(chunk) {
+            scope.spawn(move || {
+                for &v in part {
+                    SOLVES.add(1);
+                    RESIDUAL.observe(v);
+                }
+            });
+        }
+    });
+    pnc_obs::snapshot()
+}
+
+#[test]
+fn counter_and_histogram_merge_bit_identical_across_thread_counts() {
+    let _guard = test_lock();
+    let reference = run_partitioned(1);
+    assert_eq!(reference.counter("test.solves"), Some(640));
+    assert_eq!(reference.histogram("test.residual").unwrap().count, 640);
+    for threads in [2, 8] {
+        let snap = run_partitioned(threads);
+        // PartialEq compares every u64 tally and the f64 min/max bit
+        // patterns via their values — the full aggregate must match the
+        // single-threaded reduction exactly.
+        assert_eq!(
+            snap, reference,
+            "aggregate diverged at {threads} threads from the 1-thread reference"
+        );
+        assert_eq!(
+            snap.to_json(),
+            reference.to_json(),
+            "serialized summary diverged at {threads} threads"
+        );
+    }
+    pnc_obs::reset();
+}
+
+#[test]
+fn reset_clears_counters_and_histograms() {
+    let _guard = test_lock();
+    pnc_obs::reset();
+    SOLVES.add(5);
+    RESIDUAL.observe(0.5);
+    pnc_obs::reset();
+    let snap = pnc_obs::snapshot();
+    assert_eq!(snap.counter("test.solves"), Some(0));
+    let h = snap.histogram("test.residual").unwrap();
+    assert_eq!(h.count, 0);
+    assert_eq!(h.min, None);
+    assert_eq!(h.max, None);
+    assert!(h.buckets.is_empty());
+}
+
+/// A `Write` implementation capturing bytes into a shared buffer.
+#[derive(Clone)]
+struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("unpoisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn disabled_sink_adds_no_events_and_enabled_sink_captures_them() {
+    let _guard = test_lock();
+    let buffer = SharedBuffer(Arc::new(Mutex::new(Vec::new())));
+
+    // Enabled: events reach the installed writer as JSON lines.
+    sink::install_writer(Box::new(buffer.clone()));
+    assert!(sink::enabled());
+    sink::emit(
+        "test.event",
+        &[
+            ("iterations", FieldValue::U64(7)),
+            ("residual", FieldValue::F64(1.5e-10)),
+            ("rung", FieldValue::Str("gmin_stepping")),
+        ],
+    );
+    let captured = String::from_utf8(buffer.0.lock().expect("unpoisoned").clone()).unwrap();
+    assert!(captured.contains("\"event\": \"test.event\""));
+    assert!(captured.contains("\"iterations\": 7"));
+    assert!(captured.contains("\"rung\": \"gmin_stepping\""));
+    assert!(captured.ends_with("}\n"));
+
+    // Disabled: emitting adds nothing.
+    sink::disable();
+    assert!(!sink::enabled());
+    let before = buffer.0.lock().expect("unpoisoned").len();
+    sink::emit("test.event", &[("iterations", FieldValue::U64(9))]);
+    let after = buffer.0.lock().expect("unpoisoned").len();
+    assert_eq!(before, after, "disabled sink must not write");
+}

@@ -40,6 +40,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Observability
+//!
+//! Every recovered solve feeds the `spice.*` counters and histograms of
+//! `pnc-obs` (solve totals, Newton iterations, recovery-rung usage, KCL
+//! residuals) — see `docs/METRICS.md` at the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,6 +1,54 @@
 use crate::{Circuit, Device, SpiceError};
 use pnc_linalg::{Lu, Matrix};
+use pnc_obs::{Counter, FieldValue, Histogram};
 use serde::{Deserialize, Serialize};
+
+// Observability: one record per (possibly recovered) solve, taken at the
+// `solve_recovered` wrapper so plain DC solves, every recovery rung, and
+// transient backward-Euler steps all land in the same tallies. Catalogued in
+// docs/METRICS.md.
+static OBS_SOLVES: Counter = Counter::new("spice.solve.total");
+static OBS_SOLVE_FAILURES: Counter = Counter::new("spice.solve.failures");
+static OBS_NEWTON_ITERATIONS: Counter = Counter::new("spice.newton.iterations");
+static OBS_NEWTON_ATTEMPTS: Counter = Counter::new("spice.newton.attempts");
+static OBS_RUNG_PLAIN: Counter = Counter::new("spice.recovery.plain");
+static OBS_RUNG_PERTURBED: Counter = Counter::new("spice.recovery.perturbed_guess");
+static OBS_RUNG_GMIN: Counter = Counter::new("spice.recovery.gmin_stepping");
+static OBS_RUNG_SOURCE: Counter = Counter::new("spice.recovery.source_stepping");
+static OBS_GMIN_STEPS: Counter = Counter::new("spice.recovery.gmin_steps");
+static OBS_SOURCE_STEPS: Counter = Counter::new("spice.recovery.source_steps");
+static OBS_RESIDUAL: Histogram = Histogram::new("spice.newton.residual");
+
+/// Registers the crate's whole metric set so summaries always carry every
+/// documented key, including zero-valued failure/recovery counters.
+fn obs_register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        OBS_SOLVES.register();
+        OBS_SOLVE_FAILURES.register();
+        OBS_NEWTON_ITERATIONS.register();
+        OBS_NEWTON_ATTEMPTS.register();
+        OBS_RUNG_PLAIN.register();
+        OBS_RUNG_PERTURBED.register();
+        OBS_RUNG_GMIN.register();
+        OBS_RUNG_SOURCE.register();
+        OBS_GMIN_STEPS.register();
+        OBS_SOURCE_STEPS.register();
+        OBS_RESIDUAL.register();
+    });
+}
+
+impl RecoveryRung {
+    /// Stable lower-snake-case name used in metrics and sink events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryRung::Plain => "plain",
+            RecoveryRung::PerturbedGuess => "perturbed_guess",
+            RecoveryRung::GminStepping => "gmin_stepping",
+            RecoveryRung::SourceStepping => "source_stepping",
+        }
+    }
+}
 
 /// Which rung of the convergence-recovery ladder produced a solution.
 ///
@@ -323,8 +371,65 @@ impl DcSolver {
 
     /// Runs the recovery ladder around [`Self::newton_solve`]: plain solve,
     /// then perturbed restarts, gmin stepping and (for DC solves) source
-    /// stepping, stopping at the first rung that converges.
+    /// stepping, stopping at the first rung that converges. Records one
+    /// observability sample per call (see `docs/METRICS.md`).
     pub(crate) fn solve_recovered(
+        &self,
+        circuit: &Circuit,
+        guess: Option<&[f64]>,
+        cap_state: Option<(&[f64], f64)>,
+    ) -> Result<Solution, SpiceError> {
+        obs_register();
+        let result = self.solve_recovered_inner(circuit, guess, cap_state);
+        OBS_SOLVES.increment();
+        match &result {
+            Ok(sol) => {
+                let d = sol.diagnostics();
+                OBS_NEWTON_ITERATIONS.add(d.iterations as u64);
+                OBS_NEWTON_ATTEMPTS.add(d.attempts as u64);
+                OBS_RESIDUAL.observe(d.residual);
+                match d.rung {
+                    RecoveryRung::Plain => OBS_RUNG_PLAIN.increment(),
+                    RecoveryRung::PerturbedGuess => OBS_RUNG_PERTURBED.increment(),
+                    RecoveryRung::GminStepping => OBS_RUNG_GMIN.increment(),
+                    RecoveryRung::SourceStepping => OBS_RUNG_SOURCE.increment(),
+                }
+                // Recovered solves are rare enough to stream individually;
+                // plain solves would flood the sink and are summarized by the
+                // counters instead.
+                if d.rung != RecoveryRung::Plain && pnc_obs::sink::enabled() {
+                    pnc_obs::sink::emit(
+                        "spice.solve.recovered",
+                        &[
+                            ("rung", FieldValue::Str(d.rung.as_str())),
+                            ("iterations", FieldValue::U64(d.iterations as u64)),
+                            ("attempts", FieldValue::U64(d.attempts as u64)),
+                            ("residual", FieldValue::F64(d.residual)),
+                        ],
+                    );
+                }
+            }
+            Err(e @ (SpiceError::NoConvergence { .. } | SpiceError::SingularSystem { .. })) => {
+                OBS_SOLVE_FAILURES.increment();
+                if pnc_obs::sink::enabled() {
+                    pnc_obs::sink::emit(
+                        "spice.solve.failed",
+                        &[(
+                            "kind",
+                            FieldValue::Str(match e {
+                                SpiceError::NoConvergence { .. } => "no_convergence",
+                                _ => "singular_system",
+                            }),
+                        )],
+                    );
+                }
+            }
+            Err(_) => OBS_SOLVE_FAILURES.increment(),
+        }
+        result
+    }
+
+    fn solve_recovered_inner(
         &self,
         circuit: &Circuit,
         guess: Option<&[f64]>,
@@ -437,6 +542,7 @@ impl DcSolver {
                 start * (target / start).powf(step as f64 / steps as f64)
             };
             *attempts += 1;
+            OBS_GMIN_STEPS.increment();
             match relaxed.newton_solve(
                 circuit,
                 guess_vec.as_deref(),
@@ -483,6 +589,7 @@ impl DcSolver {
                 circuit.scaled_sources(k as f64 / steps as f64)
             };
             *attempts += 1;
+            OBS_SOURCE_STEPS.increment();
             match self.newton_solve(
                 &scaled,
                 guess_vec.as_deref(),

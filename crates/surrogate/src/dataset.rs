@@ -1,10 +1,34 @@
 use crate::{DesignSpace, SurrogateError, OMEGA_DIM};
 use pnc_fit::fit_ptanh;
 use pnc_linalg::ParallelConfig;
+use pnc_obs::{Counter, FieldValue, Histogram, Span};
 use pnc_spice::circuits::{NonlinearCircuitParams, PtanhCircuit};
 use pnc_spice::sweep::linspace;
 use pnc_spice::DcSolver;
 use serde::{Deserialize, Serialize};
+
+// Observability: dataset-build throughput and per-stage failure tallies.
+// Catalogued in docs/METRICS.md.
+static OBS_POINTS: Counter = Counter::new("surrogate.dataset.points");
+static OBS_ENTRIES: Counter = Counter::new("surrogate.dataset.entries");
+static OBS_FAIL_BUILD: Counter = Counter::new("surrogate.dataset.failures.build");
+static OBS_FAIL_SWEEP: Counter = Counter::new("surrogate.dataset.failures.sweep");
+static OBS_FAIL_FIT: Counter = Counter::new("surrogate.dataset.failures.fit");
+static OBS_FIT_RMSE: Histogram = Histogram::new("surrogate.dataset.fit_rmse");
+static OBS_BUILD_SECONDS: Histogram = Histogram::new("surrogate.dataset.build_seconds");
+
+fn obs_register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        OBS_POINTS.register();
+        OBS_ENTRIES.register();
+        OBS_FAIL_BUILD.register();
+        OBS_FAIL_SWEEP.register();
+        OBS_FAIL_FIT.register();
+        OBS_FIT_RMSE.register();
+        OBS_BUILD_SECONDS.register();
+    });
+}
 
 /// The pipeline stage at which a design point failed to characterize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -260,10 +284,33 @@ pub struct BuildOptions<'a> {
 ///
 /// Same contract as [`build_dataset`]; the failure threshold is
 /// [`BuildOptions::max_failure_fraction`].
+///
+/// # Examples
+///
+/// ```
+/// use pnc_linalg::ParallelConfig;
+/// use pnc_surrogate::{build_dataset_opts, BuildOptions, DatasetConfig};
+///
+/// # fn main() -> Result<(), pnc_surrogate::SurrogateError> {
+/// let data = build_dataset_opts(
+///     &DatasetConfig { samples: 12, sweep_points: 21 },
+///     &BuildOptions {
+///         parallel: ParallelConfig::serial(),
+///         // Tolerate up to half the corner circuits failing in this tiny run.
+///         max_failure_fraction: Some(0.5),
+///         ..BuildOptions::default()
+///     },
+/// )?;
+/// assert_eq!(data.entries.len() + data.failures.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
 pub fn build_dataset_opts(
     config: &DatasetConfig,
     options: &BuildOptions<'_>,
 ) -> Result<CircuitDataset, SurrogateError> {
+    obs_register();
+    let build_span = Span::new(&OBS_BUILD_SECONDS);
     let space = DesignSpace::paper();
     let omegas = space.sample(config.samples)?;
     let grid = linspace(0.0, pnc_spice::circuits::VDD, config.sweep_points.max(5));
@@ -310,6 +357,37 @@ pub fn build_dataset_opts(
             Err(record) => failures.push(record),
         }
     }
+
+    OBS_POINTS.add(config.samples as u64);
+    OBS_ENTRIES.add(entries.len() as u64);
+    for e in &entries {
+        OBS_FIT_RMSE.observe(e.fit_rmse);
+    }
+    for f in &failures {
+        match f.stage {
+            FailureStage::Build => OBS_FAIL_BUILD.increment(),
+            FailureStage::Sweep => OBS_FAIL_SWEEP.increment(),
+            FailureStage::Fit => OBS_FAIL_FIT.increment(),
+        }
+    }
+    let build_seconds = build_span.elapsed_seconds();
+    drop(build_span);
+    if pnc_obs::sink::enabled() {
+        pnc_obs::sink::emit(
+            "surrogate.dataset.built",
+            &[
+                ("points", FieldValue::U64(config.samples as u64)),
+                ("entries", FieldValue::U64(entries.len() as u64)),
+                ("failures", FieldValue::U64(failures.len() as u64)),
+                ("seconds", FieldValue::F64(build_seconds)),
+                (
+                    "points_per_second",
+                    FieldValue::F64(config.samples as f64 / build_seconds.max(1e-9)),
+                ),
+            ],
+        );
+    }
+
     let max_fraction = options.max_failure_fraction.unwrap_or(0.05);
     if failures.len() as f64 > max_fraction * config.samples as f64 {
         return Err(SurrogateError::BadDataset {

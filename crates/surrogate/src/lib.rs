@@ -33,6 +33,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Observability
+//!
+//! Dataset builds feed the `surrogate.dataset.*` counters and histograms
+//! of `pnc-obs` (points, entries, per-stage failures, fit RMSE, build
+//! duration) — see `docs/METRICS.md` at the workspace root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

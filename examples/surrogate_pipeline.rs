@@ -7,6 +7,7 @@
 //! cargo run --release --example surrogate_pipeline [n_samples]
 //! ```
 
+use printed_neuromorphic::artifacts;
 use printed_neuromorphic::linalg::stats;
 use printed_neuromorphic::surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig};
 use std::error::Error;
@@ -65,5 +66,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             e.eta[0], e.eta[1], e.eta[2], e.eta[3], pred[0], pred[1], pred[2], pred[3]
         );
     }
+
+    // End-of-run metrics summary: how much SPICE/LM effort the pipeline
+    // spent, and where points were lost (see docs/METRICS.md).
+    let dir = artifacts::artifact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let metrics_path = dir.join("surrogate_pipeline_metrics.json");
+    printed_neuromorphic::obs::write_summary(&metrics_path)?;
+    println!("metrics summary saved to {}", metrics_path.display());
     Ok(())
 }

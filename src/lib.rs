@@ -18,6 +18,8 @@
 //! * [`datasets`] — the 13 benchmark classification tasks of Tab. II.
 //! * [`pnn`] — printed neural networks with learnable nonlinear circuits
 //!   and variation-aware training (the paper's contribution).
+//! * [`obs`] — structured observability: deterministic counters/histograms,
+//!   span timers, and the opt-in `PNC_OBS` JSON-lines event sink.
 //!
 //! # Quickstart
 //!
@@ -68,6 +70,7 @@ pub use pnc_core as pnn;
 pub use pnc_datasets as datasets;
 pub use pnc_fit as fit;
 pub use pnc_linalg as linalg;
+pub use pnc_obs as obs;
 pub use pnc_qmc as qmc;
 pub use pnc_spice as spice;
 pub use pnc_surrogate as surrogate;

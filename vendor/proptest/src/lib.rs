@@ -170,7 +170,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
