@@ -32,6 +32,16 @@ pub enum AutodiffError {
         /// Number of targets supplied.
         targets: usize,
     },
+    /// A backward-pass matrix operation failed on shapes the forward pass
+    /// accepted. This indicates an internal inconsistency in a gradient
+    /// rule; it is surfaced as an error rather than a panic so training
+    /// loops can report it.
+    Backward {
+        /// The backward-pass operation that failed.
+        op: &'static str,
+        /// The underlying linear-algebra failure.
+        source: pnc_linalg::LinalgError,
+    },
 }
 
 impl fmt::Display for AutodiffError {
@@ -53,8 +63,18 @@ impl fmt::Display for AutodiffError {
             AutodiffError::TargetLengthMismatch { batch, targets } => {
                 write!(f, "batch has {batch} rows but {targets} targets were given")
             }
+            AutodiffError::Backward { op, source } => {
+                write!(f, "backward pass failed in {op}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for AutodiffError {}
+impl std::error::Error for AutodiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutodiffError::Backward { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

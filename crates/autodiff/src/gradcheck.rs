@@ -62,6 +62,7 @@ pub fn check_gradients(
     let mut g = Graph::new();
     let vars: Vec<Var> = inputs.iter().map(|m| g.leaf(m.clone())).collect();
     let loss = build(&mut g, &vars);
+    // pnc-lint: allow(no-panic-in-lib) — test utility; the documented contract is to fail loudly on a malformed build closure
     let grads = g.backward(loss).expect("gradcheck loss must be scalar");
 
     let mut report = GradcheckReport {

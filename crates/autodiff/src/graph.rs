@@ -77,14 +77,23 @@ impl GradStore {
         self.grads.get(v.0).and_then(|g| g.as_ref())
     }
 
-    fn accumulate(&mut self, v: Var, g: Matrix) {
+    fn accumulate(&mut self, v: Var, g: Matrix) -> Result<(), AutodiffError> {
         match &mut self.grads[v.0] {
             Some(existing) => {
-                *existing = existing.add(&g).expect("gradient shapes always match");
+                *existing = existing.add(&g).map_err(bw_err("grad_accumulate"))?;
             }
             slot @ None => *slot = Some(g),
         }
+        Ok(())
     }
+}
+
+/// Wraps a linear-algebra failure inside a gradient rule as
+/// [`AutodiffError::Backward`]. The forward pass validates shapes, so these
+/// errors indicate an internal inconsistency in a hand-derived gradient —
+/// surfaced as an error rather than a panic so callers can report it.
+fn bw_err(op: &'static str) -> impl Fn(pnc_linalg::LinalgError) -> AutodiffError {
+    move |source| AutodiffError::Backward { op, source }
 }
 
 /// A define-by-run computation tape over dense `f64` matrices.
@@ -662,78 +671,73 @@ impl Graph {
             match &node.op {
                 Op::Leaf | Op::Constant => {}
                 Op::Add(a, b) => {
-                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)));
-                    store.accumulate(*b, reduce_to(&grad, self.shape(*b)));
+                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)))?;
+                    store.accumulate(*b, reduce_to(&grad, self.shape(*b)))?;
                 }
                 Op::Sub(a, b) => {
-                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)));
-                    store.accumulate(*b, reduce_to(&grad.scale(-1.0), self.shape(*b)));
+                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)))?;
+                    store.accumulate(*b, reduce_to(&grad.scale(-1.0), self.shape(*b)))?;
                 }
                 Op::Mul(a, b) => {
-                    let ga = broadcast_zip("mul_bw", &grad, self.value(*b), |g, y| g * y)
-                        .expect("forward shapes validated");
-                    let gb = broadcast_zip("mul_bw", &grad, self.value(*a), |g, x| g * x)
-                        .expect("forward shapes validated");
-                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)));
-                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)));
+                    let ga = broadcast_zip("mul_bw", &grad, self.value(*b), |g, y| g * y)?;
+                    let gb = broadcast_zip("mul_bw", &grad, self.value(*a), |g, x| g * x)?;
+                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)))?;
+                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)))?;
                 }
                 Op::Div(a, b) => {
-                    let ga = broadcast_zip("div_bw", &grad, self.value(*b), |g, y| g / y)
-                        .expect("forward shapes validated");
+                    let ga = broadcast_zip("div_bw", &grad, self.value(*b), |g, y| g / y)?;
                     // g_b = −g·a/b²; fold a and b in two broadcast passes.
                     let a_over_b2 =
                         broadcast_zip("div_bw", self.value(*a), self.value(*b), |x, y| {
                             -x / (y * y)
-                        })
-                        .expect("forward shapes validated");
-                    let gb = broadcast_zip("div_bw", &grad, &a_over_b2, |g, q| g * q)
-                        .expect("forward shapes validated");
-                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)));
-                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)));
+                        })?;
+                    let gb = broadcast_zip("div_bw", &grad, &a_over_b2, |g, q| g * q)?;
+                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)))?;
+                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)))?;
                 }
                 Op::MatMul(a, b) => {
                     let ga = grad
                         .matmul(&self.value(*b).transpose())
-                        .expect("forward shapes validated");
+                        .map_err(bw_err("matmul_bw"))?;
                     let gb = self
                         .value(*a)
                         .transpose()
                         .matmul(&grad)
-                        .expect("forward shapes validated");
-                    store.accumulate(*a, ga);
-                    store.accumulate(*b, gb);
+                        .map_err(bw_err("matmul_bw"))?;
+                    store.accumulate(*a, ga)?;
+                    store.accumulate(*b, gb)?;
                 }
-                Op::Neg(a) => store.accumulate(*a, grad.scale(-1.0)),
+                Op::Neg(a) => store.accumulate(*a, grad.scale(-1.0))?,
                 Op::Abs(a) => {
                     let x = self.value(*a);
                     let g = grad
                         .zip_with(x, "abs_bw", |g, x| g * sign(x))
-                        .expect("same shape");
-                    store.accumulate(*a, g);
+                        .map_err(bw_err("elementwise_bw"))?;
+                    store.accumulate(*a, g)?;
                 }
                 Op::Tanh(a) => {
                     let g = grad
                         .zip_with(&node.value, "tanh_bw", |g, t| g * (1.0 - t * t))
-                        .expect("same shape");
-                    store.accumulate(*a, g);
+                        .map_err(bw_err("elementwise_bw"))?;
+                    store.accumulate(*a, g)?;
                 }
                 Op::Sigmoid(a) => {
                     let g = grad
                         .zip_with(&node.value, "sigmoid_bw", |g, s| g * s * (1.0 - s))
-                        .expect("same shape");
-                    store.accumulate(*a, g);
+                        .map_err(bw_err("elementwise_bw"))?;
+                    store.accumulate(*a, g)?;
                 }
                 Op::Exp(a) => {
                     let g = grad
                         .zip_with(&node.value, "exp_bw", |g, e| g * e)
-                        .expect("same shape");
-                    store.accumulate(*a, g);
+                        .map_err(bw_err("elementwise_bw"))?;
+                    store.accumulate(*a, g)?;
                 }
                 Op::Ln(a) => {
                     let g = grad
                         .zip_with(self.value(*a), "ln_bw", |g, x| g / x)
-                        .expect("same shape");
-                    store.accumulate(*a, g);
+                        .map_err(bw_err("elementwise_bw"))?;
+                    store.accumulate(*a, g)?;
                 }
                 Op::Relu(a) => {
                     let g = grad
@@ -742,34 +746,34 @@ impl Graph {
                             "relu_bw",
                             |g, x| if x > 0.0 { g } else { 0.0 },
                         )
-                        .expect("same shape");
-                    store.accumulate(*a, g);
+                        .map_err(bw_err("elementwise_bw"))?;
+                    store.accumulate(*a, g)?;
                 }
-                Op::Scale(a, s) => store.accumulate(*a, grad.scale(*s)),
-                Op::AddScalar(a) => store.accumulate(*a, grad),
+                Op::Scale(a, s) => store.accumulate(*a, grad.scale(*s))?,
+                Op::AddScalar(a) => store.accumulate(*a, grad)?,
                 Op::Powi(a, k) => {
                     let g = grad
                         .zip_with(self.value(*a), "powi_bw", |g, x| {
                             g * *k as f64 * x.powi(k - 1)
                         })
-                        .expect("same shape");
-                    store.accumulate(*a, g);
+                        .map_err(bw_err("elementwise_bw"))?;
+                    store.accumulate(*a, g)?;
                 }
                 Op::Sum(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)]));
+                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)]))?;
                 }
                 Op::Mean(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)] / (r * c) as f64));
+                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)] / (r * c) as f64))?;
                 }
                 Op::SumRows(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::from_fn(r, c, |_, j| grad[(0, j)]));
+                    store.accumulate(*a, Matrix::from_fn(r, c, |_, j| grad[(0, j)]))?;
                 }
                 Op::SumCols(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::from_fn(r, c, |i, _| grad[(i, 0)]));
+                    store.accumulate(*a, Matrix::from_fn(r, c, |i, _| grad[(i, 0)]))?;
                 }
                 Op::SliceCols { parent, start } => {
                     let (r, c) = self.shape(*parent);
@@ -780,23 +784,23 @@ impl Graph {
                             g[(i, start + j)] = grad[(i, j)];
                         }
                     }
-                    store.accumulate(*parent, g);
+                    store.accumulate(*parent, g)?;
                 }
                 Op::ConcatCols(parts) => {
                     let mut offset = 0;
                     for p in parts {
                         let (r, c) = self.shape(*p);
                         let g = Matrix::from_fn(r, c, |i, j| grad[(i, offset + j)]);
-                        store.accumulate(*p, g);
+                        store.accumulate(*p, g)?;
                         offset += c;
                     }
                 }
-                Op::Ste(a) => store.accumulate(*a, grad),
+                Op::Ste(a) => store.accumulate(*a, grad)?,
                 Op::FusedLoss {
                     scores,
                     grad: template,
                 } => {
-                    store.accumulate(*scores, template.scale(grad[(0, 0)]));
+                    store.accumulate(*scores, template.scale(grad[(0, 0)]))?;
                 }
             }
         }

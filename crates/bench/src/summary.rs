@@ -64,6 +64,7 @@ pub fn summarize(table2: &Table2) -> Table3 {
                         .cells
                         .iter()
                         .find(|c| c.arm == arm && (c.test_epsilon - eps).abs() < 1e-12)
+                        // pnc-lint: allow(no-panic-in-lib) — bench-internal: Table 2 rows are built with all 8 cells two functions up
                         .expect("8-cell row layout");
                     means.push(cell.stats.mean);
                     stds.push(cell.stats.std);
@@ -114,11 +115,13 @@ pub fn headline_improvements(table3: &Table3) -> Headline {
         .rows
         .iter()
         .find(|r| r.arm.learnable && r.arm.variation_aware)
+        // pnc-lint: allow(no-panic-in-lib) — bench-internal: documented `# Panics` contract; Table 3 always includes the full arm
         .expect("full-method row");
     let base = table3
         .rows
         .iter()
         .find(|r| !r.arm.learnable && !r.arm.variation_aware)
+        // pnc-lint: allow(no-panic-in-lib) — bench-internal: documented `# Panics` contract; Table 3 always includes the baseline arm
         .expect("baseline row");
     let ratio = |num: f64, den: f64| -> f64 {
         let r = num / den;

@@ -116,6 +116,11 @@ impl PLayer {
     ///
     /// Returns [`PnnError`] on shape mismatches or if `etas` has neither 1
     /// nor `out_dim` entries.
+    // Audited: the eight arguments mirror Eq. 1's inputs one-to-one (tape,
+    // conductances, input voltages, circuit curves, the g_min/g_max printing
+    // window, variation factors, activation switch). Bundling them into a
+    // struct would add a builder used at exactly two call sites and hide the
+    // correspondence with the paper, so the lint is waived instead.
     #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,

@@ -45,6 +45,20 @@ fn grad_inf_norm(grads: &[Matrix]) -> f64 {
     norm
 }
 
+/// Per-parameter-group gradients: crossbar thetas, then nonlinear-circuit
+/// omega rows, in network order.
+type GradPair = (Vec<Matrix>, Vec<Matrix>);
+
+/// Maps a shape failure while summing per-draw gradients into a
+/// [`PnnError`]. Draw gradients share the parameter shapes by construction,
+/// so hitting this indicates an internal inconsistency in the MC loop.
+fn grad_sum_err(source: pnc_linalg::LinalgError) -> PnnError {
+    PnnError::Autodiff(pnc_autodiff::AutodiffError::Backward {
+        op: "mc_grad_sum",
+        source,
+    })
+}
+
 /// A labeled batch: feature voltages and class targets.
 ///
 /// # Examples
@@ -231,14 +245,13 @@ impl Trainer {
     ///
     /// Returns [`PnnError::Data`] for an empty `noise` slice and propagates
     /// forward/backward failures (lowest draw index wins, deterministically).
-    #[allow(clippy::type_complexity)]
     fn mc_loss(
         &self,
         pnn: &Pnn,
         data: LabeledData<'_>,
         noise: &[Option<NoiseSample>],
         backward: bool,
-    ) -> Result<(f64, Option<(Vec<Matrix>, Vec<Matrix>)>), PnnError> {
+    ) -> Result<(f64, Option<GradPair>), PnnError> {
         if noise.is_empty() {
             return Err(PnnError::Data {
                 detail: "Monte-Carlo loss needs at least one noise draw".into(),
@@ -247,7 +260,7 @@ impl Trainer {
         OBS_MC_DRAWS.add(noise.len() as u64);
         struct DrawOutcome {
             loss: f64,
-            grads: Option<(Vec<Matrix>, Vec<Matrix>)>,
+            grads: Option<GradPair>,
         }
         let theta_shapes = pnn.theta_shapes();
         let outcomes: Vec<DrawOutcome> = self.config.parallel.try_ordered_par_map(
@@ -311,15 +324,21 @@ impl Trainer {
             .iter()
             .map(|&(r, c)| Matrix::zeros(r, c))
             .collect();
-        let first = outcomes[0].grads.as_ref().expect("backward requested");
+        let missing_grads = || PnnError::Data {
+            detail: "Monte-Carlo draw produced no gradients despite backward=true".into(),
+        };
+        let first = outcomes
+            .first()
+            .and_then(|o| o.grads.as_ref())
+            .ok_or_else(missing_grads)?;
         let mut w_grads: Vec<Matrix> = (0..first.1.len()).map(|_| Matrix::zeros(1, 7)).collect();
         for outcome in &outcomes {
-            let (draw_theta, draw_w) = outcome.grads.as_ref().expect("backward requested");
+            let (draw_theta, draw_w) = outcome.grads.as_ref().ok_or_else(missing_grads)?;
             for (acc, g) in theta_grads.iter_mut().zip(draw_theta) {
-                *acc = acc.add(g).expect("shapes match");
+                *acc = acc.add(g).map_err(grad_sum_err)?;
             }
             for (acc, g) in w_grads.iter_mut().zip(draw_w) {
-                *acc = acc.add(g).expect("shapes match");
+                *acc = acc.add(g).map_err(grad_sum_err)?;
             }
         }
         let theta_grads: Vec<Matrix> = theta_grads.iter().map(|m| m.scale(scale)).collect();
@@ -365,7 +384,9 @@ impl Trainer {
         for epoch in 0..self.config.max_epochs {
             let noise = self.draw_noise(pnn, &mut rng, self.config.n_train_mc.max(1));
             let (train_loss, grads) = self.mc_loss(pnn, train, &noise, true)?;
-            let (theta_grads, w_grads) = grads.expect("backward requested");
+            let (theta_grads, w_grads) = grads.ok_or_else(|| PnnError::Data {
+                detail: "mc_loss returned no gradients despite backward=true".into(),
+            })?;
 
             OBS_EPOCHS.increment();
             OBS_GRAD_NORM.observe(grad_inf_norm(&theta_grads));
@@ -564,7 +585,12 @@ pub fn train_best_of_seeds(
             ],
         );
     }
-    Ok(results.into_iter().nth(best).expect("seeds is non-empty"))
+    results
+        .into_iter()
+        .nth(best)
+        .ok_or_else(|| PnnError::Config {
+            detail: "seed search produced no results".into(),
+        })
 }
 
 #[cfg(test)]

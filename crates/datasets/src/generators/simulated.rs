@@ -195,12 +195,15 @@ fn digit_template(digit: usize) -> Vec<(f64, f64)> {
 
 /// Arc-length resampling of a polyline to `n` points.
 fn resample(path: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    // Running arc length; tracking the total in a scalar avoids indexing
+    // into `cumulative` for the previous entry.
+    let mut total = 0.0;
     let mut cumulative = vec![0.0];
     for w in path.windows(2) {
         let d = ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt();
-        cumulative.push(cumulative.last().expect("nonempty") + d);
+        total += d;
+        cumulative.push(total);
     }
-    let total = *cumulative.last().expect("nonempty");
     (0..n)
         .map(|k| {
             let target = total * k as f64 / (n - 1) as f64;

@@ -220,8 +220,16 @@ pub fn levenberg_marquardt(
                 // Every damped factorization failed — the normal equations
                 // are singular at any achievable damping.
                 None => {
-                    let source = last_singular.expect("30 attempts all failed to solve");
-                    return Err(FitError::Singular { source });
+                    return match last_singular {
+                        Some(source) => Err(FitError::Singular { source }),
+                        // Unreachable by construction (no step norm means at
+                        // least one solve failed), but degrade to an error
+                        // rather than a panic.
+                        None => Err(FitError::InvalidData {
+                            detail: "damping loop made no step and recorded no solver failure"
+                                .into(),
+                        }),
+                    };
                 }
                 // The least-damped proposed step already vanished: genuine
                 // local optimum.

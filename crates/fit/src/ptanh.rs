@@ -184,7 +184,11 @@ pub fn fit_ptanh_with(points: &[(f64, f64)], options: LmOptions) -> Result<Ptanh
         }
     }
 
-    let (_, result) = best.expect("at least one start is always attempted");
+    let Some((_, result)) = best else {
+        return Err(FitError::InvalidData {
+            detail: "no optimizer start produced a result".into(),
+        });
+    };
     let curve = Ptanh {
         eta: [
             result.params[0],
@@ -238,13 +242,20 @@ fn initial_guesses(points: &[(f64, f64)]) -> Vec<[f64; 4]> {
     let mut sorted: Vec<(f64, f64)> = points.to_vec();
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
+    // `validate` guarantees non-empty input; an empty start list simply
+    // yields `FitError::InvalidData` upstream instead of a panic here.
+    let (Some(&(x_first, y_first)), Some(&(x_last, y_last))) = (sorted.first(), sorted.last())
+    else {
+        return Vec::new();
+    };
+
     let y_min = sorted.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
     let y_max = sorted.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
     let e1 = 0.5 * (y_min + y_max);
     let half_swing = 0.5 * (y_max - y_min);
 
     // Overall direction: rising curves get η₂ > 0.
-    let rising = sorted.last().unwrap().1 >= sorted.first().unwrap().1;
+    let rising = y_last >= y_first;
 
     // Mid-level crossing for η₃.
     let e3 = sorted
@@ -254,7 +265,7 @@ fn initial_guesses(points: &[(f64, f64)]) -> Vec<[f64; 4]> {
             let t = (e1 - w[0].1) / (w[1].1 - w[0].1);
             w[0].0 + t * (w[1].0 - w[0].0)
         })
-        .unwrap_or_else(|| 0.5 * (sorted.first().unwrap().0 + sorted.last().unwrap().0));
+        .unwrap_or_else(|| 0.5 * (x_first + x_last));
 
     // Steepest finite-difference slope for η₄ ≈ slope / η₂.
     let steepest = sorted
@@ -269,7 +280,7 @@ fn initial_guesses(points: &[(f64, f64)]) -> Vec<[f64; 4]> {
     };
     let e4 = (steepest / amp).abs().clamp(0.5, 100.0);
 
-    let x_span = sorted.last().unwrap().0 - sorted.first().unwrap().0;
+    let x_span = x_last - x_first;
     vec![
         [e1, amp, e3, e4],
         [e1, amp, e3, 2.0],

@@ -99,10 +99,12 @@ impl ParallelConfig {
         if threads <= 1 || items.len() <= 1 {
             return items.iter().map(f).collect();
         }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool construction cannot fail");
+        let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            Ok(pool) => pool,
+            // Resource exhaustion at pool construction: degrade to the
+            // serial path (identical results — the map is input-ordered).
+            Err(_) => return items.iter().map(f).collect(),
+        };
         pool.install(|| items.par_iter().map(&f).collect())
     }
 

@@ -1,0 +1,272 @@
+//! The ratchet baseline: pre-existing findings of baselinable rules are
+//! checked in as per-(rule, file) counts. New findings beyond a file's
+//! budget fail `check`; shrinking is always allowed (and encouraged — the
+//! tool prints a note when the checked-in counts are stale on the high
+//! side). Counts, not line numbers, key the baseline so unrelated edits
+//! that shift lines do not invalidate it.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Finding, Status};
+use crate::rules::RULES;
+
+/// Parsed baseline: `(rule, path) -> allowed finding count`.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Allowed counts keyed by `"<rule> <path>"` (BTreeMap for stable
+    /// serialization order).
+    pub counts: BTreeMap<String, u64>,
+}
+
+/// A baseline entry whose budget exceeds the current findings — the debt
+/// shrank and the file should be re-ratcheted.
+#[derive(Debug, Clone)]
+pub struct StaleEntry {
+    /// `"<rule> <path>"` key.
+    pub key: String,
+    /// Count recorded in the baseline.
+    pub recorded: u64,
+    /// Findings actually present now.
+    pub current: u64,
+}
+
+impl Baseline {
+    /// Builds a baseline from current findings: every unsuppressed finding
+    /// of a baselinable rule is counted.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for f in findings {
+            if matches!(f.status, Status::Suppressed(_)) {
+                continue;
+            }
+            if RULES.iter().any(|r| r.id == f.rule && r.baselinable) {
+                *counts.entry(format!("{} {}", f.rule, f.path)).or_insert(0) += 1;
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Serializes to the checked-in JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"pnc-lint-baseline/1\",\n");
+        out.push_str(
+            "  \"note\": \"ratchet-only: counts may shrink, never grow; regenerate with \
+             `cargo run -p pnc-lint -- update-baseline`\",\n",
+        );
+        out.push_str("  \"counts\": {");
+        for (i, (key, count)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{key}\": {count}"));
+        }
+        if self.counts.is_empty() {
+            out.push_str("}\n}\n");
+        } else {
+            out.push_str("\n  }\n}\n");
+        }
+        out
+    }
+
+    /// Parses the JSON format written by [`Baseline::to_json`]. Tolerant of
+    /// reordered keys; returns an error string on malformed input.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = json::parse(text)?;
+        let json::Value::Object(pairs) = value else {
+            return Err("baseline root must be a JSON object".to_string());
+        };
+        let mut counts = BTreeMap::new();
+        for (key, val) in pairs {
+            if key == "schema" {
+                let json::Value::String(schema) = &val else {
+                    return Err("`schema` must be a string".to_string());
+                };
+                if !schema.starts_with("pnc-lint-baseline") {
+                    return Err(format!("unrecognized baseline schema `{schema}`"));
+                }
+                continue;
+            }
+            if key != "counts" {
+                continue;
+            }
+            let json::Value::Object(entries) = val else {
+                return Err("`counts` must be an object".to_string());
+            };
+            for (entry, count) in entries {
+                let json::Value::Number(n) = count else {
+                    return Err(format!("count for `{entry}` must be a number"));
+                };
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!(
+                        "count for `{entry}` must be a non-negative integer"
+                    ));
+                }
+                counts.insert(entry, n as u64);
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// Marks up to the baselined count of findings per (rule, path) as
+/// [`Status::Baselined`] (earliest lines first) and returns the entries
+/// whose recorded counts are now stale on the high side.
+pub fn apply(findings: &mut [Finding], baseline: &Baseline) -> Vec<StaleEntry> {
+    let mut remaining: BTreeMap<String, u64> = baseline.counts.clone();
+    for f in findings.iter_mut() {
+        if f.status != Status::New {
+            continue;
+        }
+        let key = format!("{} {}", f.rule, f.path);
+        if let Some(budget) = remaining.get_mut(&key) {
+            if *budget > 0 {
+                *budget -= 1;
+                f.status = Status::Baselined;
+            }
+        }
+    }
+    remaining
+        .into_iter()
+        .filter(|(_, left)| *left > 0)
+        .map(|(key, left)| {
+            let recorded = baseline.counts.get(&key).copied().unwrap_or(0);
+            StaleEntry {
+                key,
+                recorded,
+                current: recorded - left,
+            }
+        })
+        .collect()
+}
+
+/// A just-enough JSON parser for the baseline file: objects, strings with
+/// escapes, and numbers — exactly the grammar [`Baseline::to_json`] emits.
+mod json {
+    /// Parsed JSON value.
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        /// JSON object as ordered pairs.
+        Object(Vec<(String, Value)>),
+        /// JSON string (escapes cooked).
+        String(String),
+        /// JSON number.
+        Number(f64),
+    }
+
+    /// Parses `text` as a single JSON value.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            chars: text.chars().peekable(),
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.chars.peek().is_some() {
+            return Err("trailing content after JSON value".to_string());
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.chars.peek().is_some_and(|c| c.is_whitespace()) {
+                self.chars.next();
+            }
+        }
+
+        fn expect_char(&mut self, c: char) -> Result<(), String> {
+            self.skip_ws();
+            match self.chars.next() {
+                Some(got) if got == c => Ok(()),
+                other => Err(format!("expected `{c}`, found {other:?}")),
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some('{') => self.object(),
+                Some('"') => Ok(Value::String(self.string()?)),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".to_string()),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect_char('{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.chars.peek() == Some(&'}') {
+                self.chars.next();
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect_char(':')?;
+                let val = self.value()?;
+                pairs.push((key, val));
+                self.skip_ws();
+                match self.chars.next() {
+                    Some(',') => continue,
+                    Some('}') => break,
+                    other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                }
+            }
+            Ok(Value::Object(pairs))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.skip_ws();
+            if self.chars.next() != Some('"') {
+                return Err("expected string".to_string());
+            }
+            let mut out = String::new();
+            loop {
+                match self.chars.next() {
+                    Some('"') => break,
+                    Some('\\') => match self.chars.next() {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some('u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = self
+                                    .chars
+                                    .next()
+                                    .and_then(|c| c.to_digit(16))
+                                    .ok_or("bad \\u escape")?;
+                                code = code * 16 + d;
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        Some(other) => out.push(other),
+                        None => return Err("unterminated string escape".to_string()),
+                    },
+                    Some(c) => out.push(c),
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+            Ok(out)
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let mut text = String::new();
+            while let Some(&c) = self.chars.peek() {
+                if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                    text.push(c);
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| format!("malformed number `{text}`"))
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Markdown-side extraction for the doc/code consistency rules:
+//! metric names from `docs/METRICS.md` and environment variables from the
+//! README table.
+
+/// A documentation file loaded for cross-checking.
+#[derive(Debug, Clone)]
+pub struct DocFile {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Raw markdown text.
+    pub text: String,
+}
+
+/// The documentation set the workspace rules cross-check against.
+#[derive(Debug, Clone, Default)]
+pub struct Docs {
+    /// `docs/METRICS.md`, when present.
+    pub metrics: Option<DocFile>,
+    /// `README.md`, when present.
+    pub readme: Option<DocFile>,
+}
+
+/// Metric names catalogued in the `## Counters` and `## Histograms` tables
+/// of METRICS.md, with the 1-based line of each row. Only those two
+/// sections are read: sink events and summary files are named elsewhere in
+/// the document and are not `Counter`/`Histogram` constructors.
+pub fn metric_names(md: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_metric_section = false;
+    for (idx, line) in md.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        if let Some(header) = line.strip_prefix("## ") {
+            let header = header.trim();
+            in_metric_section = header == "Counters" || header == "Histograms";
+            continue;
+        }
+        if !in_metric_section {
+            continue;
+        }
+        if let Some(name) = first_backtick_cell(line) {
+            out.push((name, lineno));
+        }
+    }
+    out
+}
+
+/// For a markdown table row `| `name` | … |`, the content of the first
+/// backticked cell — skipping header/separator rows.
+fn first_backtick_cell(line: &str) -> Option<String> {
+    let trimmed = line.trim();
+    let rest = trimmed.strip_prefix('|')?.trim_start();
+    let rest = rest.strip_prefix('`')?;
+    let end = rest.find('`')?;
+    let name = &rest[..end];
+    if name.is_empty() {
+        None
+    } else {
+        Some(name.to_string())
+    }
+}
+
+/// Environment variables documented as README table rows (`| \`PNC_X\` | …`),
+/// with their 1-based lines.
+pub fn readme_env_table(md: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (idx, line) in md.lines().enumerate() {
+        if let Some(name) = first_backtick_cell(line) {
+            if is_env_name(&name) {
+                out.push((name, idx as u32 + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Every `PNC_…` identifier mentioned anywhere in `md` (table or prose).
+/// Used for the "is this variable documented at all" direction, which is
+/// deliberately more lenient than the table check.
+pub fn env_mentions(md: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let bytes = md.as_bytes();
+    let mut i = 0usize;
+    while let Some(pos) = md[i..].find("PNC_") {
+        let start = i + pos;
+        let mut end = start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let name = &md[start..end];
+        if is_env_name(name) && !out.iter().any(|n| n == name) {
+            out.push(name.to_string());
+        }
+        i = end.max(start + 4);
+    }
+    out
+}
+
+/// True for `PNC_`-prefixed uppercase identifiers (the workspace's
+/// environment-variable namespace).
+pub fn is_env_name(s: &str) -> bool {
+    s.len() > 4
+        && s.starts_with("PNC_")
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}

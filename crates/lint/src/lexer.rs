@@ -1,0 +1,479 @@
+//! A small token-level lexer for Rust source.
+//!
+//! This is not a full Rust lexer — it is exactly the subset the lint rules
+//! need to be *sound on real source*: it never confuses code with the inside
+//! of a comment, string, raw string, byte string, char literal, or lifetime.
+//! Within code it produces identifiers, numbers, and single-character
+//! punctuation with 1-based line/column positions. Comments are kept as
+//! tokens (the suppression syntax lives in them); rules that only care about
+//! code iterate with [`Token::is_code`].
+//!
+//! Multi-character operators (`::`, `->`, …) are deliberately left as runs of
+//! single-character punctuation tokens: rules match them as adjacent tokens,
+//! which keeps the lexer small and the matching explicit.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, without the `r#`).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the leading `'`).
+    Lifetime,
+    /// Integer or float literal (text as written).
+    Number,
+    /// String literal of any flavor (`"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`); the token text is the *content*, with simple escapes
+    /// (`\\`, `\"`, `\n`, `\t`, `\r`, `\0`, `\'`) cooked for plain strings.
+    Str,
+    /// Character or byte literal; text is the raw content between quotes.
+    Char,
+    /// `// …` comment (text includes the `//`); doc comments too.
+    LineComment,
+    /// `/* … */` comment (text includes delimiters); handles nesting.
+    BlockComment,
+    /// A single punctuation character; text is that one character.
+    Punct,
+}
+
+/// One lexed token with its position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for tokens that are part of the program, i.e. not comments.
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True if this is a [`TokenKind::Punct`] equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True if this is a [`TokenKind::Ident`] equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs simply run
+/// to end of input, and unrecognized bytes become [`TokenKind::Punct`] —
+/// the analyzer must not crash on the code it is judging.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => out.push(lex_line_comment(&mut cur, line, col)),
+                    Some('*') => out.push(lex_block_comment(&mut cur, line, col)),
+                    _ => out.push(punct('/', line, col)),
+                }
+            }
+            '"' => {
+                cur.bump();
+                out.push(lex_string(&mut cur, line, col))
+            }
+            '\'' => {
+                cur.bump();
+                out.push(lex_quote(&mut cur, line, col))
+            }
+            'r' | 'b' => out.push(lex_prefixed(&mut cur, line, col)),
+            c if is_ident_start(c) => out.push(lex_ident(&mut cur, line, col)),
+            c if c.is_ascii_digit() => out.push(lex_number(&mut cur, line, col)),
+            c => {
+                cur.bump();
+                out.push(punct(c, line, col));
+            }
+        }
+    }
+    out
+}
+
+fn punct(c: char, line: u32, col: u32) -> Token {
+    Token {
+        kind: TokenKind::Punct,
+        text: c.to_string(),
+        line,
+        col,
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    // The leading '/' is consumed; the peeked one is not yet.
+    let mut text = String::from("/");
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::LineComment,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::from("/");
+    if let Some(star) = cur.bump() {
+        text.push(star);
+    }
+    let mut depth = 1u32;
+    let mut prev = '\0';
+    while depth > 0 {
+        let Some(c) = cur.bump() else { break };
+        text.push(c);
+        match (prev, c) {
+            ('/', '*') => {
+                depth += 1;
+                prev = '\0';
+            }
+            ('*', '/') => {
+                depth -= 1;
+                prev = '\0';
+            }
+            _ => prev = c,
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lexes a plain `"…"` string whose opening quote is already consumed.
+fn lex_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => match cur.bump() {
+                Some('n') => text.push('\n'),
+                Some('t') => text.push('\t'),
+                Some('r') => text.push('\r'),
+                Some('0') => text.push('\0'),
+                Some(other) => text.push(other), // \\ \" \' and anything exotic
+                None => break,
+            },
+            c => text.push(c),
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lexes a `'…'` char literal or a `'ident` lifetime; the `'` is consumed.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    match cur.peek() {
+        // Escape: definitely a char literal like '\n'.
+        Some('\\') => {
+            let mut text = String::new();
+            if let Some(backslash) = cur.bump() {
+                text.push(backslash);
+            }
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+            // Consume up to the closing quote (covers '\u{…}').
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be 'a' (char) or 'a (lifetime): read the ident run, then
+            // a closing quote decides.
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                }
+            } else {
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                }
+            }
+        }
+        // 'x' for non-ident x, e.g. '+' or ' '.
+        Some(_) => {
+            let mut text = String::new();
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        None => punct('\'', line, col),
+    }
+}
+
+/// Handles `r`/`b` starts: raw strings, byte strings, or plain identifiers.
+fn lex_prefixed(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let first = cur.bump().unwrap_or('r');
+    let mut prefix = String::new();
+    prefix.push(first);
+    // br / rb? Only `br` is real Rust; accept the run of prefix letters.
+    if first == 'b' && cur.peek() == Some('r') {
+        prefix.push(cur.bump().unwrap_or('r'));
+    }
+    match cur.peek() {
+        Some('"') if prefix != "b" => {
+            cur.bump();
+            lex_raw_string(cur, 0, line, col)
+        }
+        Some('"') => {
+            // b"…" — byte string, escapes like a plain string.
+            cur.bump();
+            lex_string(cur, line, col)
+        }
+        Some('#') if prefix.ends_with('r') => {
+            let mut hashes = 0usize;
+            while cur.peek() == Some('#') {
+                hashes += 1;
+                cur.bump();
+            }
+            if cur.peek() == Some('"') {
+                cur.bump();
+                lex_raw_string(cur, hashes, line, col)
+            } else {
+                // `r#ident` raw identifier: hashes==1 and an ident follows.
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                }
+            }
+        }
+        Some('\'') if prefix == "b" => {
+            cur.bump();
+            lex_quote(cur, line, col)
+        }
+        _ => {
+            // Just an identifier starting with r/b.
+            let mut text = prefix;
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            }
+        }
+    }
+}
+
+/// Lexes a raw string body after the opening quote; closes on `"` followed
+/// by `hashes` `#` characters.
+fn lex_raw_string(cur: &mut Cursor, hashes: usize, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // Tentatively match the closing hashes.
+            let mut seen = 0usize;
+            while seen < hashes {
+                if cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                } else {
+                    text.push('"');
+                    for _ in 0..seen {
+                        text.push('#');
+                    }
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        text.push(c);
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    // Integer part (also covers 0x…, 1_000, and type suffixes like 10usize
+    // via the alphanumeric continue set).
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part only when '.' is followed by a digit — keeps `1..n`
+    // ranges and `1.0_f64.sin()` method calls lexing correctly.
+    if cur.peek() == Some('.') {
+        let mut lookahead = cur.chars.clone();
+        lookahead.next();
+        if lookahead.peek().is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Exponent sign: `1e-3` lexes the `e` above; pull in a signed exponent.
+    if (text.ends_with('e') || text.ends_with('E'))
+        && matches!(cur.peek(), Some('+') | Some('-'))
+        && text.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        if let Some(sign) = cur.bump() {
+            text.push(sign);
+        }
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Number,
+        text,
+        line,
+        col,
+    }
+}

@@ -1,0 +1,209 @@
+//! CLI for pnc-lint. See `pnc-lint help` or the crate docs.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pnc_lint::baseline::{self, Baseline};
+use pnc_lint::diag::Status;
+use pnc_lint::{engine, report, rules, workspace};
+
+const USAGE: &str = "\
+pnc-lint — workspace-invariant static analysis
+
+USAGE:
+    pnc-lint <COMMAND> [OPTIONS]
+
+COMMANDS:
+    check             Fail (exit 1) on unsuppressed, non-baselined findings
+    report            Print every finding, including suppressed/baselined
+    update-baseline   Rewrite the ratchet baseline from current findings
+    rules             List rule ids and one-line summaries
+    help              Show this message
+
+OPTIONS:
+    --root <DIR>        Workspace root (default: auto-detected from cwd)
+    --baseline <PATH>   Baseline file (default: <root>/lint_baseline.json)
+    --report <PATH>     JSON report path (default: <root>/artifacts/lint_report.json)
+    --no-report         Skip writing the JSON report
+";
+
+struct Options {
+    command: String,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    report: Option<PathBuf>,
+    no_report: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        command: String::new(),
+        root: None,
+        baseline: None,
+        report: None,
+        no_report: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" | "--baseline" | "--report" => {
+                let value = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                let path = PathBuf::from(value);
+                match arg.as_str() {
+                    "--root" => opts.root = Some(path),
+                    "--baseline" => opts.baseline = Some(path),
+                    _ => opts.report = Some(path),
+                }
+            }
+            "--no-report" => opts.no_report = true,
+            cmd if !cmd.starts_with('-') && opts.command.is_empty() => {
+                opts.command = cmd.to_string();
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    if opts.command.is_empty() {
+        opts.command = "help".to_string();
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    match opts.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        "rules" => {
+            for rule in rules::RULES {
+                let ratchet = if rule.baselinable { " [baselined]" } else { "" };
+                println!("{:<20} {}{}", rule.id, rule.summary, ratchet);
+            }
+            println!(
+                "{:<20} engine hygiene: malformed/unknown/unused suppressions (not suppressible)",
+                rules::SUPPRESSION_RULE
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        "check" | "report" | "update-baseline" => {}
+        other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+
+    let root = match &opts.root {
+        Some(root) => root.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            workspace::find_root(&cwd)
+                .ok_or("no workspace root found (no ancestor Cargo.toml with [workspace])")?
+        }
+    };
+    let ws = workspace::load(&root).map_err(|e| format!("loading workspace: {e}"))?;
+    let mut findings = engine::analyze(&ws.files, &ws.docs);
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint_baseline.json"));
+
+    if opts.command == "update-baseline" {
+        let new_baseline = Baseline::from_findings(&findings);
+        std::fs::write(&baseline_path, new_baseline.to_json())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "baseline written: {} ({} entries, {} findings)",
+            baseline_path.display(),
+            new_baseline.counts.len(),
+            new_baseline.counts.values().sum::<u64>()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut stale = Vec::new();
+    if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        let parsed = Baseline::parse(&text)
+            .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?;
+        stale = baseline::apply(&mut findings, &parsed);
+    }
+
+    if !opts.no_report {
+        let report_path = opts
+            .report
+            .clone()
+            .unwrap_or_else(|| root.join("artifacts").join("lint_report.json"));
+        if let Some(parent) = report_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&report_path, report::render(&findings, ws.files.len()))
+            .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+    }
+
+    let show_all = opts.command == "report";
+    let mut new = 0usize;
+    let mut baselined = 0usize;
+    let mut suppressed = 0usize;
+    for f in &findings {
+        match &f.status {
+            Status::New => {
+                new += 1;
+                println!("{f}");
+            }
+            Status::Baselined => {
+                baselined += 1;
+                if show_all {
+                    println!("{f} (baselined)");
+                }
+            }
+            Status::Suppressed(reason) => {
+                suppressed += 1;
+                if show_all {
+                    println!("{f} (suppressed: {reason})");
+                }
+            }
+        }
+    }
+    for entry in &stale {
+        println!(
+            "note: baseline entry `{}` records {} findings but only {} remain — run \
+             `cargo run -p pnc-lint -- update-baseline` to ratchet down",
+            entry.key, entry.recorded, entry.current
+        );
+    }
+    println!(
+        "pnc-lint: {} files, {} new, {} baselined, {} suppressed",
+        ws.files.len(),
+        new,
+        baselined,
+        suppressed
+    );
+    if opts.command == "check" && new > 0 {
+        println!(
+            "check failed: fix the findings above, suppress with \
+             `// pnc-lint: allow(<rule>) — <reason>`, or see docs/LINTS.md"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

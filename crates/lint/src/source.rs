@@ -1,0 +1,314 @@
+//! A lexed source file plus the structure the rules need: which crate it
+//! belongs to, what kind of target it is, which line ranges are
+//! `#[cfg(test)]` code, and which `pnc-lint: allow(...)` suppressions it
+//! carries.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// What kind of compilation target a file belongs to. Rules use this to
+/// scope themselves (e.g. panic-freedom applies to libraries and binaries,
+/// not to tests or benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A crate root (`src/lib.rs`).
+    CrateRoot,
+    /// Library code under `src/`.
+    Lib,
+    /// Binary code (`src/main.rs`, `src/bin/*`).
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Benchmarks under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+impl FileKind {
+    /// True for targets that ship as part of the library/binary surface
+    /// (i.e. not tests, benches, or examples).
+    pub fn is_shipping(self) -> bool {
+        matches!(self, FileKind::CrateRoot | FileKind::Lib | FileKind::Bin)
+    }
+}
+
+/// An inline suppression comment:
+/// `// pnc-lint: allow(<rule>) — <reason>`.
+///
+/// A suppression silences findings of `rule` on its own line and on the
+/// immediately following line (so it can sit at the end of the offending
+/// line or on its own line directly above it). The em dash may also be
+/// written `--` or `:`; the reason is mandatory.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id the suppression targets.
+    pub rule: String,
+    /// Why the finding is acceptable here (required).
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+}
+
+/// A malformed suppression comment (missing reason, bad syntax); reported
+/// as a finding by the engine so suppressions stay auditable.
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    /// What is wrong with it.
+    pub message: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+}
+
+/// One file of the workspace, lexed and classified.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes).
+    pub path: String,
+    /// Package name owning the file (e.g. `pnc-core`), or the root package
+    /// name for `src/`, `tests/`, `examples/` at the workspace root.
+    pub crate_name: String,
+    /// Target classification.
+    pub kind: FileKind,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Inclusive 1-based line ranges covered by `#[cfg(test)] mod { … }`.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Well-formed suppressions found in comments.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed suppression comments.
+    pub bad_suppressions: Vec<BadSuppression>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and extracts test spans and suppressions.
+    pub fn parse(path: &str, crate_name: &str, kind: FileKind, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let test_spans = find_test_spans(&tokens);
+        let (suppressions, bad_suppressions) = find_suppressions(&tokens);
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            tokens,
+            test_spans,
+            suppressions,
+            bad_suppressions,
+        }
+    }
+
+    /// True when `line` belongs to test code: the whole file is a test
+    /// target, or the line falls inside a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        matches!(self.kind, FileKind::Test | FileKind::Bench)
+            || self
+                .test_spans
+                .iter()
+                .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// Iterator over code tokens (skipping comments) with their indices into
+    /// `self.tokens`.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens.iter().enumerate().filter(|(_, t)| t.is_code())
+    }
+}
+
+/// Finds `#[cfg(test)]` (or `#[cfg(any(test, …))]`) attributes followed by a
+/// `mod name { … }` and returns the brace-matched line ranges.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_code())
+        .collect();
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if is_cfg_test_attr(&code, i) {
+            // Skip to the closing `]` of the attribute.
+            let mut j = i + 1; // at `[`
+            let mut depth = 0i32;
+            while j < code.len() {
+                if code[j].1.is_punct('[') {
+                    depth += 1;
+                } else if code[j].1.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            // Skip any further attributes between cfg(test) and the item.
+            let mut k = j + 1;
+            while k + 1 < code.len() && code[k].1.is_punct('#') && code[k + 1].1.is_punct('[') {
+                let mut depth = 0i32;
+                k += 1;
+                while k < code.len() {
+                    if code[k].1.is_punct('[') {
+                        depth += 1;
+                    } else if code[k].1.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                k += 1;
+            }
+            // Expect `mod ident {` (also tolerate `pub mod`).
+            if k < code.len() && code[k].1.is_ident("pub") {
+                k += 1;
+            }
+            if k < code.len() && code[k].1.is_ident("mod") {
+                // Find the opening brace, then match it.
+                let mut b = k + 1;
+                while b < code.len() && !code[b].1.is_punct('{') && !code[b].1.is_punct(';') {
+                    b += 1;
+                }
+                if b < code.len() && code[b].1.is_punct('{') {
+                    let start_line = code[i].1.line;
+                    let mut depth = 0i32;
+                    let mut e = b;
+                    while e < code.len() {
+                        if code[e].1.is_punct('{') {
+                            depth += 1;
+                        } else if code[e].1.is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        e += 1;
+                    }
+                    let end_line = if e < code.len() {
+                        code[e].1.line
+                    } else {
+                        u32::MAX
+                    };
+                    spans.push((start_line, end_line));
+                    i = e;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// True when the code-token sequence at `i` starts `#[cfg(` … `test` … `)]`.
+fn is_cfg_test_attr(code: &[(usize, &Token)], i: usize) -> bool {
+    if !(code[i].1.is_punct('#')
+        && i + 3 < code.len()
+        && code[i + 1].1.is_punct('[')
+        && code[i + 2].1.is_ident("cfg")
+        && code[i + 3].1.is_punct('('))
+    {
+        return false;
+    }
+    // Look for a bare `test` ident before the attribute closes.
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < code.len() {
+        if code[j].1.is_punct('[') {
+            depth += 1;
+        } else if code[j].1.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if code[j].1.is_ident("test") {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// The marker that introduces a suppression comment.
+const MARKER: &str = "pnc-lint:";
+
+/// Scans comment tokens for suppression markers.
+fn find_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let body = tok
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            // Catch near-misses like `pnc-lint allow(...)` so typos do not
+            // silently fail to suppress; prose that merely mentions the
+            // marker mid-comment is left alone.
+            if body.starts_with("pnc-lint") && body.contains("allow") {
+                bad.push(BadSuppression {
+                    message: format!(
+                        "malformed suppression (expected `{MARKER} allow(<rule>) — <reason>`)"
+                    ),
+                    line: tok.line,
+                    col: tok.col,
+                });
+            }
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => good.push(Suppression {
+                rule,
+                reason,
+                line: tok.line,
+                col: tok.col,
+            }),
+            Err(message) => bad.push(BadSuppression {
+                message,
+                line: tok.line,
+                col: tok.col,
+            }),
+        }
+    }
+    (good, bad)
+}
+
+/// Parses `allow(<rule>) — <reason>` (separator `—`, `--`, or `:`).
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let Some(rest) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown pnc-lint directive (expected `{MARKER} allow(<rule>) — <reason>`)"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("missing `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("missing `)` in suppression".to_string());
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() {
+        return Err("empty rule id in suppression".to_string());
+    }
+    let mut reason = rest[close + 1..].trim();
+    for sep in ["—", "--", ":", "-"] {
+        if let Some(stripped) = reason.strip_prefix(sep) {
+            reason = stripped.trim();
+            break;
+        }
+    }
+    if reason.is_empty() {
+        return Err(format!(
+            "suppression for `{rule}` has no reason — write `{MARKER} allow({rule}) — <why this is sound>`"
+        ));
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}

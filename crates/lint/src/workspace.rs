@@ -1,0 +1,225 @@
+//! Workspace discovery: which files to analyze, what crate and target kind
+//! each belongs to, and the documentation set to cross-check.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::docs::{DocFile, Docs};
+use crate::source::{FileKind, SourceFile};
+
+/// The loaded workspace, ready for [`crate::engine::analyze`].
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Every analyzed source file, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Cross-check documents.
+    pub docs: Docs,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures"];
+
+/// Loads every analyzable `.rs` file under `root` plus the cross-check
+/// documents. `vendor/` (third-party stand-ins), `target/`, and test
+/// `fixtures/` are excluded.
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let mut files = Vec::new();
+
+    // Root package: src/, tests/, examples/.
+    let root_pkg = package_name(root).unwrap_or_else(|| "root".to_string());
+    collect_target_dir(
+        root,
+        &root.join("src"),
+        &root_pkg,
+        TargetDir::Src,
+        &mut files,
+    )?;
+    collect_target_dir(
+        root,
+        &root.join("tests"),
+        &root_pkg,
+        TargetDir::Tests,
+        &mut files,
+    )?;
+    collect_target_dir(
+        root,
+        &root.join("examples"),
+        &root_pkg,
+        TargetDir::Examples,
+        &mut files,
+    )?;
+
+    // Member crates under crates/.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let name = package_name(&member).unwrap_or_else(|| {
+                format!(
+                    "pnc-{}",
+                    member
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default()
+                )
+            });
+            collect_target_dir(root, &member.join("src"), &name, TargetDir::Src, &mut files)?;
+            collect_target_dir(
+                root,
+                &member.join("tests"),
+                &name,
+                TargetDir::Tests,
+                &mut files,
+            )?;
+            collect_target_dir(
+                root,
+                &member.join("benches"),
+                &name,
+                TargetDir::Benches,
+                &mut files,
+            )?;
+            collect_target_dir(
+                root,
+                &member.join("examples"),
+                &name,
+                TargetDir::Examples,
+                &mut files,
+            )?;
+        }
+    }
+
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    let docs = Docs {
+        metrics: load_doc(root, "docs/METRICS.md"),
+        readme: load_doc(root, "README.md"),
+    };
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        docs,
+    })
+}
+
+fn load_doc(root: &Path, rel: &str) -> Option<DocFile> {
+    let text = fs::read_to_string(root.join(rel)).ok()?;
+    Some(DocFile {
+        path: rel.to_string(),
+        text,
+    })
+}
+
+/// Reads `name = "…"` from a directory's Cargo.toml `[package]` section.
+fn package_name(dir: &Path) -> Option<String> {
+    let manifest = fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum TargetDir {
+    Src,
+    Tests,
+    Benches,
+    Examples,
+}
+
+fn collect_target_dir(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    target: TargetDir,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&current)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = relative_path(root, &path);
+                let kind = classify(&rel, target);
+                let text = fs::read_to_string(&path)?;
+                out.push(SourceFile::parse(&rel, crate_name, kind, &text));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path for stable, OS-independent output.
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn classify(rel: &str, target: TargetDir) -> FileKind {
+    match target {
+        TargetDir::Tests => FileKind::Test,
+        TargetDir::Benches => FileKind::Bench,
+        TargetDir::Examples => FileKind::Example,
+        TargetDir::Src => {
+            if rel.ends_with("src/lib.rs") {
+                FileKind::CrateRoot
+            } else if rel.ends_with("src/main.rs") || rel.contains("/src/bin/") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            }
+        }
+    }
+}
+
+/// Walks upward from `start` to find the workspace root: the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

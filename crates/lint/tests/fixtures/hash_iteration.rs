@@ -1,0 +1,23 @@
+//! Fixture: seeded `no-hash-iteration` violations for a numeric crate.
+
+use std::collections::HashMap;
+
+/// Seeded violations: `HashMap` appears in the `use` above, in the return
+/// type, and in the constructor call (3 findings in a numeric crate).
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    /// Not flagged: test code may use hash containers.
+    #[test]
+    fn hashes_in_tests_are_fine() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1u32);
+    }
+}

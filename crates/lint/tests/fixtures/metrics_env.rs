@@ -1,0 +1,20 @@
+//! Fixture: metric constructors and environment reads for the doc/code
+//! consistency rules. The companion docs live inline in the test file.
+
+use pnc_obs::{Counter, Histogram};
+
+/// Documented in the fixture METRICS table: no finding.
+pub static GOOD: Counter = Counter::new("fixture.documented");
+
+/// Seeded violation: constructed but absent from the fixture METRICS table.
+pub static DRIFTED: Histogram = Histogram::new("fixture.undocumented");
+
+/// Documented in the fixture README table: no finding.
+pub fn read_documented() -> Option<String> {
+    std::env::var("PNC_FIXTURE_DOCUMENTED").ok()
+}
+
+/// Seeded violation: read but absent from the fixture README table.
+pub fn read_undocumented() -> Option<String> {
+    std::env::var("PNC_FIXTURE_UNDOCUMENTED").ok()
+}

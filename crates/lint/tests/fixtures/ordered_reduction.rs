@@ -1,0 +1,23 @@
+//! Fixture: seeded `ordered-reduction` violation and the deterministic
+//! patterns that must stay clean.
+
+use rayon::prelude::*;
+
+/// Seeded violation: `.sum()` chained on a parallel iterator — the
+/// floating-point reduction order depends on scheduling (1 finding).
+pub fn bad_parallel_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+/// Not flagged: the fold runs serially *inside* the per-item closure; the
+/// parallel combinator itself is a collect.
+pub fn ok_serial_fold_per_item(xss: &[Vec<f64>]) -> Vec<f64> {
+    xss.par_iter()
+        .map(|xs| xs.iter().fold(0.0, |a, b| a + b))
+        .collect()
+}
+
+/// Not flagged: fully serial reduction.
+pub fn ok_serial_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

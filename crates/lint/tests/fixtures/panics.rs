@@ -1,0 +1,46 @@
+//! Fixture: seeded `no-panic-in-lib` violations, a reasoned suppression,
+//! and the test-code exemption.
+
+/// Seeded violation: `.unwrap()`.
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Seeded violation: `.expect()`.
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+/// Seeded violation: `panic!`.
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+/// Seeded violation: `unreachable!`.
+pub fn bad_unreachable(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+/// Suppressed, with a reason: not counted as a new finding.
+pub fn suppressed_unwrap(x: Option<u32>) -> u32 {
+    // pnc-lint: allow(no-panic-in-lib) — fixture: demonstrates a reasoned suppression
+    x.unwrap()
+}
+
+/// Not flagged: `expect` without a leading dot is just a function name.
+pub fn expect(x: u32) -> u32 {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    /// Not flagged: tests panic on failure by design.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3u32).unwrap(), 3);
+        Some(1u32).expect("present");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root that dropped `#![forbid(unsafe_code)]`
+//! (1 `forbid-unsafe-kept` finding when parsed as a crate root).
+
+#![deny(missing_docs)]
+
+/// Placeholder item.
+pub fn noop() {}

@@ -1,0 +1,7 @@
+//! Fixture: a compliant crate root (0 findings).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Placeholder item.
+pub fn noop() {}

@@ -1,0 +1,18 @@
+//! Fixture: every way a suppression comment can go stale or wrong
+//! (4 `suppression-hygiene` findings).
+
+// pnc-lint allow(no-panic-in-lib) — malformed: the colon after pnc-lint is missing
+/// Near-miss marker above: reported as malformed.
+pub fn malformed() {}
+
+// pnc-lint: allow(not-a-rule) — the rule id does not exist
+/// Unknown rule id above: reported.
+pub fn unknown_rule() {}
+
+// pnc-lint: allow(no-wallclock) — nothing on the next line reads a clock
+/// Unused suppression above: reported so dead comments get cleaned up.
+pub fn unused() {}
+
+// pnc-lint: allow(no-panic-in-lib)
+/// Reason-less suppression above: reported as malformed.
+pub fn missing_reason() {}

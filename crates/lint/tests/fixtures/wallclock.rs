@@ -1,0 +1,34 @@
+//! Fixture: seeded `no-wallclock` violations plus exempt contexts.
+//! Mentioning Instant::now in this comment must NOT be flagged.
+
+/// Seeded violation: monotonic clock read (1 finding).
+pub fn elapsed_nanos() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// Seeded violations: wall-clock type mentions (2 findings — return type
+/// and body).
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+/// Not flagged: the forbidden names only appear inside a string literal.
+pub fn describe() -> &'static str {
+    "Instant::now and SystemTime are banned"
+}
+
+/// Not flagged: `Instant` without `::now` is just a word.
+pub fn instant_coffee() -> &'static str {
+    "Instant"
+}
+
+#[cfg(test)]
+mod tests {
+    /// Not flagged: test code may time things.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+        let _ = std::time::SystemTime::now();
+    }
+}

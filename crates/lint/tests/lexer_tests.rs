@@ -1,0 +1,134 @@
+//! Lexer behavior tests: code must never be confused with the inside of a
+//! comment, string, raw string, char literal, or lifetime — that soundness
+//! is what every rule's token matching rests on.
+
+use pnc_lint::lexer::{lex, TokenKind};
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+fn code_idents(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn identifiers_and_punctuation() {
+    let toks = kinds("let x = foo::bar(1);");
+    assert!(toks.contains(&(TokenKind::Ident, "let".to_string())));
+    assert!(toks.contains(&(TokenKind::Ident, "foo".to_string())));
+    assert!(toks.contains(&(TokenKind::Punct, ";".to_string())));
+    // `::` is two adjacent single-char puncts by design.
+    let colons = toks
+        .iter()
+        .filter(|(k, t)| *k == TokenKind::Punct && t == ":")
+        .count();
+    assert_eq!(colons, 2);
+}
+
+#[test]
+fn line_comments_are_not_code() {
+    let toks = lex("foo(); // unwrap() inside a comment\nbar();");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::LineComment && t.text.contains("unwrap")));
+    // The ident `unwrap` never appears as code.
+    assert!(!code_idents("foo(); // unwrap() here\n").contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn block_comments_nest() {
+    let src = "a /* outer /* inner */ still comment */ b";
+    let idents = code_idents(src);
+    assert_eq!(idents, vec!["a".to_string(), "b".to_string()]);
+    let comment = lex(src)
+        .into_iter()
+        .find(|t| t.kind == TokenKind::BlockComment)
+        .expect("block comment token");
+    assert!(comment.text.contains("inner"));
+}
+
+#[test]
+fn strings_hide_their_content_from_code() {
+    // `HashMap` inside a string must not surface as an identifier.
+    assert!(!code_idents(r#"let s = "HashMap::new()";"#).contains(&"HashMap".to_string()));
+    // Escaped quote does not terminate the string early.
+    let toks = kinds(r#"f("a\"b", c)"#);
+    assert!(toks.contains(&(TokenKind::Str, "a\"b".to_string())));
+    assert!(toks.contains(&(TokenKind::Ident, "c".to_string())));
+}
+
+#[test]
+fn raw_strings_with_hashes() {
+    let src = r###"let s = r#"quote " and // not a comment"#; after();"###;
+    let toks = lex(src);
+    let s = toks
+        .iter()
+        .find(|t| t.kind == TokenKind::Str)
+        .expect("raw string token");
+    assert!(s.text.contains("not a comment"));
+    assert!(toks.iter().any(|t| t.is_ident("after")));
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::LineComment));
+}
+
+#[test]
+fn char_literal_versus_lifetime() {
+    // 'a' is a char; 'a (no closing quote) is a lifetime.
+    let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) {}");
+    assert!(toks.contains(&(TokenKind::Char, "a".to_string())));
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .collect();
+    assert_eq!(lifetimes.len(), 2, "{toks:?}");
+    // An escaped char literal still lexes as one char token.
+    let toks = kinds(r"let n = '\n';");
+    assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+}
+
+#[test]
+fn numbers_including_floats_and_exponents() {
+    let toks = kinds("let x = 1.5e-3 + 42 + 0xff;");
+    let numbers: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Number)
+        .map(|(_, t)| t.clone())
+        .collect();
+    assert!(numbers.contains(&"1.5e-3".to_string()), "{numbers:?}");
+    assert!(numbers.contains(&"42".to_string()));
+    // A range `1..2` is two integers, not a malformed float.
+    let toks = kinds("for i in 1..20 {}");
+    let numbers: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Number)
+        .map(|(_, t)| t.clone())
+        .collect();
+    assert_eq!(numbers, vec!["1".to_string(), "20".to_string()]);
+}
+
+#[test]
+fn positions_are_one_based_lines_and_columns() {
+    let toks = lex("a\n  b");
+    let a = toks.iter().find(|t| t.is_ident("a")).expect("a");
+    let b = toks.iter().find(|t| t.is_ident("b")).expect("b");
+    assert_eq!((a.line, a.col), (1, 1));
+    assert_eq!((b.line, b.col), (2, 3));
+}
+
+#[test]
+fn lexing_never_fails_on_garbage() {
+    // Unterminated constructs must produce tokens, not hang or panic.
+    for src in [
+        "\"unterminated",
+        "/* unterminated",
+        "r#\"unterminated",
+        "'",
+        "r#",
+    ] {
+        let _ = lex(src);
+    }
+}

@@ -88,7 +88,11 @@ impl Counter {
             .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
         {
-            registry().counters.lock().expect("unpoisoned").push(self);
+            registry()
+                .counters
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(self);
         }
     }
 }
@@ -180,7 +184,11 @@ impl Histogram {
             .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
         {
-            registry().histograms.lock().expect("unpoisoned").push(self);
+            registry()
+                .histograms
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(self);
         }
     }
 }
@@ -366,7 +374,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut counters: Vec<CounterSnapshot> = reg
         .counters
         .lock()
-        .expect("unpoisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|c| CounterSnapshot {
             name: c.name,
@@ -377,7 +385,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut histograms: Vec<HistogramSnapshot> = reg
         .histograms
         .lock()
-        .expect("unpoisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|h| {
             let count = h.count();
@@ -413,10 +421,20 @@ pub fn snapshot() -> MetricsSnapshot {
 /// binaries that measure several configurations in one process.
 pub fn reset() {
     let reg = registry();
-    for c in reg.counters.lock().expect("unpoisoned").iter() {
+    for c in reg
+        .counters
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
         c.value.store(0, Ordering::Relaxed);
     }
-    for h in reg.histograms.lock().expect("unpoisoned").iter() {
+    for h in reg
+        .histograms
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
         h.count.store(0, Ordering::Relaxed);
         for b in &h.buckets {
             b.store(0, Ordering::Relaxed);

@@ -110,7 +110,9 @@ pub fn enabled() -> bool {
 fn init_from_env() -> bool {
     // Serialize initialization through the writer lock so two racing first
     // emitters cannot both open the destination.
-    let mut slot = writer_slot().lock().expect("unpoisoned");
+    let mut slot = writer_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     match STATE.load(Ordering::Relaxed) {
         ON => return true,
         OFF => return false,
@@ -151,7 +153,9 @@ fn init_from_env() -> bool {
 /// `PNC_OBS`. Test hook: lets unit tests capture the event stream in an
 /// in-memory buffer.
 pub fn install_writer(w: Box<dyn Write + Send>) {
-    let mut slot = writer_slot().lock().expect("unpoisoned");
+    let mut slot = writer_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     *slot = Some(w);
     STATE.store(ON, Ordering::Relaxed);
 }
@@ -159,7 +163,9 @@ pub fn install_writer(w: Box<dyn Write + Send>) {
 /// Disables the sink and drops any installed writer. Test hook: the inverse
 /// of [`install_writer`].
 pub fn disable() {
-    let mut slot = writer_slot().lock().expect("unpoisoned");
+    let mut slot = writer_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     *slot = None;
     STATE.store(OFF, Ordering::Relaxed);
 }
@@ -183,7 +189,9 @@ pub fn emit(event: &str, fields: &[(&str, FieldValue)]) {
         line.push_str(&format!(", \"{}\": {}", escape(key), value.to_json()));
     }
     line.push_str("}\n");
-    let mut slot = writer_slot().lock().expect("unpoisoned");
+    let mut slot = writer_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(w) = slot.as_mut() {
         let _ = w.write_all(line.as_bytes());
         let _ = w.flush();

@@ -562,7 +562,14 @@ impl DcSolver {
                 }
             }
         }
-        let mut sol = last.expect("at least one gmin step runs");
+        let Some(mut sol) = last else {
+            // Zero steps only happens with a degenerate schedule; report it as
+            // a non-convergence instead of panicking.
+            return Err(SpiceError::NoConvergence {
+                iterations: *iterations,
+                residual: f64::INFINITY,
+            });
+        };
         // The accumulated total is applied by `finish`; this solution's own
         // count is already inside `iterations`.
         sol.diagnostics.iterations = 0;
@@ -609,7 +616,12 @@ impl DcSolver {
                 }
             }
         }
-        let mut sol = last.expect("at least one source step runs");
+        let Some(mut sol) = last else {
+            return Err(SpiceError::NoConvergence {
+                iterations: *iterations,
+                residual: f64::INFINITY,
+            });
+        };
         sol.diagnostics.iterations = 0;
         Ok(sol)
     }

@@ -115,6 +115,7 @@ impl TransientSolver {
     ) -> Result<Waveform, SpiceError> {
         stimulus(0.0, circuit)?;
         let initial = self.dc.solve(circuit)?;
+        let mut prev_voltages = initial.voltages().to_vec();
         let mut times = vec![0.0];
         let mut solutions = vec![initial];
 
@@ -122,8 +123,6 @@ impl TransientSolver {
         for k in 1..=steps {
             let t = k as f64 * self.timestep;
             stimulus(t, circuit)?;
-            let prev = solutions.last().expect("at least the initial point");
-            let prev_voltages = prev.voltages().to_vec();
             let guess = prev_voltages[1..].to_vec();
             let sol = self.dc.solve_recovered(
                 circuit,
@@ -131,6 +130,7 @@ impl TransientSolver {
                 Some((&prev_voltages, self.timestep)),
             )?;
             times.push(t);
+            prev_voltages = sol.voltages().to_vec();
             solutions.push(sol);
         }
         Ok(Waveform { times, solutions })

@@ -77,7 +77,9 @@ impl Mlp {
 
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
-        *self.sizes.last().expect("at least two sizes")
+        // The constructor rejects fewer than two sizes, so `sizes` is
+        // non-empty; 0 is a safe degenerate answer rather than a panic.
+        self.sizes.last().copied().unwrap_or(0)
     }
 
     /// Number of scalar parameters (weights + biases).
