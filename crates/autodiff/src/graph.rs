@@ -1,5 +1,5 @@
 use crate::AutodiffError;
-use pnc_linalg::Matrix;
+use pnc_linalg::{Matrix, Workspace};
 
 /// Handle to a tensor node in a [`Graph`].
 ///
@@ -65,24 +65,77 @@ struct Node {
 }
 
 /// Gradients produced by [`Graph::backward`], indexed by [`Var`].
-#[derive(Debug, Clone)]
+///
+/// A `GradStore` owns both the gradient arena and a buffer pool: pass the
+/// same store to [`Graph::backward_into`] across training steps and the
+/// backward pass writes into the preallocated gradient buffers instead of
+/// allocating (and cloning) matrices per op.
+#[derive(Debug, Default)]
 pub struct GradStore {
     grads: Vec<Option<Matrix>>,
+    pool: Workspace,
 }
 
 impl GradStore {
+    /// Creates an empty store; [`Graph::backward_into`] sizes it to the tape.
+    pub fn new() -> Self {
+        GradStore::default()
+    }
+
     /// The gradient of the loss with respect to `v`, if any gradient flowed
     /// to it.
     pub fn get(&self, v: Var) -> Option<&Matrix> {
         self.grads.get(v.0).and_then(|g| g.as_ref())
     }
 
-    fn accumulate(&mut self, v: Var, g: Matrix) -> Result<(), AutodiffError> {
+    /// Clears all gradients, retiring their buffers into the pool, and
+    /// resizes the arena for a tape of `len` nodes.
+    fn reset_for(&mut self, len: usize) {
+        for slot in self.grads.iter_mut() {
+            if let Some(m) = slot.take() {
+                self.pool.give(m);
+            }
+        }
+        self.grads.resize(len, None);
+    }
+
+    /// Adds `g` into the slot for `v` (in place when one exists), taking
+    /// ownership of `g`'s buffer either as the slot value or back into the
+    /// pool. Bit-identical to the old allocating `existing + g` path.
+    fn accumulate_owned(&mut self, v: Var, g: Matrix) -> Result<(), AutodiffError> {
+        match &mut self.grads[v.0] {
+            Some(existing) => {
+                existing.add_assign(&g).map_err(bw_err("grad_accumulate"))?;
+                self.pool.give(g);
+            }
+            slot @ None => *slot = Some(g),
+        }
+        Ok(())
+    }
+
+    /// Pre-overhaul accumulate, kept for [`Graph::backward_reference`]:
+    /// replaces the slot with a freshly allocated `existing + g`.
+    fn accumulate_alloc(&mut self, v: Var, g: Matrix) -> Result<(), AutodiffError> {
         match &mut self.grads[v.0] {
             Some(existing) => {
                 *existing = existing.add(&g).map_err(bw_err("grad_accumulate"))?;
             }
             slot @ None => *slot = Some(g),
+        }
+        Ok(())
+    }
+
+    /// Adds `g` into the slot for `v` without taking ownership: in place when
+    /// the slot is occupied, via a pooled copy when it is empty.
+    fn accumulate_ref(&mut self, v: Var, g: &Matrix) -> Result<(), AutodiffError> {
+        match &mut self.grads[v.0] {
+            Some(existing) => existing.add_assign(g).map_err(bw_err("grad_accumulate"))?,
+            None => {
+                let (r, c) = g.shape();
+                let mut buf = self.pool.take(r, c);
+                buf.copy_from(g).map_err(bw_err("grad_accumulate"))?;
+                self.grads[v.0] = Some(buf);
+            }
         }
         Ok(())
     }
@@ -99,9 +152,12 @@ fn bw_err(op: &'static str) -> impl Fn(pnc_linalg::LinalgError) -> AutodiffError
 /// A define-by-run computation tape over dense `f64` matrices.
 ///
 /// Operations evaluate eagerly and record themselves; [`Graph::backward`]
-/// replays the tape in reverse. Build a fresh graph per training step (the
+/// replays the tape in reverse. The tape is rebuilt every training step (the
 /// usual define-by-run pattern) — leaves take their values from externally
-/// stored [`Parameter`](crate::Parameter)s.
+/// stored [`Parameter`](crate::Parameter)s. Hot loops should call
+/// [`Graph::reset`] between steps instead of constructing a new graph: the
+/// node arena and every retired value buffer are retained in an internal
+/// [`Workspace`], so a shape-stable step allocates nothing in steady state.
 ///
 /// Elementwise binary operations broadcast `1×1` scalars, `1×n` row vectors
 /// and `m×1` column vectors against `m×n` matrices.
@@ -126,6 +182,7 @@ fn bw_err(op: &'static str) -> impl Fn(pnc_linalg::LinalgError) -> AutodiffError
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    pool: Workspace,
 }
 
 /// Broadcast-compatible result shape, if any.
@@ -151,7 +208,72 @@ fn broadcast_shape(a: (usize, usize), b: (usize, usize)) -> Option<(usize, usize
     Some((rows, cols))
 }
 
-/// Evaluates `f` elementwise over broadcast operands.
+/// Evaluates `f` elementwise over broadcast operands into a preallocated
+/// `out` of the broadcast shape (fully overwritten). Same fill order — and
+/// therefore the same bits — as the old allocating `Matrix::from_fn` path:
+/// the shape-specialized branches below only replace bounds-checked `(i, j)`
+/// indexing with slice iteration, applying `f` to the identical operand pair
+/// at the identical row-major position.
+fn broadcast_fill(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64, out: &mut Matrix) {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let (rows, cols) = out.shape();
+    let o = out.as_mut_slice();
+    if (ar, ac) == (rows, cols) && (br, bc) == (rows, cols) {
+        // Equal shapes: one flat pass.
+        for ((o, &av), &bv) in o.iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+            *o = f(av, bv);
+        }
+    } else if (ar, ac) == (rows, cols) && (br, bc) == (1, 1) {
+        // Scalar right operand.
+        let bv = b.as_slice()[0];
+        for (o, &av) in o.iter_mut().zip(a.as_slice()) {
+            *o = f(av, bv);
+        }
+    } else if (br, bc) == (rows, cols) && (ar, ac) == (1, 1) {
+        // Scalar left operand.
+        let av = a.as_slice()[0];
+        for (o, &bv) in o.iter_mut().zip(b.as_slice()) {
+            *o = f(av, bv);
+        }
+    } else if (ar, ac) == (rows, cols) && (br, bc) == (1, cols) {
+        // Row-vector right operand, repeated down the rows.
+        let b_row = b.as_slice();
+        for (out_row, a_row) in o
+            .chunks_exact_mut(cols)
+            .zip(a.as_slice().chunks_exact(cols))
+        {
+            for ((o, &av), &bv) in out_row.iter_mut().zip(a_row).zip(b_row) {
+                *o = f(av, bv);
+            }
+        }
+    } else if (ar, ac) == (rows, cols) && (br, bc) == (rows, 1) {
+        // Column-vector right operand, one value per row.
+        for ((out_row, a_row), &bv) in o
+            .chunks_exact_mut(cols)
+            .zip(a.as_slice().chunks_exact(cols))
+            .zip(b.as_slice())
+        {
+            for (o, &av) in out_row.iter_mut().zip(a_row) {
+                *o = f(av, bv);
+            }
+        }
+    } else {
+        // Remaining broadcast combinations (left-operand vectors, outer
+        // products): the general indexed walk.
+        for i in 0..rows {
+            for j in 0..cols {
+                let av = a[(if ar == 1 { 0 } else { i }, if ac == 1 { 0 } else { j })];
+                let bv = b[(if br == 1 { 0 } else { i }, if bc == 1 { 0 } else { j })];
+                o[i * cols + j] = f(av, bv);
+            }
+        }
+    }
+}
+
+/// Allocating broadcast combine, kept verbatim from the pre-overhaul
+/// backward for [`Graph::backward_reference`] — per-element indexed access
+/// included, so reference timings stay representative of the old path.
 fn broadcast_zip(
     op: &'static str,
     a: &Matrix,
@@ -172,7 +294,9 @@ fn broadcast_zip(
     }))
 }
 
-/// Sums `grad` down to `shape` over any broadcast dimensions.
+/// Allocating broadcast reduction, kept verbatim from the pre-overhaul
+/// backward for [`Graph::backward_reference`]: sums `grad` down to a fresh
+/// matrix of `shape` through per-element indexed access.
 fn reduce_to(grad: &Matrix, shape: (usize, usize)) -> Matrix {
     let (gr, gc) = grad.shape();
     let (tr, tc) = shape;
@@ -190,10 +314,91 @@ fn reduce_to(grad: &Matrix, shape: (usize, usize)) -> Matrix {
     out
 }
 
+/// Sums `grad` down into a zeroed `out` over any broadcast dimensions,
+/// visiting `grad` row-major exactly like the old allocating `reduce_to` —
+/// the specialized branches keep that element order and only drop the
+/// per-element bounds checks.
+fn reduce_into(grad: &Matrix, out: &mut Matrix) {
+    let (gr, gc) = grad.shape();
+    let (tr, tc) = out.shape();
+    if (tr, tc) == (1, 1) {
+        // Full reduction: flat pass in row-major (= visitation) order.
+        let mut acc = out.as_slice()[0];
+        for &x in grad.as_slice() {
+            acc += x;
+        }
+        out.as_mut_slice()[0] = acc;
+    } else if tr == 1 && tc == gc {
+        // Sum down the rows into a row vector.
+        let o = out.as_mut_slice();
+        for g_row in grad.as_slice().chunks_exact(gc) {
+            for (o, &x) in o.iter_mut().zip(g_row) {
+                *o += x;
+            }
+        }
+    } else if tc == 1 && tr == gr {
+        // Sum across the columns into a column vector.
+        for (o, g_row) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice().chunks_exact(gc))
+        {
+            let mut acc = *o;
+            for &x in g_row {
+                acc += x;
+            }
+            *o = acc;
+        }
+    } else {
+        for i in 0..gr {
+            for j in 0..gc {
+                let ti = if tr == 1 { 0 } else { i };
+                let tj = if tc == 1 { 0 } else { j };
+                out[(ti, tj)] += grad[(i, j)];
+            }
+        }
+    }
+}
+
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// Clears the tape for the next step while retaining capacity: the node
+    /// arena keeps its allocation and every node's value buffer (including
+    /// fused-loss gradient templates) is retired into the internal pool, so
+    /// rebuilding a same-shaped tape allocates nothing.
+    ///
+    /// All previously issued [`Var`] handles are invalidated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnc_autodiff::Graph;
+    /// use pnc_linalg::Matrix;
+    ///
+    /// # fn main() -> Result<(), pnc_autodiff::AutodiffError> {
+    /// let mut g = Graph::new();
+    /// for step in 0..3 {
+    ///     g.reset();
+    ///     let x = g.leaf(Matrix::filled(1, 2, step as f64));
+    ///     let y = g.tanh(x);
+    ///     let loss = g.sum(y);
+    ///     let _grads = g.backward(loss)?;
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            let Node { value, op } = node;
+            if let Op::FusedLoss { grad, .. } = op {
+                self.pool.give(grad);
+            }
+            self.pool.give(value);
+        }
     }
 
     /// Number of nodes on the tape.
@@ -244,7 +449,19 @@ impl Graph {
         f: impl Fn(f64, f64) -> f64,
         op: Op,
     ) -> Result<Var, AutodiffError> {
-        let value = broadcast_zip(op_name, &self.nodes[a.0].value, &self.nodes[b.0].value, f)?;
+        let shape =
+            broadcast_shape(self.shape(a), self.shape(b)).ok_or(AutodiffError::ShapeMismatch {
+                op: op_name,
+                lhs: self.shape(a),
+                rhs: self.shape(b),
+            })?;
+        let mut value = self.pool.take(shape.0, shape.1);
+        broadcast_fill(
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            f,
+            &mut value,
+        );
         Ok(self.push(value, op))
     }
 
@@ -295,19 +512,37 @@ impl Graph {
     /// Returns [`AutodiffError::ShapeMismatch`] if the inner dimensions
     /// differ.
     pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var, AutodiffError> {
-        let value = self.nodes[a.0]
-            .value
-            .matmul(&self.nodes[b.0].value)
-            .map_err(|_| AutodiffError::ShapeMismatch {
+        let (m, ka) = self.shape(a);
+        let (kb, n) = self.shape(b);
+        if ka != kb {
+            return Err(AutodiffError::ShapeMismatch {
                 op: "matmul",
                 lhs: self.shape(a),
                 rhs: self.shape(b),
+            });
+        }
+        let mut value = self.pool.take(m, n);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut value)
+            .map_err(|_| AutodiffError::ShapeMismatch {
+                op: "matmul",
+                lhs: (m, ka),
+                rhs: (kb, n),
             })?;
         Ok(self.push(value, Op::MatMul(a, b)))
     }
 
     fn unary(&mut self, a: Var, f: impl Fn(f64) -> f64, op: Op) -> Var {
-        let value = self.nodes[a.0].value.map(f);
+        let (r, c) = self.shape(a);
+        let mut value = self.pool.take(r, c);
+        for (o, &x) in value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.nodes[a.0].value.as_slice())
+        {
+            *o = f(x);
+        }
         self.push(value, op)
     }
 
@@ -364,29 +599,39 @@ impl Graph {
     /// Sum of all elements, as a `1×1` node.
     pub fn sum(&mut self, a: Var) -> Var {
         let s = self.nodes[a.0].value.sum();
-        self.push(Matrix::filled(1, 1, s), Op::Sum(a))
+        let mut out = self.pool.take(1, 1);
+        out[(0, 0)] = s;
+        self.push(out, Op::Sum(a))
     }
 
     /// Mean of all elements, as a `1×1` node.
     pub fn mean(&mut self, a: Var) -> Var {
         let v = &self.nodes[a.0].value;
         let m = v.sum() / v.len() as f64;
-        self.push(Matrix::filled(1, 1, m), Op::Mean(a))
+        let mut out = self.pool.take(1, 1);
+        out[(0, 0)] = m;
+        self.push(out, Op::Mean(a))
     }
 
     /// Sums over rows: `m×n → 1×n`.
     pub fn sum_rows(&mut self, a: Var) -> Var {
+        let (rows, cols) = self.shape(a);
+        let mut out = self.pool.take(1, cols);
         let v = &self.nodes[a.0].value;
-        let (rows, cols) = v.shape();
-        let out = Matrix::from_fn(1, cols, |_, j| (0..rows).map(|i| v[(i, j)]).sum());
+        for j in 0..cols {
+            out[(0, j)] = (0..rows).map(|i| v[(i, j)]).sum();
+        }
         self.push(out, Op::SumRows(a))
     }
 
     /// Sums over columns: `m×n → m×1`.
     pub fn sum_cols(&mut self, a: Var) -> Var {
+        let (rows, cols) = self.shape(a);
+        let mut out = self.pool.take(rows, 1);
         let v = &self.nodes[a.0].value;
-        let (rows, cols) = v.shape();
-        let out = Matrix::from_fn(rows, 1, |i, _| (0..cols).map(|j| v[(i, j)]).sum());
+        for i in 0..rows {
+            out[(i, 0)] = (0..cols).map(|j| v[(i, j)]).sum();
+        }
         self.push(out, Op::SumCols(a))
     }
 
@@ -406,7 +651,15 @@ impl Graph {
                 rhs: (start, len),
             });
         }
-        let out = Matrix::from_fn(rows, len, |i, j| v[(i, start + j)]);
+        let mut out = self.pool.take(rows, len);
+        let v = &self.nodes[a.0].value;
+        for (out_row, v_row) in out
+            .as_mut_slice()
+            .chunks_exact_mut(len)
+            .zip(v.as_slice().chunks_exact(cols))
+        {
+            out_row.copy_from_slice(&v_row[start..start + len]);
+        }
         Ok(self.push(out, Op::SliceCols { parent: a, start }))
     }
 
@@ -435,15 +688,17 @@ impl Graph {
             }
             total_cols += c;
         }
-        let mut out = Matrix::zeros(rows, total_cols);
+        let mut out = self.pool.take(rows, total_cols);
         let mut offset = 0;
         for p in parts {
             let v = &self.nodes[p.0].value;
             let (_, c) = v.shape();
-            for i in 0..rows {
-                for j in 0..c {
-                    out[(i, offset + j)] = v[(i, j)];
-                }
+            for (out_row, v_row) in out
+                .as_mut_slice()
+                .chunks_exact_mut(total_cols)
+                .zip(v.as_slice().chunks_exact(c))
+            {
+                out_row[offset..offset + c].copy_from_slice(v_row);
             }
             offset += c;
         }
@@ -492,8 +747,7 @@ impl Graph {
     /// Clamps elementwise to `[lo, hi]` with a straight-through (identity)
     /// backward pass, as used for the feasible-range projections of Fig. 5.
     pub fn clamp_ste(&mut self, a: Var, lo: f64, hi: f64) -> Var {
-        let projected = self.nodes[a.0].value.map(|x| x.clamp(lo, hi));
-        self.push(projected, Op::Ste(a))
+        self.unary(a, |x| x.clamp(lo, hi), Op::Ste(a))
     }
 
     /// Softmax cross-entropy over logit rows, with integer class targets.
@@ -508,28 +762,35 @@ impl Graph {
         scores: Var,
         targets: &[usize],
     ) -> Result<Var, AutodiffError> {
-        let v = &self.nodes[scores.0].value;
-        let (batch, classes) = v.shape();
+        let (batch, classes) = self.shape(scores);
         check_targets(batch, classes, targets)?;
 
-        let mut grad = Matrix::zeros(batch, classes);
+        let mut grad = self.pool.take(batch, classes);
         let mut loss = 0.0;
-        for i in 0..batch {
-            // Stable softmax.
-            let row_max = (0..classes)
-                .map(|j| v[(i, j)])
-                .fold(f64::NEG_INFINITY, f64::max);
-            let exps: Vec<f64> = (0..classes).map(|j| (v[(i, j)] - row_max).exp()).collect();
-            let denom: f64 = exps.iter().sum();
-            let y = targets[i];
-            loss += -(exps[y] / denom).ln();
-            for j in 0..classes {
-                let p = exps[j] / denom;
-                grad[(i, j)] = (p - if j == y { 1.0 } else { 0.0 }) / batch as f64;
+        {
+            let v = &self.nodes[scores.0].value;
+            let mut exps = vec![0.0; classes];
+            for i in 0..batch {
+                // Stable softmax.
+                let row_max = (0..classes)
+                    .map(|j| v[(i, j)])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                for (j, e) in exps.iter_mut().enumerate() {
+                    *e = (v[(i, j)] - row_max).exp();
+                }
+                let denom: f64 = exps.iter().sum();
+                let y = targets[i];
+                loss += -(exps[y] / denom).ln();
+                for j in 0..classes {
+                    let p = exps[j] / denom;
+                    grad[(i, j)] = (p - if j == y { 1.0 } else { 0.0 }) / batch as f64;
+                }
             }
         }
         loss /= batch as f64;
-        Ok(self.push(Matrix::filled(1, 1, loss), Op::FusedLoss { scores, grad }))
+        let mut out = self.pool.take(1, 1);
+        out[(0, 0)] = loss;
+        Ok(self.push(out, Op::FusedLoss { scores, grad }))
     }
 
     /// The pNN margin loss used throughout the printed-neuromorphic line of
@@ -547,34 +808,40 @@ impl Graph {
         targets: &[usize],
         margin: f64,
     ) -> Result<Var, AutodiffError> {
-        let v = &self.nodes[scores.0].value;
-        let (batch, classes) = v.shape();
+        let (batch, classes) = self.shape(scores);
         check_targets(batch, classes, targets)?;
 
-        let mut grad = Matrix::zeros(batch, classes);
+        // Pooled buffers arrive zeroed, so the sparse writes below match the
+        // old `Matrix::zeros` template exactly.
+        let mut grad = self.pool.take(batch, classes);
         let mut loss = 0.0;
-        for i in 0..batch {
-            let y = targets[i];
-            let (mut best_j, mut best) = (usize::MAX, f64::NEG_INFINITY);
-            for j in 0..classes {
-                if j != y && v[(i, j)] > best {
-                    best = v[(i, j)];
-                    best_j = j;
+        {
+            let v = &self.nodes[scores.0].value;
+            for i in 0..batch {
+                let y = targets[i];
+                let (mut best_j, mut best) = (usize::MAX, f64::NEG_INFINITY);
+                for j in 0..classes {
+                    if j != y && v[(i, j)] > best {
+                        best = v[(i, j)];
+                        best_j = j;
+                    }
                 }
-            }
-            if best_j == usize::MAX {
-                // Single-class degenerate case: loss is zero.
-                continue;
-            }
-            let violation = margin - v[(i, y)] + best;
-            if violation > 0.0 {
-                loss += violation;
-                grad[(i, y)] -= 1.0 / batch as f64;
-                grad[(i, best_j)] += 1.0 / batch as f64;
+                if best_j == usize::MAX {
+                    // Single-class degenerate case: loss is zero.
+                    continue;
+                }
+                let violation = margin - v[(i, y)] + best;
+                if violation > 0.0 {
+                    loss += violation;
+                    grad[(i, y)] -= 1.0 / batch as f64;
+                    grad[(i, best_j)] += 1.0 / batch as f64;
+                }
             }
         }
         loss /= batch as f64;
-        Ok(self.push(Matrix::filled(1, 1, loss), Op::FusedLoss { scores, grad }))
+        let mut out = self.pool.take(1, 1);
+        out[(0, 0)] = loss;
+        Ok(self.push(out, Op::FusedLoss { scores, grad }))
     }
 
     /// Renders the tape as a Graphviz `dot` digraph for debugging: one box
@@ -649,18 +916,39 @@ impl Graph {
 
     /// Runs reverse-mode accumulation from the scalar node `loss`.
     ///
+    /// Allocates a fresh [`GradStore`]; hot loops should hold a store across
+    /// steps and call [`Graph::backward_into`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`AutodiffError::NonScalarLoss`] if `loss` is not `1×1`.
     pub fn backward(&self, loss: Var) -> Result<GradStore, AutodiffError> {
+        let mut store = GradStore::new();
+        self.backward_into(loss, &mut store)?;
+        Ok(store)
+    }
+
+    /// Runs reverse-mode accumulation from the scalar node `loss` with the
+    /// pre-overhaul allocating implementation: a cloned gradient per visited
+    /// node, a freshly allocated matrix per op rule, and materialized
+    /// transposes with the naive [`Matrix::matmul_reference`] kernel.
+    ///
+    /// Kept — like [`Matrix::matmul_reference`] — as the independent
+    /// reference the equivalence tests check [`Graph::backward_into`]
+    /// against bitwise, and as the honest baseline the `kernels` bench
+    /// times the buffer-reuse pass over. Not for hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::NonScalarLoss`] if `loss` is not `1×1`.
+    pub fn backward_reference(&self, loss: Var) -> Result<GradStore, AutodiffError> {
         if self.shape(loss) != (1, 1) {
             return Err(AutodiffError::NonScalarLoss {
                 shape: self.shape(loss),
             });
         }
-        let mut store = GradStore {
-            grads: vec![None; self.nodes.len()],
-        };
+        let mut store = GradStore::new();
+        store.grads.resize(self.nodes.len(), None);
         store.grads[loss.0] = Some(Matrix::filled(1, 1, 1.0));
 
         for id in (0..=loss.0).rev() {
@@ -671,18 +959,18 @@ impl Graph {
             match &node.op {
                 Op::Leaf | Op::Constant => {}
                 Op::Add(a, b) => {
-                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)))?;
-                    store.accumulate(*b, reduce_to(&grad, self.shape(*b)))?;
+                    store.accumulate_alloc(*a, reduce_to(&grad, self.shape(*a)))?;
+                    store.accumulate_alloc(*b, reduce_to(&grad, self.shape(*b)))?;
                 }
                 Op::Sub(a, b) => {
-                    store.accumulate(*a, reduce_to(&grad, self.shape(*a)))?;
-                    store.accumulate(*b, reduce_to(&grad.scale(-1.0), self.shape(*b)))?;
+                    store.accumulate_alloc(*a, reduce_to(&grad, self.shape(*a)))?;
+                    store.accumulate_alloc(*b, reduce_to(&grad.scale(-1.0), self.shape(*b)))?;
                 }
                 Op::Mul(a, b) => {
                     let ga = broadcast_zip("mul_bw", &grad, self.value(*b), |g, y| g * y)?;
                     let gb = broadcast_zip("mul_bw", &grad, self.value(*a), |g, x| g * x)?;
-                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)))?;
-                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)))?;
+                    store.accumulate_alloc(*a, reduce_to(&ga, self.shape(*a)))?;
+                    store.accumulate_alloc(*b, reduce_to(&gb, self.shape(*b)))?;
                 }
                 Op::Div(a, b) => {
                     let ga = broadcast_zip("div_bw", &grad, self.value(*b), |g, y| g / y)?;
@@ -692,52 +980,52 @@ impl Graph {
                             -x / (y * y)
                         })?;
                     let gb = broadcast_zip("div_bw", &grad, &a_over_b2, |g, q| g * q)?;
-                    store.accumulate(*a, reduce_to(&ga, self.shape(*a)))?;
-                    store.accumulate(*b, reduce_to(&gb, self.shape(*b)))?;
+                    store.accumulate_alloc(*a, reduce_to(&ga, self.shape(*a)))?;
+                    store.accumulate_alloc(*b, reduce_to(&gb, self.shape(*b)))?;
                 }
                 Op::MatMul(a, b) => {
                     let ga = grad
-                        .matmul(&self.value(*b).transpose())
+                        .matmul_reference(&self.value(*b).transpose())
                         .map_err(bw_err("matmul_bw"))?;
                     let gb = self
                         .value(*a)
                         .transpose()
-                        .matmul(&grad)
+                        .matmul_reference(&grad)
                         .map_err(bw_err("matmul_bw"))?;
-                    store.accumulate(*a, ga)?;
-                    store.accumulate(*b, gb)?;
+                    store.accumulate_alloc(*a, ga)?;
+                    store.accumulate_alloc(*b, gb)?;
                 }
-                Op::Neg(a) => store.accumulate(*a, grad.scale(-1.0))?,
+                Op::Neg(a) => store.accumulate_alloc(*a, grad.scale(-1.0))?,
                 Op::Abs(a) => {
                     let x = self.value(*a);
                     let g = grad
                         .zip_with(x, "abs_bw", |g, x| g * sign(x))
                         .map_err(bw_err("elementwise_bw"))?;
-                    store.accumulate(*a, g)?;
+                    store.accumulate_alloc(*a, g)?;
                 }
                 Op::Tanh(a) => {
                     let g = grad
                         .zip_with(&node.value, "tanh_bw", |g, t| g * (1.0 - t * t))
                         .map_err(bw_err("elementwise_bw"))?;
-                    store.accumulate(*a, g)?;
+                    store.accumulate_alloc(*a, g)?;
                 }
                 Op::Sigmoid(a) => {
                     let g = grad
                         .zip_with(&node.value, "sigmoid_bw", |g, s| g * s * (1.0 - s))
                         .map_err(bw_err("elementwise_bw"))?;
-                    store.accumulate(*a, g)?;
+                    store.accumulate_alloc(*a, g)?;
                 }
                 Op::Exp(a) => {
                     let g = grad
                         .zip_with(&node.value, "exp_bw", |g, e| g * e)
                         .map_err(bw_err("elementwise_bw"))?;
-                    store.accumulate(*a, g)?;
+                    store.accumulate_alloc(*a, g)?;
                 }
                 Op::Ln(a) => {
                     let g = grad
                         .zip_with(self.value(*a), "ln_bw", |g, x| g / x)
                         .map_err(bw_err("elementwise_bw"))?;
-                    store.accumulate(*a, g)?;
+                    store.accumulate_alloc(*a, g)?;
                 }
                 Op::Relu(a) => {
                     let g = grad
@@ -747,33 +1035,36 @@ impl Graph {
                             |g, x| if x > 0.0 { g } else { 0.0 },
                         )
                         .map_err(bw_err("elementwise_bw"))?;
-                    store.accumulate(*a, g)?;
+                    store.accumulate_alloc(*a, g)?;
                 }
-                Op::Scale(a, s) => store.accumulate(*a, grad.scale(*s))?,
-                Op::AddScalar(a) => store.accumulate(*a, grad)?,
+                Op::Scale(a, s) => store.accumulate_alloc(*a, grad.scale(*s))?,
+                Op::AddScalar(a) => store.accumulate_alloc(*a, grad)?,
                 Op::Powi(a, k) => {
                     let g = grad
                         .zip_with(self.value(*a), "powi_bw", |g, x| {
                             g * *k as f64 * x.powi(k - 1)
                         })
                         .map_err(bw_err("elementwise_bw"))?;
-                    store.accumulate(*a, g)?;
+                    store.accumulate_alloc(*a, g)?;
                 }
                 Op::Sum(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)]))?;
+                    store.accumulate_alloc(*a, Matrix::filled(r, c, grad[(0, 0)]))?;
                 }
                 Op::Mean(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::filled(r, c, grad[(0, 0)] / (r * c) as f64))?;
+                    store.accumulate_alloc(
+                        *a,
+                        Matrix::filled(r, c, grad[(0, 0)] / (r * c) as f64),
+                    )?;
                 }
                 Op::SumRows(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::from_fn(r, c, |_, j| grad[(0, j)]))?;
+                    store.accumulate_alloc(*a, Matrix::from_fn(r, c, |_, j| grad[(0, j)]))?;
                 }
                 Op::SumCols(a) => {
                     let (r, c) = self.shape(*a);
-                    store.accumulate(*a, Matrix::from_fn(r, c, |i, _| grad[(i, 0)]))?;
+                    store.accumulate_alloc(*a, Matrix::from_fn(r, c, |i, _| grad[(i, 0)]))?;
                 }
                 Op::SliceCols { parent, start } => {
                     let (r, c) = self.shape(*parent);
@@ -784,27 +1075,298 @@ impl Graph {
                             g[(i, start + j)] = grad[(i, j)];
                         }
                     }
-                    store.accumulate(*parent, g)?;
+                    store.accumulate_alloc(*parent, g)?;
                 }
                 Op::ConcatCols(parts) => {
                     let mut offset = 0;
                     for p in parts {
                         let (r, c) = self.shape(*p);
                         let g = Matrix::from_fn(r, c, |i, j| grad[(i, offset + j)]);
-                        store.accumulate(*p, g)?;
+                        store.accumulate_alloc(*p, g)?;
                         offset += c;
                     }
                 }
-                Op::Ste(a) => store.accumulate(*a, grad)?,
+                Op::Ste(a) => store.accumulate_alloc(*a, grad)?,
                 Op::FusedLoss {
                     scores,
                     grad: template,
                 } => {
-                    store.accumulate(*scores, template.scale(grad[(0, 0)]))?;
+                    store.accumulate_alloc(*scores, template.scale(grad[(0, 0)]))?;
                 }
             }
         }
         Ok(store)
+    }
+
+    /// Runs reverse-mode accumulation from the scalar node `loss`, writing
+    /// into the preallocated gradient buffers of `store`.
+    ///
+    /// The store is cleared first (its buffers are retained), gradients are
+    /// accumulated in place, and every intermediate lives in the store's
+    /// buffer pool — after a first warm-up pass, a shape-stable tape runs
+    /// backward without touching the allocator. Results are bit-identical to
+    /// the allocating [`Graph::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutodiffError::NonScalarLoss`] if `loss` is not `1×1`.
+    pub fn backward_into(&self, loss: Var, store: &mut GradStore) -> Result<(), AutodiffError> {
+        if self.shape(loss) != (1, 1) {
+            return Err(AutodiffError::NonScalarLoss {
+                shape: self.shape(loss),
+            });
+        }
+        store.reset_for(self.nodes.len());
+        let mut seed = store.pool.take(1, 1);
+        seed[(0, 0)] = 1.0;
+        store.grads[loss.0] = Some(seed);
+
+        for id in (0..=loss.0).rev() {
+            // Take the node's gradient out of the arena for the duration of
+            // the propagation (parents always have smaller indices, so the
+            // slot cannot be touched), then put it back — no per-node clone.
+            let Some(grad) = store.grads[id].take() else {
+                continue;
+            };
+            let node = &self.nodes[id];
+            match &node.op {
+                Op::Leaf | Op::Constant => {}
+                Op::Add(a, b) => {
+                    self.flow(store, *a, &grad)?;
+                    self.flow(store, *b, &grad)?;
+                }
+                Op::Sub(a, b) => {
+                    self.flow(store, *a, &grad)?;
+                    self.flow_scaled(store, *b, &grad, -1.0)?;
+                }
+                Op::Mul(a, b) => {
+                    self.flow_zip(store, *a, &grad, self.value(*b), |g, y| g * y)?;
+                    self.flow_zip(store, *b, &grad, self.value(*a), |g, x| g * x)?;
+                }
+                Op::Div(a, b) => {
+                    self.flow_zip(store, *a, &grad, self.value(*b), |g, y| g / y)?;
+                    // g_b = −g·a/b²; fold a and b in two broadcast passes.
+                    let (qr, qc) = broadcast_shape(self.shape(*a), self.shape(*b)).ok_or(
+                        AutodiffError::ShapeMismatch {
+                            op: "div_bw",
+                            lhs: self.shape(*a),
+                            rhs: self.shape(*b),
+                        },
+                    )?;
+                    let mut a_over_b2 = store.pool.take(qr, qc);
+                    broadcast_fill(
+                        self.value(*a),
+                        self.value(*b),
+                        |x, y| -x / (y * y),
+                        &mut a_over_b2,
+                    );
+                    self.flow_zip(store, *b, &grad, &a_over_b2, |g, q| g * q)?;
+                    store.pool.give(a_over_b2);
+                }
+                Op::MatMul(a, b) => {
+                    // dL/dA = grad · Bᵀ and dL/dB = Aᵀ · grad, via the
+                    // transpose-free kernels into pooled buffers.
+                    let (ar, ac) = self.shape(*a);
+                    let mut ga = store.pool.take(ar, ac);
+                    grad.matmul_nt_into(self.value(*b), &mut ga)
+                        .map_err(bw_err("matmul_bw"))?;
+                    store.accumulate_owned(*a, ga)?;
+                    let (br, bc) = self.shape(*b);
+                    let mut gb = store.pool.take(br, bc);
+                    self.value(*a)
+                        .matmul_tn_into(&grad, &mut gb)
+                        .map_err(bw_err("matmul_bw"))?;
+                    store.accumulate_owned(*b, gb)?;
+                }
+                Op::Neg(a) => self.flow_scaled(store, *a, &grad, -1.0)?,
+                Op::Abs(a) => {
+                    self.elementwise_bw(store, *a, &grad, self.value(*a), |g, x| g * sign(x))?;
+                }
+                Op::Tanh(a) => {
+                    self.elementwise_bw(store, *a, &grad, &node.value, |g, t| g * (1.0 - t * t))?;
+                }
+                Op::Sigmoid(a) => {
+                    self.elementwise_bw(store, *a, &grad, &node.value, |g, s| g * s * (1.0 - s))?;
+                }
+                Op::Exp(a) => {
+                    self.elementwise_bw(store, *a, &grad, &node.value, |g, e| g * e)?;
+                }
+                Op::Ln(a) => {
+                    self.elementwise_bw(store, *a, &grad, self.value(*a), |g, x| g / x)?;
+                }
+                Op::Relu(a) => {
+                    self.elementwise_bw(store, *a, &grad, self.value(*a), |g, x| {
+                        if x > 0.0 {
+                            g
+                        } else {
+                            0.0
+                        }
+                    })?;
+                }
+                Op::Scale(a, s) => self.flow_scaled(store, *a, &grad, *s)?,
+                Op::AddScalar(a) => store.accumulate_ref(*a, &grad)?,
+                Op::Powi(a, k) => {
+                    self.elementwise_bw(store, *a, &grad, self.value(*a), |g, x| {
+                        g * *k as f64 * x.powi(k - 1)
+                    })?;
+                }
+                Op::Sum(a) => {
+                    let (r, c) = self.shape(*a);
+                    let mut g = store.pool.take(r, c);
+                    g.as_mut_slice().fill(grad[(0, 0)]);
+                    store.accumulate_owned(*a, g)?;
+                }
+                Op::Mean(a) => {
+                    let (r, c) = self.shape(*a);
+                    let mut g = store.pool.take(r, c);
+                    g.as_mut_slice().fill(grad[(0, 0)] / (r * c) as f64);
+                    store.accumulate_owned(*a, g)?;
+                }
+                Op::SumRows(a) => {
+                    let (r, c) = self.shape(*a);
+                    let mut g = store.pool.take(r, c);
+                    for g_row in g.as_mut_slice().chunks_exact_mut(c) {
+                        g_row.copy_from_slice(grad.as_slice());
+                    }
+                    store.accumulate_owned(*a, g)?;
+                }
+                Op::SumCols(a) => {
+                    let (r, c) = self.shape(*a);
+                    let mut g = store.pool.take(r, c);
+                    for (g_row, &gv) in g.as_mut_slice().chunks_exact_mut(c).zip(grad.as_slice()) {
+                        g_row.fill(gv);
+                    }
+                    store.accumulate_owned(*a, g)?;
+                }
+                Op::SliceCols { parent, start } => {
+                    let (r, c) = self.shape(*parent);
+                    let (_, w) = node.value.shape();
+                    // Pooled buffers arrive zeroed, matching Matrix::zeros.
+                    let mut g = store.pool.take(r, c);
+                    for (g_row, grad_row) in g
+                        .as_mut_slice()
+                        .chunks_exact_mut(c)
+                        .zip(grad.as_slice().chunks_exact(w))
+                    {
+                        g_row[*start..start + w].copy_from_slice(grad_row);
+                    }
+                    store.accumulate_owned(*parent, g)?;
+                }
+                Op::ConcatCols(parts) => {
+                    let total = node.value.cols();
+                    let mut offset = 0;
+                    for p in parts {
+                        let (r, c) = self.shape(*p);
+                        let mut g = store.pool.take(r, c);
+                        for (g_row, grad_row) in g
+                            .as_mut_slice()
+                            .chunks_exact_mut(c)
+                            .zip(grad.as_slice().chunks_exact(total))
+                        {
+                            g_row.copy_from_slice(&grad_row[offset..offset + c]);
+                        }
+                        store.accumulate_owned(*p, g)?;
+                        offset += c;
+                    }
+                }
+                Op::Ste(a) => store.accumulate_ref(*a, &grad)?,
+                Op::FusedLoss {
+                    scores,
+                    grad: template,
+                } => {
+                    self.flow_scaled(store, *scores, template, grad[(0, 0)])?;
+                }
+            }
+            store.grads[id] = Some(grad);
+        }
+        Ok(())
+    }
+
+    /// Propagates `grad` unchanged to `v`, summing over broadcast dimensions
+    /// when the shapes differ (same two-step order as the old `reduce_to` +
+    /// accumulate path, so the bits match).
+    fn flow(&self, store: &mut GradStore, v: Var, grad: &Matrix) -> Result<(), AutodiffError> {
+        let target = self.shape(v);
+        if grad.shape() == target {
+            store.accumulate_ref(v, grad)
+        } else {
+            let mut red = store.pool.take(target.0, target.1);
+            reduce_into(grad, &mut red);
+            store.accumulate_owned(v, red)
+        }
+    }
+
+    /// Propagates `grad * s` to `v` (with broadcast reduction), matching the
+    /// old `grad.scale(s)` + `reduce_to` + accumulate path bit for bit.
+    fn flow_scaled(
+        &self,
+        store: &mut GradStore,
+        v: Var,
+        grad: &Matrix,
+        s: f64,
+    ) -> Result<(), AutodiffError> {
+        let (gr, gc) = grad.shape();
+        let mut scaled = store.pool.take(gr, gc);
+        for (o, &x) in scaled.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *o = x * s;
+        }
+        let target = self.shape(v);
+        if scaled.shape() == target {
+            store.accumulate_owned(v, scaled)
+        } else {
+            let mut red = store.pool.take(target.0, target.1);
+            reduce_into(&scaled, &mut red);
+            store.pool.give(scaled);
+            store.accumulate_owned(v, red)
+        }
+    }
+
+    /// Propagates a broadcast-zip of `grad` and `other` to `v` (with
+    /// broadcast reduction), matching the old `broadcast_zip` + `reduce_to`
+    /// + accumulate path bit for bit.
+    fn flow_zip(
+        &self,
+        store: &mut GradStore,
+        v: Var,
+        grad: &Matrix,
+        other: &Matrix,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<(), AutodiffError> {
+        let shape =
+            broadcast_shape(grad.shape(), other.shape()).ok_or(AutodiffError::ShapeMismatch {
+                op: "zip_bw",
+                lhs: grad.shape(),
+                rhs: other.shape(),
+            })?;
+        let mut g = store.pool.take(shape.0, shape.1);
+        broadcast_fill(grad, other, f, &mut g);
+        let target = self.shape(v);
+        if g.shape() == target {
+            store.accumulate_owned(v, g)
+        } else {
+            let mut red = store.pool.take(target.0, target.1);
+            reduce_into(&g, &mut red);
+            store.pool.give(g);
+            store.accumulate_owned(v, red)
+        }
+    }
+
+    /// Propagates an equal-shaped elementwise gradient `f(grad, x)` to `v`,
+    /// matching the old `grad.zip_with(x, ..)` + accumulate path bit for
+    /// bit.
+    fn elementwise_bw(
+        &self,
+        store: &mut GradStore,
+        v: Var,
+        grad: &Matrix,
+        x: &Matrix,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<(), AutodiffError> {
+        let (r, c) = grad.shape();
+        let mut g = store.pool.take(r, c);
+        grad.zip_with_into(x, "elementwise_bw", &f, &mut g)
+            .map_err(bw_err("elementwise_bw"))?;
+        store.accumulate_owned(v, g)
     }
 }
 
@@ -1147,5 +1709,87 @@ mod tests {
         // Constants receive gradients (harmless); leaves are what optimizers
         // read.
         assert_eq!(grads.get(c).unwrap()[(0, 0)], 2.0);
+    }
+
+    /// Builds a tape exercising every op family (matmul, broadcasts,
+    /// elementwise, reductions, slicing, STE, fused loss) and returns the
+    /// loss node plus the two leaves.
+    fn build_mixed_tape(g: &mut Graph, seed: f64) -> (Var, Var, Var) {
+        let w = g.leaf(m(&[&[0.3 + seed, -0.7], &[1.1, 0.4 - seed]]));
+        let x = g.leaf(m(&[&[1.0, 2.0], &[-0.5, 0.25 + seed], &[3.0, -1.5]]));
+        let bias = g.constant(m(&[&[0.1, -0.2]]));
+        let z = g.matmul(x, w).unwrap();
+        let z = g.add(z, bias).unwrap();
+        let t = g.tanh(z);
+        let s = g.sigmoid(z);
+        let mix = g.mul(t, s).unwrap();
+        let denom = g.add_scalar(s, 2.0);
+        let ratio = g.div(mix, denom).unwrap();
+        let col = g.slice_cols(ratio, 0, 1).unwrap();
+        let rest = g.slice_cols(ratio, 1, 1).unwrap();
+        let glued = g.concat_cols(&[rest, col]).unwrap();
+        let proj = g.clamp_ste(glued, -0.8, 0.8);
+        let powed = g.powi(proj, 2);
+        let ab = g.abs(mix);
+        let expd = g.exp(col);
+        let lnterm = g.ln(denom);
+        let relud = g.relu(z);
+        let sum1 = g.add(powed, ab).unwrap();
+        let rows = g.sum_rows(sum1);
+        let cols = g.sum_cols(expd);
+        let rsum = g.sum(rows);
+        let csum = g.sum(cols);
+        let lmean = g.mean(lnterm);
+        let rmean = g.mean(relud);
+        let ce = g.cross_entropy_logits(z, &[0, 1, 0]).unwrap();
+        let ml = g.margin_loss(z, &[1, 0, 1], 0.25).unwrap();
+        let mut loss = g.add(rsum, csum).unwrap();
+        loss = g.add(loss, lmean).unwrap();
+        loss = g.add(loss, rmean).unwrap();
+        loss = g.add(loss, ce).unwrap();
+        loss = g.add(loss, ml).unwrap();
+        let loss = g.scale(loss, 0.5);
+        (loss, w, x)
+    }
+
+    #[test]
+    fn backward_into_matches_backward_bitwise() {
+        let mut fresh = Graph::new();
+        let (loss_f, w_f, x_f) = build_mixed_tape(&mut fresh, 0.0);
+        let reference = fresh.backward_reference(loss_f).unwrap();
+
+        let mut g = Graph::new();
+        let (loss, w, x) = build_mixed_tape(&mut g, 0.0);
+        let mut store = GradStore::new();
+        g.backward_into(loss, &mut store).unwrap();
+        assert_eq!(store.get(w), reference.get(w_f));
+        assert_eq!(store.get(x), reference.get(x_f));
+        assert_eq!(store.get(loss), reference.get(loss_f));
+
+        // The convenience wrapper must agree with both.
+        let wrapped = g.backward(loss).unwrap();
+        assert_eq!(wrapped.get(w), reference.get(w_f));
+        assert_eq!(wrapped.get(x), reference.get(x_f));
+    }
+
+    #[test]
+    fn reset_reuse_cycles_stay_bit_identical() {
+        // One graph + one store reused across draws must reproduce the bits
+        // of a fresh graph + allocating backward for each draw.
+        let mut g = Graph::new();
+        let mut store = GradStore::new();
+        for cycle in 0..4 {
+            let seed = 0.05 * cycle as f64;
+            let mut fresh = Graph::new();
+            let (loss_f, w_f, x_f) = build_mixed_tape(&mut fresh, seed);
+            let reference = fresh.backward_reference(loss_f).unwrap();
+
+            g.reset();
+            let (loss, w, x) = build_mixed_tape(&mut g, seed);
+            assert_eq!(g.value(loss), fresh.value(loss_f));
+            g.backward_into(loss, &mut store).unwrap();
+            assert_eq!(store.get(w), reference.get(w_f));
+            assert_eq!(store.get(x), reference.get(x_f));
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! Thread-scaling measurement for the parallel substrate: variation-aware
 //! training epochs (Monte-Carlo loss) and DC sweep throughput at 1, 2, 4
-//! and all-machine threads, written to `BENCH_parallel.json` at the repo
-//! root.
+//! and all-physical-core threads, written to `BENCH_parallel.json` at the
+//! repo root. Counts above the physical cores (SMT siblings) are skipped:
+//! they oversubscribe the machine and measure scheduling, not scaling.
 //!
 //! Every measured configuration produces **bit-identical** numeric results
 //! (see the `*_identical_across_thread_counts` tests); this binary only
@@ -26,6 +27,9 @@ use std::time::Instant;
 struct ScalingPoint {
     /// Worker thread count the stage ran with.
     threads: usize,
+    /// Physical core count of the measuring machine, repeated on every row
+    /// so a single row is interpretable without the report header.
+    machine_threads: usize,
     /// Best-of-repetitions wall time, milliseconds.
     wall_ms: f64,
     /// `serial wall_ms / this wall_ms` (1.0 for the serial row).
@@ -54,8 +58,12 @@ struct SweepScaling {
 
 #[derive(Debug, Serialize)]
 struct Report {
-    /// `std::thread::available_parallelism` on the measuring machine.
+    /// Physical cores on the measuring machine (unique `(physical id,
+    /// core id)` pairs from `/proc/cpuinfo`; falls back to
+    /// `std::thread::available_parallelism` where that file is absent).
     machine_threads: usize,
+    /// `std::thread::available_parallelism` — counts SMT siblings too.
+    logical_threads: usize,
     /// Interpretation aid: speedup is bounded above by `machine_threads`.
     note: String,
     epoch: EpochScaling,
@@ -81,15 +89,54 @@ fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-fn thread_counts() -> Vec<usize> {
-    let machine = std::thread::available_parallelism()
+fn logical_threads() -> usize {
+    std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1);
-    let mut counts = vec![1, 2, 4];
-    if machine > 4 {
-        counts.push(machine);
+        .unwrap_or(1)
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`. SMT siblings share both ids, so hyperthreads collapse
+/// into one core. Falls back to [`logical_threads`] where the file is
+/// absent or unparsable (non-Linux, restricted containers).
+fn physical_cores() -> usize {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical_threads();
+    };
+    let mut cores = std::collections::HashSet::new();
+    let (mut package, mut core) = (None::<u64>, None::<u64>);
+    for line in info.lines().chain(std::iter::once("")) {
+        if line.trim().is_empty() {
+            if let (Some(p), Some(c)) = (package, core) {
+                cores.insert((p, c));
+            }
+            package = None;
+            core = None;
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => package = value.trim().parse().ok(),
+            "core id" => core = value.trim().parse().ok(),
+            _ => {}
+        }
     }
-    counts.retain(|&c| c <= machine.max(4));
+    if cores.is_empty() {
+        logical_threads()
+    } else {
+        cores.len()
+    }
+}
+
+/// Thread counts to measure: 1, 2, 4 and the full physical-core count,
+/// skipping anything above the physical cores — oversubscribed counts only
+/// measure scheduling overhead, not the substrate's scaling.
+fn thread_counts(machine: usize) -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, machine];
+    counts.retain(|&c| c <= machine);
+    counts.sort_unstable();
     counts.dedup();
     counts
 }
@@ -100,10 +147,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_mc = arg_value(&args, "--mc").unwrap_or(8).max(1);
     let epochs = arg_value(&args, "--epochs").unwrap_or(if quick { 3 } else { 8 });
     let reps = if quick { 2 } else { 3 };
-    let machine = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let counts = thread_counts();
+    let machine = physical_cores();
+    let logical = logical_threads();
+    let counts = thread_counts(machine);
+    eprintln!("machine: {machine} physical core(s), {logical} logical thread(s)");
 
     // --- fixture: a surrogate and a synthetic classification task --------
     eprintln!("building fixture surrogate ...");
@@ -160,6 +207,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("  {threads:>2} threads: {wall_ms:>9.1} ms");
         epoch_points.push(ScalingPoint {
             threads,
+            machine_threads: machine,
             wall_ms,
             speedup: 0.0,
         });
@@ -187,6 +235,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         points_per_s.push(throughput);
         sweep_results.push(ScalingPoint {
             threads,
+            machine_threads: machine,
             wall_ms,
             speedup: 0.0,
         });
@@ -198,10 +247,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = Report {
         machine_threads: machine,
+        logical_threads: logical,
         note: format!(
             "speedup is bounded by the {machine} physical core(s) of the measuring \
-             machine; thread counts above it only measure scheduling overhead. \
-             Numeric results are bit-identical at every thread count."
+             machine; oversubscribed thread counts are skipped because they only \
+             measure scheduling overhead. Numeric results are bit-identical at \
+             every thread count."
         ),
         epoch: EpochScaling {
             n_mc,

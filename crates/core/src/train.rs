@@ -3,12 +3,13 @@
 use crate::network::{LossKind, Pnn};
 use crate::variation::{NoiseSample, VariationModel};
 use crate::PnnError;
-use pnc_autodiff::{Adam, Graph, Optimizer};
+use pnc_autodiff::{Adam, GradStore, Graph, Optimizer};
 use pnc_linalg::{Matrix, ParallelConfig};
 use pnc_obs::{Counter, FieldValue, Histogram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::{Mutex, PoisonError};
 
 // Observability: training-loop effort and progress. Catalogued in
 // docs/METRICS.md.
@@ -185,19 +186,58 @@ pub struct TrainReport {
     pub val_losses: Vec<f64>,
 }
 
+/// A reusable per-draw recording context: one autodiff tape plus one
+/// gradient store, both of which retain their buffer pools across
+/// [`Graph::reset`] / [`Graph::backward_into`] cycles.
+#[derive(Debug, Default)]
+struct DrawContext {
+    graph: Graph,
+    store: GradStore,
+}
+
 /// Runs (variation-aware) gradient training of a [`Pnn`] with per-group
 /// Adam optimizers and early stopping, restoring the best-by-validation
 /// parameters afterwards — the circuit that "would be the one to be printed"
 /// (Sec. IV-C).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Trainer {
     config: TrainConfig,
+    /// Checkout pool of recording contexts reused across Monte-Carlo draws
+    /// and epochs, so epoch-steady-state training does not rebuild tapes
+    /// from scratch. At most one context per concurrently-running draw is
+    /// ever created (single-threaded training keeps exactly one).
+    scratch: Mutex<Vec<DrawContext>>,
+}
+
+impl Clone for Trainer {
+    fn clone(&self) -> Self {
+        // Scratch buffers are a per-instance cache, not state: a clone
+        // starts with an empty pool and refills it on first use.
+        Trainer::new(self.config)
+    }
 }
 
 impl Trainer {
     /// Creates a trainer.
     pub fn new(config: TrainConfig) -> Self {
-        Trainer { config }
+        Trainer {
+            config,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks a recording context out of the scratch pool (or makes a fresh
+    /// one the first time a worker needs it).
+    fn checkout(&self) -> DrawContext {
+        let mut pool = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a recording context — and the buffer pools it carries — for
+    /// reuse by later draws and epochs.
+    fn checkin(&self, ctx: DrawContext) {
+        let mut pool = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        pool.push(ctx);
     }
 
     /// The configuration.
@@ -235,11 +275,14 @@ impl Trainer {
     /// `backward` is false.
     ///
     /// Each draw records its forward pass (and, when requested, backward
-    /// pass) on its own private [`Graph`], so draws run independently on
-    /// worker threads under [`TrainConfig::parallel`]. Per-draw losses and
-    /// gradients come back in draw order and are reduced left-to-right
-    /// before the final `1/n` scaling — a fixed floating-point sequence, so
-    /// the result is bit-identical at every thread count.
+    /// pass) on a private [`Graph`] checked out of the trainer's scratch
+    /// pool, so draws run independently on worker threads under
+    /// [`TrainConfig::parallel`] while reusing tape and gradient buffers
+    /// across draws and epochs ([`Graph::reset`] retains capacity). Per-draw
+    /// losses and gradients come back in draw order and are reduced
+    /// left-to-right before the final `1/n` scaling — a fixed
+    /// floating-point sequence, so the result is bit-identical at every
+    /// thread count.
     ///
     /// # Errors
     ///
@@ -266,17 +309,20 @@ impl Trainer {
         let outcomes: Vec<DrawOutcome> = self.config.parallel.try_ordered_par_map(
             noise,
             |sample| -> Result<DrawOutcome, PnnError> {
-                let mut g = Graph::new();
-                let (scores, vars) = pnn.forward(&mut g, data.features, sample.as_ref())?;
-                let loss = pnn.loss(&mut g, scores, data.labels, self.config.loss)?;
+                let mut ctx = self.checkout();
+                ctx.graph.reset();
+                let g = &mut ctx.graph;
+                let (scores, vars) = pnn.forward(g, data.features, sample.as_ref())?;
+                let loss = pnn.loss(g, scores, data.labels, self.config.loss)?;
                 let loss_value = g.value(loss)[(0, 0)];
                 if !backward {
+                    self.checkin(ctx);
                     return Ok(DrawOutcome {
                         loss: loss_value,
                         grads: None,
                     });
                 }
-                let grads = g.backward(loss)?;
+                ctx.graph.backward_into(loss, &mut ctx.store)?;
                 // Missing leaf gradients (e.g. unused parameters) count
                 // as zero so every draw contributes same-shaped terms.
                 let theta_grads: Vec<Matrix> = vars
@@ -284,7 +330,7 @@ impl Trainer {
                     .iter()
                     .zip(&theta_shapes)
                     .map(|(v, &(r, c))| {
-                        grads
+                        ctx.store
                             .get(*v)
                             .cloned()
                             .unwrap_or_else(|| Matrix::zeros(r, c))
@@ -294,12 +340,13 @@ impl Trainer {
                     .circuit_ws
                     .iter()
                     .map(|v| {
-                        grads
+                        ctx.store
                             .get(*v)
                             .cloned()
                             .unwrap_or_else(|| Matrix::zeros(1, 7))
                     })
                     .collect();
+                self.checkin(ctx);
                 Ok(DrawOutcome {
                     loss: loss_value,
                     grads: Some((theta_grads, w_grads)),
@@ -335,14 +382,18 @@ impl Trainer {
         for outcome in &outcomes {
             let (draw_theta, draw_w) = outcome.grads.as_ref().ok_or_else(missing_grads)?;
             for (acc, g) in theta_grads.iter_mut().zip(draw_theta) {
-                *acc = acc.add(g).map_err(grad_sum_err)?;
+                acc.add_assign(g).map_err(grad_sum_err)?;
             }
             for (acc, g) in w_grads.iter_mut().zip(draw_w) {
-                *acc = acc.add(g).map_err(grad_sum_err)?;
+                acc.add_assign(g).map_err(grad_sum_err)?;
             }
         }
-        let theta_grads: Vec<Matrix> = theta_grads.iter().map(|m| m.scale(scale)).collect();
-        let w_grads: Vec<Matrix> = w_grads.iter().map(|m| m.scale(scale)).collect();
+        for m in &mut theta_grads {
+            m.scale_in_place(scale);
+        }
+        for m in &mut w_grads {
+            m.scale_in_place(scale);
+        }
         Ok((loss_value, Some((theta_grads, w_grads))))
     }
 

@@ -144,25 +144,28 @@ pub fn levenberg_marquardt(
     let mut converged = false;
     let mut iterations = 0;
     let mut lambda_escalations: u64 = 0;
+    // Hoisted scratch for the normal equations: the parameter count is fixed,
+    // so the n×n system, the negated gradient, and the step vector are
+    // allocated once and refilled every (re-damped) attempt.
+    let mut jtj = Matrix::zeros(n, n);
+    let mut damped = Matrix::zeros(n, n);
+    let mut neg_g = vec![0.0; n];
+    let mut step = vec![0.0; n];
 
     for iter in 0..options.max_iterations {
         iterations = iter + 1;
 
-        // Normal equations: JᵀJ and Jᵀr.
-        let jt = jacobian.transpose();
-        let jtj = match jt.matmul(&jacobian) {
-            Ok(m) => m,
-            Err(source) => return Err(FitError::Singular { source }),
-        };
-        let jtr: Vec<f64> = (0..n)
-            .map(|j| {
-                residual
-                    .iter()
-                    .enumerate()
-                    .map(|(i, r)| jacobian[(i, j)] * r)
-                    .sum::<f64>()
-            })
-            .collect();
+        // Normal equations: JᵀJ (without materializing Jᵀ) and −Jᵀr.
+        if let Err(source) = jacobian.matmul_tn_into(&jacobian, &mut jtj) {
+            return Err(FitError::Singular { source });
+        }
+        for (j, g) in neg_g.iter_mut().enumerate() {
+            *g = -residual
+                .iter()
+                .enumerate()
+                .map(|(i, r)| jacobian[(i, j)] * r)
+                .sum::<f64>();
+        }
 
         // Try steps with increasing damping until one is accepted or λ
         // explodes.
@@ -173,23 +176,24 @@ pub fn levenberg_marquardt(
         // the first attempt says whether a meaningful step existed.
         let mut first_step_norm = None;
         for _ in 0..30 {
-            let mut damped = jtj.clone();
+            if let Err(source) = damped.copy_from(&jtj) {
+                return Err(FitError::Singular { source });
+            }
             for j in 0..n {
                 // Marquardt scaling; fall back to absolute damping for zero
                 // diagonal entries (parameters the residual ignores locally).
                 let d = jtj[(j, j)];
                 damped[(j, j)] = d + lambda * if d > 0.0 { d } else { 1.0 };
             }
-            let neg_g: Vec<f64> = jtr.iter().map(|g| -g).collect();
-            let step = match Lu::factor(&damped).and_then(|lu| lu.solve(&neg_g)) {
-                Ok(s) => s,
+            match Lu::factor(&damped).and_then(|lu| lu.solve_into(&neg_g, &mut step)) {
+                Ok(()) => {}
                 Err(source) => {
                     last_singular = Some(source);
                     lambda *= 10.0;
                     lambda_escalations += 1;
                     continue;
                 }
-            };
+            }
             let step_norm = step.iter().fold(0.0_f64, |m, s| m.max(s.abs()));
             first_step_norm.get_or_insert(step_norm);
             let candidate: Vec<f64> = params.iter().zip(&step).map(|(p, s)| p + s).collect();

@@ -1,0 +1,184 @@
+//! Cache-blocked dense kernels behind [`Matrix`](crate::Matrix)'s hot methods.
+//!
+//! The inner loops here are the workspace's floating-point hot path: every
+//! autodiff forward/backward pass, every Levenberg–Marquardt normal-equation
+//! build, and every assembled-Jacobian product funnels into them. Three rules
+//! govern the implementations:
+//!
+//! 1. **Bit-identical accumulation order.** For every output element
+//!    `out[i][j]` the contraction index `k` is visited in ascending order, no
+//!    matter how the loops are blocked or which variant (`matmul`,
+//!    `matmul_nt`, `matmul_tn`, row-partitioned parallel) produced it. This is
+//!    what lets the property tests compare every variant against the naive
+//!    reference with exact equality, and what keeps the bit-identical-at-any-
+//!    thread-count invariant intact.
+//! 2. **No data-dependent branches.** The old kernel skipped `a == 0.0`
+//!    multiplicands, which made timing vary with weight sparsity and would
+//!    defeat blocking. All kernels here are branch-free in the inner loop.
+//! 3. **No allocation in `_into` variants.** Callers that hold a
+//!    [`Workspace`](crate::Workspace) can run matmuls in steady state without
+//!    touching the allocator.
+//!
+//! The block size is tunable via the `PNC_MATMUL_BLOCK` environment variable
+//! (read once per process); any blocking yields the same bits, so the knob is
+//! purely a performance control.
+
+use crate::Matrix;
+use std::sync::OnceLock;
+
+/// Default cache block (in elements) for the `i`/`k`/`j` loops: 64×64 `f64`
+/// tiles are 32 KiB — an A-tile plus a B-tile stay resident in a typical
+/// 64 KiB–1 MiB private cache with room for the output rows.
+pub const DEFAULT_BLOCK: usize = 64;
+
+/// Environment variable overriding the matmul cache-block size process-wide.
+pub const BLOCK_ENV_VAR: &str = "PNC_MATMUL_BLOCK";
+
+const MIN_BLOCK: usize = 4;
+const MAX_BLOCK: usize = 4096;
+
+/// The cache-block size in effect: `PNC_MATMUL_BLOCK` clamped to
+/// `[4, 4096]` when set to a positive integer, [`DEFAULT_BLOCK`] otherwise.
+/// Read once per process; the choice never changes results, only speed.
+pub fn block_size() -> usize {
+    static BLOCK: OnceLock<usize> = OnceLock::new();
+    *BLOCK.get_or_init(|| match std::env::var(BLOCK_ENV_VAR) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.clamp(MIN_BLOCK, MAX_BLOCK),
+            _ => DEFAULT_BLOCK,
+        },
+        Err(_) => DEFAULT_BLOCK,
+    })
+}
+
+/// Blocked `out[rs..re] = a[rs..re] · b` over the half-open row band
+/// `rs..re`. `out_band` must hold `(re - rs) * b.cols()` elements; it is
+/// zeroed first. Shapes are the caller's responsibility.
+///
+/// Loop order is `i`-block, `k`-block, `i`, `k`, `j`: for each fixed
+/// `(i, j)` the contraction index `k` ascends across blocks and within each
+/// block, so the accumulation order — and therefore every output bit — is
+/// identical to the naive `i`/`k`/`j` kernel for any block size.
+pub(crate) fn matmul_band_into(a: &Matrix, b: &Matrix, rs: usize, re: usize, out_band: &mut [f64]) {
+    let inner = a.cols();
+    let n = b.cols();
+    out_band.fill(0.0);
+    let bs = block_size();
+    let mut ib = rs;
+    while ib < re {
+        let i_end = (ib + bs).min(re);
+        let mut kb = 0;
+        while kb < inner {
+            let k_end = (kb + bs).min(inner);
+            for i in ib..i_end {
+                let a_row = a.row(i);
+                let out_row = &mut out_band[(i - rs) * n..(i - rs + 1) * n];
+                for (k, &aik) in a_row.iter().enumerate().take(k_end).skip(kb) {
+                    let b_row = b.row(k);
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+            kb = k_end;
+        }
+        ib = i_end;
+    }
+}
+
+/// Naive `i`/`k`/`j` reference matmul into `out_data` (zeroed first). Kept
+/// branch-free and block-free as the bit-exactness oracle for the blocked
+/// and parallel kernels, and as the pre-overhaul baseline for benchmarks.
+pub(crate) fn matmul_reference_into(a: &Matrix, b: &Matrix, out_data: &mut [f64]) {
+    let n = b.cols();
+    out_data.fill(0.0);
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = &mut out_data[i * n..(i + 1) * n];
+        for (k, &aik) in a_row.iter().enumerate() {
+            let b_row = b.row(k);
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// `out = a · bᵀ` (both row-major) into `out_data`, fully overwritten. Each
+/// output element is a dot product of two contiguous rows, so no transpose
+/// is ever materialized; `k` ascends exactly as in
+/// `a.matmul(&b.transpose())`.
+pub(crate) fn matmul_nt_into_raw(a: &Matrix, b: &Matrix, out_data: &mut [f64]) {
+    let n = b.rows();
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = &mut out_data[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out = aᵀ · b` (both row-major) into `out_data`, zeroed first. The
+/// contraction index `k` (rows of `a` and `b`) is the outermost loop and
+/// ascends, matching `a.transpose().matmul(&b)` bit for bit while streaming
+/// both operands row-major.
+pub(crate) fn matmul_tn_into_raw(a: &Matrix, b: &Matrix, out_data: &mut [f64]) {
+    let n = b.cols();
+    out_data.fill(0.0);
+    for k in 0..a.rows() {
+        let a_row = a.row(k);
+        let b_row = b.row(k);
+        for (i, &aki) in a_row.iter().enumerate() {
+            let out_row = &mut out_data[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aki * bv;
+            }
+        }
+    }
+}
+
+/// Row band boundaries for the parallel matmul: contiguous bands of at most
+/// `band` rows, in row order. Banding never changes results (each output row
+/// depends only on its own inputs), so the band size is a pure tuning knob.
+pub(crate) fn row_bands(rows: usize, band: usize) -> Vec<(usize, usize)> {
+    let band = band.max(1);
+    let mut bands = Vec::with_capacity(rows.div_ceil(band));
+    let mut start = 0;
+    while start < rows {
+        let end = (start + band).min(rows);
+        bands.push((start, end));
+        start = end;
+    }
+    bands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_is_positive_and_clamped() {
+        let bs = block_size();
+        assert!((MIN_BLOCK..=MAX_BLOCK).contains(&bs));
+    }
+
+    #[test]
+    fn row_bands_cover_exactly() {
+        for rows in [0usize, 1, 7, 32, 33, 100] {
+            let bands = row_bands(rows, 32);
+            let mut expect = 0;
+            for &(s, e) in &bands {
+                assert_eq!(s, expect);
+                assert!(e > s);
+                expect = e;
+            }
+            assert_eq!(expect, rows);
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //! * [`ParallelConfig`] — the workspace-wide thread-count knob and its
 //!   deterministic ordered parallel map, honoring the `PNC_NUM_THREADS`
 //!   environment variable.
+//! * [`Workspace`] — a reusable buffer pool so shape-stable hot loops
+//!   (training epochs, Newton iterations) allocate nothing in steady state.
+//! * [`kernels`] — the cache-blocked matmul kernels behind [`Matrix`]'s hot
+//!   methods, tunable via the `PNC_MATMUL_BLOCK` environment variable; every
+//!   variant is bit-identical to the naive reference at any block size and
+//!   thread count.
 //!
 //! # Examples
 //!
@@ -37,12 +43,15 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod kernels;
 mod lu;
 mod matrix;
 pub mod parallel;
 pub mod stats;
+mod workspace;
 
 pub use error::LinalgError;
 pub use lu::{solve, Lu};
 pub use matrix::Matrix;
 pub use parallel::ParallelConfig;
+pub use workspace::Workspace;

@@ -108,16 +108,33 @@ impl Lu {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a preallocated output slice, allocating nothing.
+    ///
+    /// Bit-identical to [`Lu::solve`]; hot loops (Newton iterations,
+    /// Levenberg–Marquardt damping attempts) reuse one buffer across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` or `x.len()`
+    /// differs from `self.dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(LinalgError::DimensionMismatch {
                 op: "lu_solve",
                 lhs: (n, n),
-                rhs: (b.len(), 1),
+                rhs: (b.len().max(x.len()), 1),
             });
         }
         // Forward substitution with permuted b (L has unit diagonal).
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = b[self.perm[i]];
+        }
         for i in 1..n {
             let mut acc = x[i];
             for (j, xj) in x.iter().enumerate().take(i) {
@@ -133,7 +150,7 @@ impl Lu {
             }
             x[i] = acc / self.factors[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A·X = B` column-by-column.
@@ -142,6 +159,20 @@ impl Lu {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(self.dim(), b.cols());
+        self.solve_matrix_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A·X = B` column-by-column into a preallocated `out`, reusing
+    /// one internal column buffer instead of allocating two per right-hand
+    /// side as the old `solve_matrix` did.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`
+    /// or `out` is not shaped like `b`.
+    pub fn solve_matrix_into(&self, b: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -150,15 +181,25 @@ impl Lu {
                 rhs: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
+        if out.shape() != b.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_matrix_into",
+                lhs: b.shape(),
+                rhs: out.shape(),
+            });
+        }
+        let mut col = vec![0.0; n];
+        let mut x = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve(&col)?;
-            for (i, v) in x.into_iter().enumerate() {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = b[(i, j)];
+            }
+            self.solve_into(&col, &mut x)?;
+            for (i, &v) in x.iter().enumerate() {
                 out[(i, j)] = v;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Determinant of the factored matrix.
@@ -269,6 +310,34 @@ mod tests {
         let inv = Lu::factor(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[3.0, 4.0, 4.0], &[5.0, 6.0, 3.0]]).unwrap();
+        let b = [3.0, 7.0, 8.0];
+        let lu = Lu::factor(&a).unwrap();
+        let fresh = lu.solve(&b).unwrap();
+        // A dirty preallocated buffer must not affect the result.
+        let mut reused = vec![f64::NAN; 3];
+        lu.solve_into(&b, &mut reused).unwrap();
+        assert_eq!(fresh, reused);
+        // Wrong output length is rejected.
+        let mut short = vec![0.0; 2];
+        assert!(lu.solve_into(&b, &mut short).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_into_matches_solve_matrix_bitwise() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let fresh = lu.solve_matrix(&b).unwrap();
+        let mut reused = Matrix::filled(2, 2, f64::NAN);
+        lu.solve_matrix_into(&b, &mut reused).unwrap();
+        assert_eq!(fresh, reused);
+        let mut wrong = Matrix::zeros(2, 3);
+        assert!(lu.solve_matrix_into(&b, &mut wrong).is_err());
     }
 
     #[test]

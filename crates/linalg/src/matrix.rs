@@ -1,4 +1,4 @@
-use crate::LinalgError;
+use crate::{kernels, LinalgError, ParallelConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -32,6 +32,11 @@ pub struct Matrix {
     cols: usize,
     data: Vec<f64>,
 }
+
+/// Rows per band in [`Matrix::matmul_parallel`]. Banding never changes
+/// results (each output row depends only on its own inputs), so this is a
+/// pure tuning knob; 32 rows keeps per-band work well above scheduling cost.
+const PARALLEL_ROW_BAND: usize = 32;
 
 impl Matrix {
     /// Creates a `rows`×`cols` matrix filled with zeros.
@@ -237,13 +242,61 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, computed with the cache-blocked kernel.
+    ///
+    /// The blocked kernel visits the contraction index in ascending order for
+    /// every output element, so its results are bit-identical to the naive
+    /// reference ([`Matrix::matmul_reference`]) for any block size.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Cache-blocked matrix product written into a preallocated `out`.
+    ///
+    /// `out` is fully overwritten (no accumulation with prior contents), so a
+    /// recycled [`Workspace`](crate::Workspace) buffer behaves exactly like a
+    /// fresh matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows()`×`rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_into",
+                lhs: (self.rows, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        kernels::matmul_band_into(self, rhs, 0, self.rows, &mut out.data);
+        Ok(())
+    }
+
+    /// Naive triple-loop matrix product: the bit-exactness oracle for the
+    /// blocked, parallel, and transpose kernels, and the pre-overhaul
+    /// baseline for benchmarks. Prefer [`Matrix::matmul`] everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matmul",
@@ -252,20 +305,137 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::matmul_reference_into(self, rhs, &mut out.data);
         Ok(out)
+    }
+
+    /// Deterministic row-partitioned parallel matrix product.
+    ///
+    /// The output rows are split into contiguous bands; each worker computes
+    /// a disjoint band with the same blocked kernel as [`Matrix::matmul`] and
+    /// the bands are concatenated in row order (an ordered chunk reduction —
+    /// no atomics, no data-dependent scheduling). Every output row depends
+    /// only on its own inputs, so the result is bit-identical to the serial
+    /// product at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul_parallel(
+        &self,
+        rhs: &Matrix,
+        parallel: &ParallelConfig,
+    ) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        // Small products are not worth a pool: fall back to the serial path
+        // (identical bits either way).
+        if parallel.effective_threads() <= 1 || self.rows < 2 * PARALLEL_ROW_BAND {
+            return self.matmul(rhs);
+        }
+        let bands = kernels::row_bands(self.rows, PARALLEL_ROW_BAND);
+        let n = rhs.cols;
+        let blocks: Vec<Vec<f64>> = parallel.ordered_par_map(&bands, |&(rs, re)| {
+            let mut band = vec![0.0; (re - rs) * n];
+            kernels::matmul_band_into(self, rhs, rs, re, &mut band);
+            band
+        });
+        let mut data = Vec::with_capacity(self.rows * n);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        Matrix::from_vec(self.rows, n, data)
+    }
+
+    /// Product with a transposed right operand: `self · rhsᵀ`.
+    ///
+    /// Both operands are walked row-major (each output element is a dot
+    /// product of two contiguous rows), so backward passes no longer need to
+    /// materialize an explicit transpose. Bit-identical to
+    /// `self.matmul(&rhs.transpose())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_nt`] into a preallocated `out` (fully overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.cols()` or `out` is not
+    /// `self.rows()`×`rhs.rows()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.rows) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt_into",
+                lhs: (self.rows, rhs.rows),
+                rhs: out.shape(),
+            });
+        }
+        kernels::matmul_nt_into_raw(self, rhs, &mut out.data);
+        Ok(())
+    }
+
+    /// Product with a transposed left operand: `selfᵀ · rhs`.
+    ///
+    /// The contraction index (shared row index) is the outermost loop, so
+    /// both operands stream row-major without materializing a transpose.
+    /// Bit-identical to `self.transpose().matmul(rhs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_tn`] into a preallocated `out` (fully overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.rows() != rhs.rows()` or `out` is not
+    /// `self.cols()`×`rhs.cols()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.cols, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tn_into",
+                lhs: (self.cols, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        kernels::matmul_tn_into_raw(self, rhs, &mut out.data);
+        Ok(())
     }
 
     /// Elementwise sum `self + rhs`.
@@ -335,9 +505,118 @@ impl Matrix {
         }
     }
 
+    /// Writes `f` applied to every element of `self` into a preallocated
+    /// equal-shaped `out` (fully overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.shape() != out.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "map_into",
+                lhs: self.shape(),
+                rhs: out.shape(),
+            });
+        }
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+        Ok(())
+    }
+
+    /// Combines `self` and `rhs` elementwise with `f` into a preallocated
+    /// equal-shaped `out` (fully overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if any shape differs.
+    pub fn zip_with_into(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+        out: &mut Matrix,
+    ) -> Result<(), LinalgError> {
+        if self.shape() != rhs.shape() || self.shape() != out.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = f(a, b);
+        }
+        Ok(())
+    }
+
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f64) -> Matrix {
         self.map(|x| x * s)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Adds `rhs` to `self` elementwise in place. Bit-identical to
+    /// `self = self.add(rhs)` without the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<(), LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_assign",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * x` (the BLAS `axpy` kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f64, x: &Matrix) -> Result<(), LinalgError> {
+        if self.shape() != x.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&x.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Overwrites `self` with the contents of an equal-shaped `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) -> Result<(), LinalgError> {
+        if self.shape() != src.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "copy_from",
+                lhs: self.shape(),
+                rhs: src.shape(),
+            });
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
     }
 
     /// Sum of all elements.
@@ -548,6 +827,104 @@ mod tests {
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
     }
+
+    #[test]
+    fn matmul_dense_and_sparse_inputs_agree_bitwise() {
+        // The kernel must not branch on zero elements: a mostly-zero operand
+        // takes exactly the same accumulation path as a dense one, so the
+        // result is bit-identical to the naive always-accumulate reference.
+        let sparse = Matrix::from_fn(7, 5, |i, j| {
+            if (i + j) % 3 == 0 {
+                0.0
+            } else {
+                1.5 * i as f64 - 0.25 * j as f64
+            }
+        });
+        let dense = Matrix::from_fn(7, 5, |i, j| 1.0 + 0.1 * (i * 5 + j) as f64);
+        let rhs = Matrix::from_fn(5, 6, |i, j| 0.3 * i as f64 - 0.7 * j as f64 + 0.01);
+        for lhs in [&sparse, &dense] {
+            let blocked = lhs.matmul(&rhs).unwrap();
+            let reference = lhs.matmul_reference(&rhs).unwrap();
+            assert_eq!(blocked, reference);
+        }
+        // An all-zero row contributes exact zeros, same as the reference.
+        let zero_row = Matrix::zeros(1, 5);
+        assert_eq!(
+            zero_row.matmul(&rhs).unwrap(),
+            zero_row.matmul_reference(&rhs).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_into_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut bad = Matrix::zeros(2, 3);
+        assert!(a.matmul_into(&b, &mut bad).is_err());
+        let mut good = Matrix::zeros(2, 4);
+        assert!(a.matmul_into(&b, &mut good).is_ok());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.5 - 2.0);
+        let b = Matrix::from_fn(5, 4, |i, j| (i as f64) - 0.3 * (j as f64));
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+        assert!(a.matmul_nt(&Matrix::zeros(5, 3)).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.5 - 2.0);
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f64) - 0.3 * (j as f64));
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+        assert!(a.matmul_tn(&Matrix::zeros(3, 5)).is_err());
+    }
+
+    #[test]
+    fn in_place_kernels_match_allocating_ops() {
+        let a = sample();
+        let b = a.map(|x| 0.5 * x - 1.0);
+
+        let mut acc = a.clone();
+        acc.add_assign(&b).unwrap();
+        assert_eq!(acc, a.add(&b).unwrap());
+
+        let mut axpy = a.clone();
+        axpy.axpy(-2.5, &b).unwrap();
+        assert_eq!(axpy, a.add(&b.scale(-2.5)).unwrap());
+
+        let mut scaled = a.clone();
+        scaled.scale_in_place(3.0);
+        assert_eq!(scaled, a.scale(3.0));
+
+        let mut out = Matrix::zeros(2, 3);
+        a.map_into(|x| x * x, &mut out).unwrap();
+        assert_eq!(out, a.map(|x| x * x));
+
+        a.zip_with_into(&b, "test", |x, y| x * y, &mut out).unwrap();
+        assert_eq!(out, a.hadamard(&b).unwrap());
+
+        let mut copy = Matrix::zeros(2, 3);
+        copy.copy_from(&a).unwrap();
+        assert_eq!(copy, a);
+    }
+
+    #[test]
+    fn in_place_kernels_reject_shape_mismatch() {
+        let a = sample();
+        let wrong = Matrix::zeros(3, 2);
+        assert!(a.clone().add_assign(&wrong).is_err());
+        assert!(a.clone().axpy(1.0, &wrong).is_err());
+        assert!(a.clone().copy_from(&wrong).is_err());
+        let mut out = Matrix::zeros(3, 2);
+        assert!(a.map_into(|x| x, &mut out).is_err());
+        assert!(a.zip_with_into(&a, "test", |x, _| x, &mut out).is_err());
+    }
 }
 
 #[cfg(test)]
@@ -598,6 +975,67 @@ mod proptests {
         fn matmul_identity_left(m in arb_matrix(6)) {
             let i = Matrix::identity(m.rows());
             prop_assert!(i.matmul(&m).unwrap().approx_eq(&m, 1e-12));
+        }
+    }
+
+    /// Random rectangular (lhs, rhs) pairs large enough to span several
+    /// cache blocks and parallel row bands.
+    fn arb_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+        (1usize..80, 1usize..12, 1usize..12).prop_flat_map(|(m, k, n)| {
+            let a = proptest::collection::vec(-10.0..10.0f64, m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d).expect("sized"));
+            let b = proptest::collection::vec(-10.0..10.0f64, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d).expect("sized"));
+            (a, b)
+        })
+    }
+
+    proptest! {
+        // Fewer, larger cases: each exercises the full kernel stack.
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn blocked_matmul_is_bit_identical_to_reference((a, b) in arb_matmul_pair()) {
+            let blocked = a.matmul(&b).unwrap();
+            let reference = a.matmul_reference(&b).unwrap();
+            prop_assert_eq!(blocked, reference);
+        }
+
+        #[test]
+        fn parallel_matmul_is_bit_identical_at_1_2_8_threads((a, b) in arb_matmul_pair()) {
+            let reference = a.matmul_reference(&b).unwrap();
+            for threads in [1usize, 2, 8] {
+                let par = a
+                    .matmul_parallel(&b, &ParallelConfig::with_threads(threads))
+                    .unwrap();
+                prop_assert_eq!(&par, &reference);
+            }
+        }
+
+        #[test]
+        fn transpose_matmul_variants_are_bit_identical((a, b) in arb_matmul_pair()) {
+            // self · rhsᵀ against the materialized transpose.
+            let nt = a.matmul_nt(&b.transpose()).unwrap();
+            prop_assert_eq!(nt, a.matmul_reference(&b).unwrap());
+            // selfᵀ · rhs against the materialized transpose.
+            let tn = a.transpose().matmul_tn(&b).unwrap();
+            prop_assert_eq!(tn, a.matmul_reference(&b).unwrap());
+        }
+
+        #[test]
+        fn matmul_into_reuses_buffers_bit_identically((a, b) in arb_matmul_pair()) {
+            // A dirty recycled buffer must not leak into the result.
+            let mut out = Matrix::filled(a.rows(), b.cols(), f64::NAN);
+            a.matmul_into(&b, &mut out).unwrap();
+            prop_assert_eq!(&out, &a.matmul_reference(&b).unwrap());
+
+            let mut nt = Matrix::filled(a.rows(), b.cols(), f64::NAN);
+            a.matmul_nt_into(&b.transpose(), &mut nt).unwrap();
+            prop_assert_eq!(&nt, &out);
+
+            let mut tn = Matrix::filled(a.rows(), b.cols(), f64::NAN);
+            a.transpose().matmul_tn_into(&b, &mut tn).unwrap();
+            prop_assert_eq!(&tn, &out);
         }
     }
 }

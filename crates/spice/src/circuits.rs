@@ -245,6 +245,23 @@ impl PtanhCircuit {
             .collect())
     }
 
+    /// Like [`transfer_curve`](Self::transfer_curve), but returns the full
+    /// [`Solution`](crate::Solution) per sweep point so callers can inspect
+    /// [`SolveDiagnostics`](crate::SolveDiagnostics) — iterations,
+    /// factorizations, recovery rungs — across the sweep. The bench harness
+    /// uses this to report iterations-per-factorization of the
+    /// Jacobian-reuse solver on the paper's Fig. 3 transfer curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures at any sweep point.
+    pub fn transfer_curve_solutions(
+        &mut self,
+        v_in: &[f64],
+    ) -> Result<Vec<crate::Solution>, SpiceError> {
+        sweep::dc_sweep(&mut self.circuit, self.vin, v_in, &self.solver)
+    }
+
     /// Like [`transfer_curve`](Self::transfer_curve), but sweeps fixed-size
     /// chunks of the grid on `parallel` worker threads (see
     /// [`sweep::dc_sweep_parallel`]) and leaves `self` unchanged. The curve

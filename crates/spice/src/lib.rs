@@ -61,7 +61,10 @@ mod transient;
 
 pub use egt::{EgtModel, EgtOperatingPoint};
 pub use error::SpiceError;
-pub use mna::{DcSolver, FaultInjection, RecoveryPolicy, RecoveryRung, Solution, SolveDiagnostics};
+pub use mna::{
+    DcSolver, FaultInjection, NewtonCache, RecoveryPolicy, RecoveryRung, Solution,
+    SolveDiagnostics, NEWTON_REUSE_ENV_VAR,
+};
 pub use netlist::{Circuit, Device, DeviceId, Node, GROUND};
 pub use netlist_io::parse_value;
 pub use transient::{TransientSolver, Waveform};

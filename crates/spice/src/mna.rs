@@ -2,6 +2,7 @@ use crate::{Circuit, Device, SpiceError};
 use pnc_linalg::{Lu, Matrix};
 use pnc_obs::{Counter, FieldValue, Histogram};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 // Observability: one record per (possibly recovered) solve, taken at the
 // `solve_recovered` wrapper so plain DC solves, every recovery rung, and
@@ -11,6 +12,7 @@ static OBS_SOLVES: Counter = Counter::new("spice.solve.total");
 static OBS_SOLVE_FAILURES: Counter = Counter::new("spice.solve.failures");
 static OBS_NEWTON_ITERATIONS: Counter = Counter::new("spice.newton.iterations");
 static OBS_NEWTON_ATTEMPTS: Counter = Counter::new("spice.newton.attempts");
+static OBS_NEWTON_FACTORIZATIONS: Counter = Counter::new("spice.newton.factorizations");
 static OBS_RUNG_PLAIN: Counter = Counter::new("spice.recovery.plain");
 static OBS_RUNG_PERTURBED: Counter = Counter::new("spice.recovery.perturbed_guess");
 static OBS_RUNG_GMIN: Counter = Counter::new("spice.recovery.gmin_stepping");
@@ -28,6 +30,7 @@ fn obs_register() {
         OBS_SOLVE_FAILURES.register();
         OBS_NEWTON_ITERATIONS.register();
         OBS_NEWTON_ATTEMPTS.register();
+        OBS_NEWTON_FACTORIZATIONS.register();
         OBS_RUNG_PLAIN.register();
         OBS_RUNG_PERTURBED.register();
         OBS_RUNG_GMIN.register();
@@ -36,6 +39,82 @@ fn obs_register() {
         OBS_SOURCE_STEPS.register();
         OBS_RESIDUAL.register();
     });
+}
+
+/// Environment variable gating Jacobian reuse in [`DcSolver`] (see
+/// [`DcSolver::newton_reuse`]). Set to `0`, `off`, or `false` to force
+/// classic full-Newton solves even when a [`NewtonCache`] is supplied.
+pub const NEWTON_REUSE_ENV_VAR: &str = "PNC_NEWTON_REUSE";
+
+/// Process-wide default of [`DcSolver::newton_reuse`], read once from
+/// [`NEWTON_REUSE_ENV_VAR`]; reuse is on unless explicitly disabled.
+fn newton_reuse_default() -> bool {
+    static REUSE: OnceLock<bool> = OnceLock::new();
+    *REUSE.get_or_init(|| match std::env::var(NEWTON_REUSE_ENV_VAR) {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !matches!(v.as_str(), "0" | "off" | "false")
+        }
+        Err(_) => true,
+    })
+}
+
+/// Modified-Newton keeps a stale Jacobian only while each iteration shrinks
+/// the residual to at most this fraction of the previous one; slower
+/// contraction counts as a stall and triggers a refactorization.
+const STALL_CONTRACTION: f64 = 0.5;
+
+/// A factorization carried across warm-started solves is dropped when the
+/// new starting point moved farther than this (infinity norm, volts) from
+/// the operating point it was taken at.
+const CACHE_GUESS_TOL: f64 = 0.05;
+
+/// Reusable modified-Newton state: the most recent Jacobian LU
+/// factorization and the operating point it was taken at.
+///
+/// Thread one cache through consecutive warm-started solves (e.g. the
+/// points of a transfer-curve sweep) via [`DcSolver::solve_with_cache`].
+/// While the residual keeps contracting geometrically the stale
+/// factorization is reused — across iterations *and* across sweep points
+/// whose operating point moved little — so iterations-per-factorization
+/// rises above one. The cache is pure acceleration state: every iteration
+/// still evaluates the exact residual of the freshly assembled system, so
+/// dropping (or never supplying) a cache only costs speed, never accuracy.
+#[derive(Debug, Default)]
+pub struct NewtonCache {
+    lu: Option<Lu>,
+    x_at_factor: Vec<f64>,
+}
+
+impl NewtonCache {
+    /// Creates an empty (cold) cache.
+    pub fn new() -> Self {
+        NewtonCache::default()
+    }
+
+    /// `true` when the cache holds a factorization ready for reuse.
+    pub fn is_warm(&self) -> bool {
+        self.lu.is_some()
+    }
+
+    /// Drops any held factorization.
+    pub fn clear(&mut self) {
+        self.lu = None;
+        self.x_at_factor.clear();
+    }
+
+    /// `true` if the held factorization can be trusted for a solve of
+    /// dimension `dim` starting from `x`.
+    fn matches(&self, dim: usize, x: &[f64]) -> bool {
+        if self.lu.is_none() || self.x_at_factor.len() != dim {
+            return false;
+        }
+        let mut dist = 0.0_f64;
+        for (a, b) in self.x_at_factor.iter().zip(x) {
+            dist = dist.max((a - b).abs());
+        }
+        dist <= CACHE_GUESS_TOL
+    }
 }
 
 impl RecoveryRung {
@@ -91,6 +170,15 @@ pub struct SolveDiagnostics {
     /// Newton attempts made, counting every continuation step; `1` means the
     /// plain solve succeeded directly.
     pub attempts: usize,
+    /// Jacobian LU factorizations performed across the counted successful
+    /// attempts (failed attempts are excluded — their factorization count is
+    /// not recoverable from the error). Classic full Newton factors once per
+    /// iteration; the Jacobian-reuse path ([`DcSolver::newton_reuse`] with a
+    /// [`NewtonCache`]) factors only when contraction stalls, so
+    /// `iterations / factorizations` measures the reuse win. `0` is possible
+    /// when a solve converges entirely on a factorization carried over from
+    /// an earlier warm-started solve.
+    pub factorizations: usize,
 }
 
 impl SolveDiagnostics {
@@ -314,6 +402,13 @@ pub struct DcSolver {
     pub recovery: RecoveryPolicy,
     /// Deterministic test-only fault injection; `None` in production.
     pub fault_injection: Option<FaultInjection>,
+    /// Whether solves given a [`NewtonCache`] may keep a stale Jacobian
+    /// factorization across iterations (and warm-started sweep points)
+    /// while the residual contracts geometrically — modified Newton.
+    /// Defaults from the `PNC_NEWTON_REUSE` environment variable
+    /// ([`NEWTON_REUSE_ENV_VAR`]; `0`/`off`/`false` disable, enabled
+    /// otherwise). Solves without a cache always run classic full Newton.
+    pub newton_reuse: bool,
 }
 
 impl Default for DcSolver {
@@ -326,6 +421,7 @@ impl Default for DcSolver {
             gmin: 1e-12,
             recovery: RecoveryPolicy::default(),
             fault_injection: None,
+            newton_reuse: newton_reuse_default(),
         }
     }
 }
@@ -369,6 +465,29 @@ impl DcSolver {
         self.solve_recovered(circuit, guess, None)
     }
 
+    /// Solves the DC operating point from a warm-start guess while carrying
+    /// modified-Newton state in `cache` (see [`NewtonCache`]).
+    ///
+    /// With [`DcSolver::newton_reuse`] enabled, the plain Newton loop keeps
+    /// the cached Jacobian factorization while the residual contracts
+    /// geometrically — across its own iterations and across consecutive
+    /// calls whose warm-start point moved little — and refactors only when
+    /// contraction stalls. Convergence criteria are unchanged, so the
+    /// accepted solution satisfies the same residual bound as a full-Newton
+    /// solve. Recovery rungs never use the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DcSolver::solve_with_guess`].
+    pub fn solve_with_cache(
+        &self,
+        circuit: &Circuit,
+        guess: Option<&[f64]>,
+        cache: &mut NewtonCache,
+    ) -> Result<Solution, SpiceError> {
+        self.solve_recovered_cached(circuit, guess, None, Some(cache))
+    }
+
     /// Runs the recovery ladder around [`Self::newton_solve`]: plain solve,
     /// then perturbed restarts, gmin stepping and (for DC solves) source
     /// stepping, stopping at the first rung that converges. Records one
@@ -379,14 +498,27 @@ impl DcSolver {
         guess: Option<&[f64]>,
         cap_state: Option<(&[f64], f64)>,
     ) -> Result<Solution, SpiceError> {
+        self.solve_recovered_cached(circuit, guess, cap_state, None)
+    }
+
+    /// [`Self::solve_recovered`] with optional modified-Newton state threaded
+    /// into the plain rung.
+    pub(crate) fn solve_recovered_cached(
+        &self,
+        circuit: &Circuit,
+        guess: Option<&[f64]>,
+        cap_state: Option<(&[f64], f64)>,
+        cache: Option<&mut NewtonCache>,
+    ) -> Result<Solution, SpiceError> {
         obs_register();
-        let result = self.solve_recovered_inner(circuit, guess, cap_state);
+        let result = self.solve_recovered_inner(circuit, guess, cap_state, cache);
         OBS_SOLVES.increment();
         match &result {
             Ok(sol) => {
                 let d = sol.diagnostics();
                 OBS_NEWTON_ITERATIONS.add(d.iterations as u64);
                 OBS_NEWTON_ATTEMPTS.add(d.attempts as u64);
+                OBS_NEWTON_FACTORIZATIONS.add(d.factorizations as u64);
                 OBS_RESIDUAL.observe(d.residual);
                 match d.rung {
                     RecoveryRung::Plain => OBS_RUNG_PLAIN.increment(),
@@ -434,25 +566,33 @@ impl DcSolver {
         circuit: &Circuit,
         guess: Option<&[f64]>,
         cap_state: Option<(&[f64], f64)>,
+        cache: Option<&mut NewtonCache>,
     ) -> Result<Solution, SpiceError> {
-        // Total iterations and attempts across the ladder, folded into the
-        // successful solution's diagnostics.
+        // Total iterations, factorizations, and attempts across the ladder,
+        // folded into the successful solution's diagnostics.
         let mut iterations = 0usize;
+        let mut factorizations = 0usize;
         let mut attempts = 1usize;
 
-        let first_err = match self.newton_solve(circuit, guess, cap_state, RecoveryRung::Plain) {
-            Ok(sol) => return Ok(sol),
-            Err(e @ (SpiceError::NoConvergence { .. } | SpiceError::SingularSystem { .. })) => {
-                if let SpiceError::NoConvergence { iterations: n, .. } = e {
-                    iterations += n;
+        let first_err =
+            match self.newton_solve(circuit, guess, cap_state, RecoveryRung::Plain, cache) {
+                Ok(sol) => return Ok(sol),
+                Err(e @ (SpiceError::NoConvergence { .. } | SpiceError::SingularSystem { .. })) => {
+                    if let SpiceError::NoConvergence { iterations: n, .. } = e {
+                        iterations += n;
+                    }
+                    e
                 }
-                e
-            }
-            Err(e) => return Err(e),
-        };
+                Err(e) => return Err(e),
+            };
 
-        let finish = |mut sol: Solution, rung: RecoveryRung, iterations: usize, attempts: usize| {
+        let finish = |mut sol: Solution,
+                      rung: RecoveryRung,
+                      iterations: usize,
+                      factorizations: usize,
+                      attempts: usize| {
             sol.diagnostics.iterations += iterations;
+            sol.diagnostics.factorizations += factorizations;
             sol.diagnostics.rung = rung;
             sol.diagnostics.attempts = attempts;
             sol
@@ -468,12 +608,14 @@ impl DcSolver {
                 Some(&start),
                 cap_state,
                 RecoveryRung::PerturbedGuess,
+                None,
             ) {
                 Ok(sol) => {
                     return Ok(finish(
                         sol,
                         RecoveryRung::PerturbedGuess,
                         iterations,
+                        factorizations,
                         attempts,
                     ))
                 }
@@ -485,12 +627,20 @@ impl DcSolver {
 
         // Rung 2: gmin stepping.
         if self.recovery.gmin_steps > 0 {
-            match self.gmin_stepping(circuit, guess, cap_state, &mut iterations, &mut attempts) {
+            match self.gmin_stepping(
+                circuit,
+                guess,
+                cap_state,
+                &mut iterations,
+                &mut factorizations,
+                &mut attempts,
+            ) {
                 Ok(sol) => {
                     return Ok(finish(
                         sol,
                         RecoveryRung::GminStepping,
                         iterations,
+                        factorizations,
                         attempts,
                     ))
                 }
@@ -502,12 +652,14 @@ impl DcSolver {
         // Rung 3: source stepping — DC only; ramping sources inside a
         // backward-Euler step would fight the capacitor history terms.
         if self.recovery.source_steps > 0 && cap_state.is_none() {
-            match self.source_stepping(circuit, &mut iterations, &mut attempts) {
+            match self.source_stepping(circuit, &mut iterations, &mut factorizations, &mut attempts)
+            {
                 Ok(sol) => {
                     return Ok(finish(
                         sol,
                         RecoveryRung::SourceStepping,
                         iterations,
+                        factorizations,
                         attempts,
                     ))
                 }
@@ -527,6 +679,7 @@ impl DcSolver {
         guess: Option<&[f64]>,
         cap_state: Option<(&[f64], f64)>,
         iterations: &mut usize,
+        factorizations: &mut usize,
         attempts: &mut usize,
     ) -> Result<Solution, SpiceError> {
         let steps = self.recovery.gmin_steps;
@@ -548,9 +701,11 @@ impl DcSolver {
                 guess_vec.as_deref(),
                 cap_state,
                 RecoveryRung::GminStepping,
+                None,
             ) {
                 Ok(sol) => {
                     *iterations += sol.diagnostics.iterations;
+                    *factorizations += sol.diagnostics.factorizations;
                     guess_vec = Some(sol.voltages()[1..].to_vec());
                     last = Some(sol);
                 }
@@ -570,9 +725,10 @@ impl DcSolver {
                 residual: f64::INFINITY,
             });
         };
-        // The accumulated total is applied by `finish`; this solution's own
-        // count is already inside `iterations`.
+        // The accumulated totals are applied by `finish`; this solution's own
+        // counts are already inside `iterations`/`factorizations`.
         sol.diagnostics.iterations = 0;
+        sol.diagnostics.factorizations = 0;
         Ok(sol)
     }
 
@@ -582,6 +738,7 @@ impl DcSolver {
         &self,
         circuit: &Circuit,
         iterations: &mut usize,
+        factorizations: &mut usize,
         attempts: &mut usize,
     ) -> Result<Solution, SpiceError> {
         let steps = self.recovery.source_steps;
@@ -602,9 +759,11 @@ impl DcSolver {
                 guess_vec.as_deref(),
                 None,
                 RecoveryRung::SourceStepping,
+                None,
             ) {
                 Ok(sol) => {
                     *iterations += sol.diagnostics.iterations;
+                    *factorizations += sol.diagnostics.factorizations;
                     guess_vec = Some(sol.voltages()[1..].to_vec());
                     last = Some(sol);
                 }
@@ -623,6 +782,7 @@ impl DcSolver {
             });
         };
         sol.diagnostics.iterations = 0;
+        sol.diagnostics.factorizations = 0;
         Ok(sol)
     }
 
@@ -635,12 +795,22 @@ impl DcSolver {
     /// Acceptance requires the voltage update *and* the KCL residual to be
     /// below their tolerances, so a stalled damped update is not mistaken
     /// for convergence.
+    ///
+    /// With `cache` supplied and [`DcSolver::newton_reuse`] enabled, the
+    /// loop runs modified Newton: the Jacobian factorization is kept while
+    /// the residual contracts geometrically (including a factorization
+    /// carried in from an earlier warm-started solve whose operating point
+    /// is close) and rebuilt only when contraction stalls. The residual is
+    /// always evaluated on the freshly assembled system, so the acceptance
+    /// criteria — and hence the returned solution's accuracy — are
+    /// identical to the full-Newton path.
     pub(crate) fn newton_solve(
         &self,
         circuit: &Circuit,
         guess: Option<&[f64]>,
         cap_state: Option<(&[f64], f64)>,
         rung: RecoveryRung,
+        mut cache: Option<&mut NewtonCache>,
     ) -> Result<Solution, SpiceError> {
         let n = circuit.num_nodes();
         let m = circuit.num_vsources();
@@ -665,6 +835,7 @@ impl DcSolver {
                     residual: 0.0,
                     rung,
                     attempts: 1,
+                    factorizations: 0,
                 },
             });
         }
@@ -678,8 +849,22 @@ impl DcSolver {
             }
         }
 
+        // A factorization carried over from an earlier solve is only
+        // trusted when the warm-start point stayed near where it was taken;
+        // otherwise (or with reuse disabled) start cold.
+        let reuse = self.newton_reuse && cache.is_some();
+        if let Some(c) = cache.as_deref_mut() {
+            if !reuse || !c.matches(dim, &x) {
+                c.clear();
+            }
+        }
+
         let mut last_update = f64::INFINITY;
         let mut last_residual = f64::INFINITY;
+        let mut prev_residual = f64::INFINITY;
+        let mut factorizations = 0usize;
+        let mut f = vec![0.0; dim];
+        let mut delta = vec![0.0; dim];
         for iter in 0..=self.max_iterations {
             let (g, rhs) = self.assemble(circuit, &x, cap_state);
 
@@ -687,11 +872,12 @@ impl DcSolver {
             // linearization is exact at its expansion point, so
             // F(x) = G(x)·x − rhs(x).
             let mut residual = 0.0_f64;
-            for i in 0..dim {
+            for (i, fi) in f.iter_mut().enumerate() {
                 let mut acc = -rhs[i];
                 for (j, xj) in x.iter().enumerate() {
                     acc += g[(i, j)] * xj;
                 }
+                *fi = acc;
                 residual = residual.max(acc.abs());
             }
             last_residual = residual;
@@ -707,6 +893,7 @@ impl DcSolver {
                         residual,
                         rung,
                         attempts: 1,
+                        factorizations,
                     },
                 });
             }
@@ -714,23 +901,58 @@ impl DcSolver {
                 break;
             }
 
-            let lu = Lu::factor(&g)?;
-            let x_new = lu.solve(&rhs)?;
-
-            // Damped update: limit each voltage step.
             let mut max_delta = 0.0_f64;
-            for i in 0..dim {
-                let mut delta = x_new[i] - x[i];
-                // Only damp node voltages; source branch currents may move freely.
-                if i < n {
-                    delta = delta.clamp(-self.max_step, self.max_step);
+            if let Some(c) = cache.as_deref_mut().filter(|_| reuse) {
+                // Modified Newton, delta form with a possibly stale
+                // Jacobian: J_stale·Δ = −F(x). Refactor when there is no
+                // factorization yet or the residual stopped contracting
+                // geometrically under the stale one.
+                if c.lu.is_none() || residual > STALL_CONTRACTION * prev_residual {
+                    c.lu = Some(Lu::factor(&g)?);
+                    c.x_at_factor.clear();
+                    c.x_at_factor.extend_from_slice(&x);
+                    factorizations += 1;
                 }
-                x[i] += delta;
-                if i < n {
-                    max_delta = max_delta.max(delta.abs());
+                for fi in f.iter_mut() {
+                    *fi = -*fi;
+                }
+                if let Some(lu) = c.lu.as_ref() {
+                    lu.solve_into(&f, &mut delta)?;
+                }
+                for (i, d) in delta.iter().enumerate() {
+                    let mut d = *d;
+                    // Only damp node voltages; source branch currents may
+                    // move freely.
+                    if i < n {
+                        d = d.clamp(-self.max_step, self.max_step);
+                    }
+                    x[i] += d;
+                    if i < n {
+                        max_delta = max_delta.max(d.abs());
+                    }
+                }
+            } else {
+                // Classic full Newton: factor every iteration and solve for
+                // the next iterate directly (bitwise-unchanged legacy path).
+                let lu = Lu::factor(&g)?;
+                factorizations += 1;
+                let x_new = lu.solve(&rhs)?;
+
+                // Damped update: limit each voltage step.
+                for i in 0..dim {
+                    let mut delta = x_new[i] - x[i];
+                    // Only damp node voltages; source branch currents may move freely.
+                    if i < n {
+                        delta = delta.clamp(-self.max_step, self.max_step);
+                    }
+                    x[i] += delta;
+                    if i < n {
+                        max_delta = max_delta.max(delta.abs());
+                    }
                 }
             }
             last_update = max_delta;
+            prev_residual = residual;
         }
 
         Err(SpiceError::NoConvergence {

@@ -7,7 +7,7 @@
 //! continuation trick that keeps the solver fast and on the same solution
 //! branch.
 
-use crate::{Circuit, DcSolver, DeviceId, Solution, SpiceError};
+use crate::{Circuit, DcSolver, DeviceId, NewtonCache, Solution, SpiceError};
 use pnc_linalg::ParallelConfig;
 
 /// Sweeps the voltage source `source` over `values` and returns the solution
@@ -44,11 +44,16 @@ pub fn dc_sweep(
     values: &[f64],
     solver: &DcSolver,
 ) -> Result<Vec<Solution>, SpiceError> {
+    // One modified-Newton cache across the whole continuation: consecutive
+    // points warm-start near each other, so the factored Jacobian usually
+    // carries over and iterations-per-factorization climbs above one (see
+    // `DcSolver::newton_reuse`; a no-op when reuse is disabled).
+    let mut cache = NewtonCache::new();
     let mut out = Vec::with_capacity(values.len());
     let mut guess: Option<Vec<f64>> = None;
     for &v in values {
         circuit.set_vsource(source, v)?;
-        let sol = solver.solve_with_guess(circuit, guess.as_deref())?;
+        let sol = solver.solve_with_cache(circuit, guess.as_deref(), &mut cache)?;
         guess = Some(sol.voltages()[1..].to_vec());
         out.push(sol);
     }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Assert that BENCH_kernels.json parses and carries every key the
+# EXPERIMENTS.md schema documents. Run after the `kernels` bench bin:
+#
+#   cargo run --release -p pnc-bench --bin kernels -- --quick
+#   scripts/check_bench_kernels.sh [REPORT]
+#
+# With no argument, checks BENCH_kernels.json at the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+report=${1:-BENCH_kernels.json}
+
+if [ ! -f "$report" ]; then
+    echo "MISSING REPORT: $report (run the kernels bench first)" >&2
+    exit 1
+fi
+
+python3 - "$report" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+
+failures = []
+
+
+def need(obj, key, where, kind):
+    if key not in obj:
+        failures.append(f"{where}: missing key '{key}'")
+    elif not isinstance(obj[key], kind):
+        failures.append(f"{where}.{key}: expected {kind}, got {type(obj[key]).__name__}")
+
+
+number = (int, float)
+need(report, "machine_threads", "report", int)
+
+need(report, "matmul", "report", dict)
+matmul = report.get("matmul", {})
+need(matmul, "block", "matmul", int)
+need(matmul, "parallel_threads", "matmul", int)
+need(matmul, "results", "matmul", list)
+if not matmul.get("results"):
+    failures.append("matmul.results: must have at least one size")
+for i, row in enumerate(matmul.get("results", [])):
+    for key in ("size", "reference_gflops", "blocked_gflops", "parallel_gflops"):
+        need(row, key, f"matmul.results[{i}]", number)
+
+need(report, "epoch", "report", dict)
+epoch = report.get("epoch", {})
+for key in ("batch", "n_mc", "epochs"):
+    need(epoch, key, "epoch", int)
+for key in ("naive_wall_ms", "reuse_wall_ms", "speedup"):
+    need(epoch, key, "epoch", number)
+
+need(report, "newton", "report", dict)
+newton = report.get("newton", {})
+for key in ("sweep_points", "full_iterations", "reuse_iterations", "reuse_factorizations"):
+    need(newton, key, "newton", int)
+for key in ("iterations_per_factorization", "full_points_per_s", "reuse_points_per_s"):
+    need(newton, key, "newton", number)
+
+if failures:
+    for line in failures:
+        print(f"BENCH SCHEMA: {line}", file=sys.stderr)
+    sys.exit(1)
+
+print(
+    f"{path}: schema ok "
+    f"(epoch speedup {epoch['speedup']:.2f}x, "
+    f"{newton['iterations_per_factorization']:.2f} iterations/factorization)"
+)
+PY
