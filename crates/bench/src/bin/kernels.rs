@@ -41,15 +41,18 @@ struct MatmulPoint {
     reference_gflops: f64,
     /// Cache-blocked serial kernel (the `Matrix::matmul` default).
     blocked_gflops: f64,
-    /// Row-partitioned deterministic parallel kernel.
-    parallel_gflops: f64,
+    /// Row-partitioned deterministic parallel kernel; `null` when the
+    /// machine has a single physical core (a 1-thread "parallel" number
+    /// would only measure pool overhead, not parallelism).
+    parallel_gflops: Option<f64>,
 }
 
 #[derive(Debug, Serialize)]
 struct MatmulSection {
     /// Cache block edge the blocked kernel ran with (`PNC_MATMUL_BLOCK`).
     block: usize,
-    /// Worker threads used by the parallel rows.
+    /// Worker threads used by the parallel rows (1 = parallel columns are
+    /// skipped and emitted as `null`).
     parallel_threads: usize,
     results: Vec<MatmulPoint>,
 }
@@ -91,11 +94,55 @@ struct NewtonSection {
 
 #[derive(Debug, Serialize)]
 struct Report {
-    /// `std::thread::available_parallelism` on the measuring machine.
+    /// Physical cores on the measuring machine (unique `(physical id,
+    /// core id)` pairs from `/proc/cpuinfo`; SMT siblings collapse).
     machine_threads: usize,
+    /// `std::thread::available_parallelism` (logical CPUs), for context.
+    machine_logical_threads: usize,
     matmul: MatmulSection,
     epoch: EpochSection,
     newton: NewtonSection,
+}
+
+fn logical_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`. SMT siblings share both ids, so hyperthreads collapse
+/// into one core. Falls back to [`logical_threads`] where the file is
+/// absent or unparsable.
+fn physical_cores() -> usize {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical_threads();
+    };
+    let mut cores = std::collections::HashSet::new();
+    let (mut package, mut core) = (None::<u64>, None::<u64>);
+    for line in info.lines().chain(std::iter::once("")) {
+        if line.trim().is_empty() {
+            if let (Some(p), Some(c)) = (package, core) {
+                cores.insert((p, c));
+            }
+            package = None;
+            core = None;
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => package = value.trim().parse().ok(),
+            "core id" => core = value.trim().parse().ok(),
+            _ => {}
+        }
+    }
+    if cores.is_empty() {
+        logical_threads()
+    } else {
+        cores.len()
+    }
 }
 
 /// Best-of-`reps` wall time of `f`, in milliseconds, after one warmup run.
@@ -110,7 +157,7 @@ fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-fn bench_matmul(quick: bool, parallel: &ParallelConfig) -> MatmulSection {
+fn bench_matmul(quick: bool, parallel: &ParallelConfig, run_parallel: bool) -> MatmulSection {
     let sizes: &[usize] = if quick { &[48, 96] } else { &[64, 128, 256] };
     let reps = if quick { 3 } else { 5 };
     let mut results = Vec::new();
@@ -125,25 +172,36 @@ fn bench_matmul(quick: bool, parallel: &ParallelConfig) -> MatmulSection {
         let blocked_ms = time_best(reps, || {
             a.matmul(&b).expect("square operands conform");
         });
-        let parallel_ms = time_best(reps, || {
-            a.matmul_parallel(&b, parallel)
-                .expect("square operands conform");
+        let parallel_gflops = run_parallel.then(|| {
+            let parallel_ms = time_best(reps, || {
+                a.matmul_parallel(&b, parallel)
+                    .expect("square operands conform");
+            });
+            gflops(parallel_ms)
         });
         let point = MatmulPoint {
             size: n,
             reference_gflops: gflops(reference_ms),
             blocked_gflops: gflops(blocked_ms),
-            parallel_gflops: gflops(parallel_ms),
+            parallel_gflops,
+        };
+        let parallel_col = match point.parallel_gflops {
+            Some(g) => format!("{g:>6.2}"),
+            None => "  skip".to_string(),
         };
         eprintln!(
-            "  {n:>4}³: reference {:>6.2}  blocked {:>6.2}  parallel {:>6.2} GFLOP/s",
-            point.reference_gflops, point.blocked_gflops, point.parallel_gflops
+            "  {n:>4}³: reference {:>6.2}  blocked {:>6.2}  parallel {parallel_col} GFLOP/s",
+            point.reference_gflops, point.blocked_gflops
         );
         results.push(point);
     }
     MatmulSection {
         block: pnc_linalg::kernels::block_size(),
-        parallel_threads: parallel.effective_threads(),
+        parallel_threads: if run_parallel {
+            parallel.effective_threads()
+        } else {
+            1
+        },
         results,
     }
 }
@@ -319,17 +377,20 @@ fn bench_newton(quick: bool) -> Result<NewtonSection, Box<dyn std::error::Error>
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let machine = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let machine = physical_cores();
+    let run_parallel = machine > 1;
+    if !run_parallel {
+        eprintln!("single physical core detected: parallel matmul columns will be null");
+    }
 
     eprintln!("matmul throughput ...");
-    let matmul = bench_matmul(quick, &ParallelConfig::automatic());
+    let matmul = bench_matmul(quick, &ParallelConfig::automatic(), run_parallel);
     let epoch = bench_epoch(quick)?;
     let newton = bench_newton(quick)?;
 
     let report = Report {
         machine_threads: machine,
+        machine_logical_threads: logical_threads(),
         matmul,
         epoch,
         newton,

@@ -30,8 +30,10 @@
 //!
 //! [`Pnn`] is the model, [`Trainer`] runs (variation-aware) training with
 //! early stopping, [`eval`] measures Monte-Carlo robustness the way Tab. II
-//! reports it, and [`PrintedDesign`] exports the component values a printer
-//! would receive.
+//! reports it, [`PrintedDesign`] exports the component values a printer
+//! would receive, and [`InferencePlan`] compiles a trained network into an
+//! allocation-free forward pass (bit-identical f64, plus f32 and Q1.14
+//! fixed-point variants — see [`infer`]).
 //!
 //! # Examples
 //!
@@ -80,6 +82,7 @@ mod error;
 pub mod eval;
 mod export;
 pub mod hardware;
+pub mod infer;
 mod layer;
 mod network;
 mod nonlinearity;
@@ -89,6 +92,7 @@ mod variation;
 pub use error::PnnError;
 pub use eval::{accuracy, mc_evaluate, mc_evaluate_with, McStats};
 pub use export::{CircuitDesign, CrossbarDesign, PrintedDesign};
+pub use infer::{CompiledPnn, InferencePlan, InferencePlanF32, InferencePlanQuant, PlanPrecision};
 pub use layer::{project_printable, PLayer};
 pub use network::{LossKind, NonlinearityGranularity, Pnn, PnnConfig, PnnVars};
 pub use nonlinearity::{apply_inv, apply_ptanh, NonlinearCircuit};

@@ -263,8 +263,10 @@ impl Pnn {
     }
 
     /// The range of circuit-pair indices layer `i` uses: one shared pair,
-    /// the layer's own pair, or one pair per output neuron.
-    fn pair_range(&self, layer: usize) -> std::ops::Range<usize> {
+    /// the layer's own pair, or one pair per output neuron. Shared with the
+    /// plan compiler in [`crate::infer`], which must slice η pairs exactly
+    /// as the graph forward does.
+    pub(crate) fn pair_range(&self, layer: usize) -> std::ops::Range<usize> {
         match self.config.granularity {
             NonlinearityGranularity::Shared => 0..1,
             NonlinearityGranularity::PerLayer => layer..layer + 1,

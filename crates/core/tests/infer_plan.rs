@@ -1,0 +1,237 @@
+//! Parity contracts of the compiled inference plans (DESIGN.md §12),
+//! exercised on the paper's network topology across the full 13-dataset
+//! benchmark suite:
+//!
+//! * the f64 [`InferencePlan`] is **bit-identical** to the autodiff-graph
+//!   forward — exact `assert_eq!`, at every batch chunking and at 1/2/8
+//!   threads, on trained and freshly initialized networks alike;
+//! * the f32 and Q1.14 fixed-point plans are bounded-error: aggregate
+//!   classification agreement with the f64 path on held-out rows must be
+//!   ≥ 99.5 %, and each is bit-identical to *itself* across thread counts.
+
+use pnc_core::{
+    InferencePlan, InferencePlanF32, InferencePlanQuant, LabeledData, NonlinearityGranularity, Pnn,
+    PnnConfig, TrainConfig, Trainer, VariationModel,
+};
+use pnc_datasets::{benchmark_suite, Dataset};
+use pnc_linalg::{Matrix, ParallelConfig};
+use pnc_surrogate::{
+    build_dataset, train_surrogate, DatasetConfig, SurrogateModel, TrainConfig as SurrogateTrain,
+};
+use std::sync::{Arc, OnceLock};
+
+fn surrogate() -> Arc<SurrogateModel> {
+    static CELL: OnceLock<Arc<SurrogateModel>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = build_dataset(&DatasetConfig {
+            samples: 150,
+            sweep_points: 31,
+        })
+        .expect("builds");
+        Arc::new(
+            train_surrogate(
+                &data,
+                &SurrogateTrain {
+                    layer_sizes: vec![10, 8, 4],
+                    max_epochs: 300,
+                    patience: 100,
+                    ..SurrogateTrain::default()
+                },
+            )
+            .expect("trains")
+            .0,
+        )
+    })
+    .clone()
+}
+
+/// A network with the paper's `#input-3-#output` topology for a dataset,
+/// briefly trained when `epochs > 0` (enough to move every parameter off
+/// its initialization, so the plans face *trained* weights and circuits).
+fn network_for(ds: &Dataset, train: &Dataset, val: &Dataset, seed: u64, epochs: usize) -> Pnn {
+    let config = PnnConfig::for_dataset(ds.num_features(), ds.num_classes).with_seed(seed);
+    let mut pnn = Pnn::new(config, surrogate()).expect("valid config");
+    if epochs > 0 {
+        Trainer::new(TrainConfig {
+            variation: VariationModel::None,
+            n_train_mc: 1,
+            n_val_mc: 1,
+            max_epochs: epochs,
+            patience: epochs,
+            parallel: ParallelConfig::serial(),
+            ..TrainConfig::default()
+        })
+        .train(
+            &mut pnn,
+            LabeledData::new(&train.features, &train.labels).expect("train data"),
+            LabeledData::new(&val.features, &val.labels).expect("val data"),
+        )
+        .expect("trains");
+    }
+    pnn
+}
+
+/// Small datasets get real training epochs; the larger ones ride along
+/// untrained (same forward math, keeps the suite's runtime bounded).
+fn training_epochs(ds: &Dataset) -> usize {
+    if ds.len() <= 200 {
+        6
+    } else {
+        0
+    }
+}
+
+#[test]
+fn f64_plan_is_bit_identical_on_all_13_datasets() {
+    let mut checked = 0;
+    for (i, ds) in benchmark_suite().iter().enumerate() {
+        let (train, val, test) = ds.split(7);
+        let pnn = network_for(ds, &train, &val, 40 + i as u64, training_epochs(ds));
+        let graph_out = pnn.infer(&test.features, None).expect("graph forward");
+        let mut plan = InferencePlan::compile(&pnn).expect("compiles");
+        let plan_out = plan.infer(&test.features).expect("plan forward");
+        assert_eq!(graph_out, plan_out, "{}: plan vs graph differ", ds.name);
+        assert_eq!(
+            pnn.predict(&test.features, None).expect("graph predict"),
+            plan.predict(&test.features).expect("plan predict"),
+            "{}: predictions differ",
+            ds.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 13, "the suite must cover all 13 datasets");
+}
+
+#[test]
+fn f64_plan_is_bit_identical_at_1_2_8_threads_and_any_chunking() {
+    let suite = benchmark_suite();
+    // Three datasets spanning small/medium feature counts keep this fast;
+    // thread count and chunking cannot interact with the data anyway (the
+    // forward has no cross-row coupling).
+    for ds in suite.iter().take(3) {
+        let (train, val, test) = ds.split(11);
+        let pnn = network_for(ds, &train, &val, 5, training_epochs(ds));
+        let graph_out = pnn.infer(&test.features, None).expect("graph forward");
+        for capacity in [1, 3, 64] {
+            let mut plan = InferencePlan::compile_with_capacity(&pnn, capacity).expect("compiles");
+            assert_eq!(
+                graph_out,
+                plan.infer(&test.features).expect("plan forward"),
+                "{}: capacity {capacity} chunking changed bits",
+                ds.name
+            );
+            for threads in [1, 2, 8] {
+                let par = plan
+                    .infer_parallel(&test.features, &ParallelConfig::with_threads(threads))
+                    .expect("parallel forward");
+                assert_eq!(
+                    graph_out, par,
+                    "{}: {threads} threads / capacity {capacity} changed bits",
+                    ds.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn f64_plan_covers_every_granularity_and_headless_output() {
+    let ds = &benchmark_suite()[0];
+    let (_, _, test) = ds.split(3);
+    for granularity in [
+        NonlinearityGranularity::Shared,
+        NonlinearityGranularity::PerLayer,
+        NonlinearityGranularity::PerNeuron,
+    ] {
+        for activation_on_output in [true, false] {
+            let mut config = PnnConfig::for_dataset(ds.num_features(), ds.num_classes);
+            config.granularity = granularity;
+            config.activation_on_output = activation_on_output;
+            let pnn = Pnn::new(config, surrogate()).expect("valid config");
+            let graph_out = pnn.infer(&test.features, None).expect("graph forward");
+            let mut plan = InferencePlan::compile(&pnn).expect("compiles");
+            assert_eq!(
+                graph_out,
+                plan.infer(&test.features).expect("plan forward"),
+                "{granularity:?} / activation_on_output={activation_on_output}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_and_quant_plans_agree_with_f64_on_995_permille_of_held_out_rows() {
+    let mut total = 0usize;
+    let mut f32_agree = 0usize;
+    let mut quant_agree = 0usize;
+    for (i, ds) in benchmark_suite().iter().enumerate() {
+        let (train, val, test) = ds.split(17);
+        let pnn = network_for(ds, &train, &val, 70 + i as u64, training_epochs(ds));
+        let mut plan64 = InferencePlan::compile(&pnn).expect("f64 compiles");
+        let mut plan32 = InferencePlanF32::compile(&pnn).expect("f32 compiles");
+        let mut planq = InferencePlanQuant::compile(&pnn).expect("quant compiles");
+        let p64 = plan64.predict(&test.features).expect("f64 predict");
+        let p32 = plan32.predict(&test.features).expect("f32 predict");
+        let pq = planq.predict(&test.features).expect("quant predict");
+        total += p64.len();
+        f32_agree += p64.iter().zip(&p32).filter(|(a, b)| a == b).count();
+        quant_agree += p64.iter().zip(&pq).filter(|(a, b)| a == b).count();
+    }
+    let f32_rate = f32_agree as f64 / total as f64;
+    let quant_rate = quant_agree as f64 / total as f64;
+    assert!(
+        f32_rate >= 0.995,
+        "f32 agreement {f32_rate:.4} < 99.5% over {total} held-out rows"
+    );
+    assert!(
+        quant_rate >= 0.995,
+        "quant agreement {quant_rate:.4} < 99.5% over {total} held-out rows"
+    );
+}
+
+#[test]
+fn reduced_precision_plans_are_self_consistent_across_threads() {
+    let ds = &benchmark_suite()[1];
+    let (train, val, test) = ds.split(23);
+    let pnn = network_for(ds, &train, &val, 9, training_epochs(ds));
+    let mut plan32 = InferencePlanF32::compile_with_capacity(&pnn, 5).expect("f32 compiles");
+    let mut planq = InferencePlanQuant::compile_with_capacity(&pnn, 5).expect("quant compiles");
+    let serial32 = plan32.infer(&test.features).expect("f32 serial");
+    let serialq = planq.infer(&test.features).expect("quant serial");
+    for threads in [1, 2, 8] {
+        let par = ParallelConfig::with_threads(threads);
+        assert_eq!(
+            serial32,
+            plan32
+                .infer_parallel(&test.features, &par)
+                .expect("f32 par"),
+            "f32 plan changed bits at {threads} threads"
+        );
+        assert_eq!(
+            serialq,
+            planq
+                .infer_parallel(&test.features, &par)
+                .expect("quant par"),
+            "quant plan changed bits at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn plan_rejects_wrong_input_width_and_output_shape() {
+    let ds = &benchmark_suite()[0];
+    let pnn = Pnn::new(
+        PnnConfig::for_dataset(ds.num_features(), ds.num_classes),
+        surrogate(),
+    )
+    .expect("valid config");
+    let mut plan = InferencePlan::compile(&pnn).expect("compiles");
+    let bad = Matrix::zeros(2, ds.num_features() + 1);
+    assert!(plan.infer(&bad).is_err(), "wrong width must be rejected");
+    let good = Matrix::zeros(2, ds.num_features());
+    let mut wrong_out = Matrix::zeros(3, ds.num_classes);
+    assert!(
+        plan.infer_into(&good, &mut wrong_out).is_err(),
+        "wrong output shape must be rejected"
+    );
+}

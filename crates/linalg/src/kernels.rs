@@ -1,4 +1,4 @@
-//! Cache-blocked dense kernels behind [`Matrix`](crate::Matrix)'s hot methods.
+//! Cache-blocked dense kernels behind [`Matrix`]'s hot methods.
 //!
 //! The inner loops here are the workspace's floating-point hot path: every
 //! autodiff forward/backward pass, every Levenberg–Marquardt normal-equation
@@ -55,31 +55,53 @@ pub fn block_size() -> usize {
 /// `rs..re`. `out_band` must hold `(re - rs) * b.cols()` elements; it is
 /// zeroed first. Shapes are the caller's responsibility.
 ///
-/// Loop order is `i`-block, `k`-block, `i`, `k`, `j`: for each fixed
-/// `(i, j)` the contraction index `k` ascends across blocks and within each
-/// block, so the accumulation order — and therefore every output bit — is
-/// identical to the naive `i`/`k`/`j` kernel for any block size.
+/// The per-tile work is the register-tiled microkernel
+/// [`gemm_f64_acc_strided`](crate::simd::gemm_f64_acc_strided). Tiles are
+/// visited `i`-block then `k`-block, and the microkernel keeps `k`
+/// ascending per output element, so the accumulation order — and therefore
+/// every output bit — is identical to the naive `i`/`k`/`j` kernel for any
+/// block size. Bands that fit a single cache block (`rows ≤ bs` and
+/// `inner ≤ bs`) dispatch straight to one microkernel call with no blocking
+/// loop — see the crossover note in DESIGN.md §11.
 pub(crate) fn matmul_band_into(a: &Matrix, b: &Matrix, rs: usize, re: usize, out_band: &mut [f64]) {
     let inner = a.cols();
     let n = b.cols();
     out_band.fill(0.0);
+    let rows = re - rs;
+    if rows == 0 || inner == 0 || n == 0 {
+        return;
+    }
+    let a_band = &a.as_slice()[rs * inner..re * inner];
     let bs = block_size();
-    let mut ib = rs;
-    while ib < re {
-        let i_end = (ib + bs).min(re);
+    if rows <= bs && inner <= bs {
+        // Unblocked fast path: the whole band is one tile, so the blocking
+        // loop would only add overhead (the size-64 regression of PR 5).
+        crate::simd::gemm_f64_acc_strided(
+            a_band,
+            inner,
+            b.as_slice(),
+            n,
+            out_band,
+            n,
+            (rows, inner, n),
+        );
+        return;
+    }
+    let mut ib = 0;
+    while ib < rows {
+        let i_end = (ib + bs).min(rows);
         let mut kb = 0;
         while kb < inner {
             let k_end = (kb + bs).min(inner);
-            for i in ib..i_end {
-                let a_row = a.row(i);
-                let out_row = &mut out_band[(i - rs) * n..(i - rs + 1) * n];
-                for (k, &aik) in a_row.iter().enumerate().take(k_end).skip(kb) {
-                    let b_row = b.row(k);
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += aik * bv;
-                    }
-                }
-            }
+            crate::simd::gemm_f64_acc_strided(
+                &a_band[ib * inner + kb..],
+                inner,
+                &b.as_slice()[kb * n..],
+                n,
+                &mut out_band[ib * n..],
+                n,
+                (i_end - ib, k_end - kb, n),
+            );
             kb = k_end;
         }
         ib = i_end;
@@ -143,10 +165,11 @@ pub(crate) fn matmul_tn_into_raw(a: &Matrix, b: &Matrix, out_data: &mut [f64]) {
     }
 }
 
-/// Row band boundaries for the parallel matmul: contiguous bands of at most
-/// `band` rows, in row order. Banding never changes results (each output row
-/// depends only on its own inputs), so the band size is a pure tuning knob.
-pub(crate) fn row_bands(rows: usize, band: usize) -> Vec<(usize, usize)> {
+/// Row band boundaries for row-partitioned parallel work: contiguous bands
+/// of at most `band` rows, in row order. Banding never changes results when
+/// each output row depends only on its own inputs (matmul, the compiled
+/// inference plans), so the band size is a pure tuning knob.
+pub fn row_bands(rows: usize, band: usize) -> Vec<(usize, usize)> {
     let band = band.max(1);
     let mut bands = Vec::with_capacity(rows.div_ceil(band));
     let mut start = 0;

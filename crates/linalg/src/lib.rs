@@ -21,6 +21,10 @@
 //!   methods, tunable via the `PNC_MATMUL_BLOCK` environment variable; every
 //!   variant is bit-identical to the naive reference at any block size and
 //!   thread count.
+//! * [`simd`] — autovectorization-friendly register-tiled microkernels
+//!   (f64×4, f32×8, i16→i32) shared by the blocked matmul and the compiled
+//!   inference plans in `pnc-core`, all safe code, all honoring the same
+//!   ascending-`k` accumulation order.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ pub mod kernels;
 mod lu;
 mod matrix;
 pub mod parallel;
+pub mod simd;
 pub mod stats;
 mod workspace;
 

@@ -324,6 +324,35 @@ fn env_var_registry_checks_both_directions() {
 }
 
 #[test]
+fn infer_observability_names_match_the_real_docs() {
+    // Unlike the other fixtures, this one runs against the REAL workspace
+    // docs: the `infer.*` counters and the PNC_INFER_PRECISION variable it
+    // constructs/reads are exactly the ones `pnc-core::infer` ships, so
+    // docs/METRICS.md and the README env-var table must keep them
+    // documented. (Docs→code ghosts about the rest of the workspace are
+    // expected here — the pretend workspace is one file — so findings are
+    // filtered to the fixture's path.)
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = pnc_lint::workspace::load(&root).expect("workspace loads");
+    let text = include_str!("fixtures/infer.rs");
+    let findings = run(
+        "crates/core/src/infer_fixture.rs",
+        "pnc-core",
+        FileKind::Lib,
+        text,
+        &ws.docs,
+    );
+    let on_fixture: Vec<_> = findings
+        .iter()
+        .filter(|f| f.path.ends_with("infer_fixture.rs"))
+        .collect();
+    assert!(
+        on_fixture.is_empty(),
+        "infer.* observability drifted from the docs: {on_fixture:?}"
+    );
+}
+
+#[test]
 fn suppression_hygiene_reports_malformed_unknown_and_unused() {
     let text = include_str!("fixtures/suppression_hygiene.rs");
     let findings = run(

@@ -36,6 +36,7 @@ def need(obj, key, where, kind):
 
 number = (int, float)
 need(report, "machine_threads", "report", int)
+need(report, "machine_logical_threads", "report", int)
 
 need(report, "matmul", "report", dict)
 matmul = report.get("matmul", {})
@@ -44,9 +45,31 @@ need(matmul, "parallel_threads", "matmul", int)
 need(matmul, "results", "matmul", list)
 if not matmul.get("results"):
     failures.append("matmul.results: must have at least one size")
+single_core = report.get("machine_threads") == 1
 for i, row in enumerate(matmul.get("results", [])):
-    for key in ("size", "reference_gflops", "blocked_gflops", "parallel_gflops"):
+    for key in ("size", "reference_gflops", "blocked_gflops"):
         need(row, key, f"matmul.results[{i}]", number)
+    # parallel_gflops is null on single-physical-core machines (a 1-thread
+    # "parallel" number would only measure pool overhead) and a number
+    # otherwise.
+    where = f"matmul.results[{i}]"
+    if "parallel_gflops" not in row:
+        failures.append(f"{where}: missing key 'parallel_gflops'")
+    elif row["parallel_gflops"] is None:
+        if not single_core:
+            failures.append(
+                f"{where}.parallel_gflops: null but machine_threads > 1"
+            )
+    elif not isinstance(row["parallel_gflops"], number):
+        failures.append(
+            f"{where}.parallel_gflops: expected number or null, "
+            f"got {type(row['parallel_gflops']).__name__}"
+        )
+    elif single_core:
+        failures.append(
+            f"{where}.parallel_gflops: must be null on a single-physical-core "
+            "machine"
+        )
 
 need(report, "epoch", "report", dict)
 epoch = report.get("epoch", {})
