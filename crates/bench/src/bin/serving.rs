@@ -1,0 +1,460 @@
+//! Serving-layer load test: the `pnc-serve` micro-batching front over a
+//! trained Iris network. Results go to `BENCH_serving.json` at the repo
+//! root, with the `serve.*` metrics summary beside it in
+//! `BENCH_serving_metrics.json`.
+//!
+//! Three phases:
+//!
+//! 1. **correctness** — every held-out row served through the batching
+//!    server (and once more over the framed-TCP hop) is compared against a
+//!    direct single-sample [`pnc_core::InferencePlan`] call with exact f64
+//!    bit equality. `bit_identical` and `tcp_round_trip` in the report are
+//!    hard floors in `scripts/check_bench_serving.sh`.
+//! 2. **serial** — the single-request-at-a-time server (`max_batch = 1`:
+//!    every dispatch carries exactly one request) under the same 8-client
+//!    concurrent load the batching server faces: the no-coalescing
+//!    baseline throughput and latency.
+//! 3. **load** — the batching server (`max_batch = 32`, zero dwell =
+//!    adaptive drain-what's-queued coalescing, same worker count) hammered
+//!    by concurrent client threads. The headline `batching_speedup`
+//!    (8-client batched throughput over the 8-client one-at-a-time
+//!    baseline) must stay ≥ 1: with everything else equal, coalescing may
+//!    never be slower than one-at-a-time dispatch.
+//!
+//! The dwell knob trades latency for fuller batches under *open-loop*
+//! traffic; under this benchmark's closed-loop clients (each waits for its
+//! response before sending the next request) a dwell deadline only adds
+//! latency, so the throughput phase runs it at zero and the correctness
+//! phase exercises the non-zero-dwell path instead.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin serving -- [--quick]
+//! ```
+
+use pnc_core::{
+    InferencePlan, LabeledData, PlanPrecision, Pnn, PnnArtifact, PnnConfig, TrainConfig, Trainer,
+    VariationModel,
+};
+use pnc_datasets::generators::iris;
+use pnc_linalg::{Matrix, ParallelConfig};
+use pnc_serve::{wire, ModelRegistry, ServeConfig, Server};
+use pnc_surrogate::{build_dataset, train_surrogate, DatasetConfig, TrainConfig as STrain};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The served model, for report self-description.
+#[derive(Debug, Serialize)]
+struct ModelInfo {
+    /// Benchmark task the network was trained on.
+    dataset: String,
+    /// Input features.
+    in_dim: usize,
+    /// Output classes.
+    out_dim: usize,
+    /// Registry-level plan precision.
+    precision: String,
+}
+
+/// The batching policy under test.
+#[derive(Debug, Serialize)]
+struct ConfigInfo {
+    max_batch: usize,
+    max_wait_us: u64,
+    queue_capacity: usize,
+    worker_threads: usize,
+}
+
+/// One measured traffic phase.
+#[derive(Debug, Serialize)]
+struct PhaseResult {
+    /// Concurrent client threads issuing requests.
+    client_threads: usize,
+    /// Requests issued across all clients.
+    requests: usize,
+    /// Requests answered successfully.
+    completed: usize,
+    /// Requests shed with a typed overload rejection.
+    rejected: usize,
+    /// Completed requests per second of wall time.
+    requests_per_s: f64,
+    /// Median per-request latency (enqueue → response), microseconds.
+    p50_us: f64,
+    /// Tail per-request latency, microseconds.
+    p99_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Physical cores on the measuring machine.
+    machine_threads: usize,
+    model: ModelInfo,
+    config: ConfigInfo,
+    /// The no-batching baseline: one client against a
+    /// single-request-at-a-time server.
+    serial: PhaseResult,
+    /// The batching server under concurrent load, one entry per client
+    /// count.
+    load: Vec<PhaseResult>,
+    /// Best loaded throughput over the serial baseline — the hard ≥ 1
+    /// floor: batching may never lose to one-at-a-time serving.
+    batching_speedup: f64,
+    /// Whether every served response matched the direct single-sample plan
+    /// call bit for bit.
+    bit_identical: bool,
+    /// Whether the framed-TCP hop also preserved exact bits.
+    tcp_round_trip: bool,
+}
+
+fn logical_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`, falling back to [`logical_threads`] (same accounting as
+/// the other bench bins).
+fn physical_cores() -> usize {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical_threads();
+    };
+    let mut cores = std::collections::HashSet::new();
+    let (mut package, mut core) = (None::<u64>, None::<u64>);
+    for line in info.lines().chain(std::iter::once("")) {
+        if line.trim().is_empty() {
+            if let (Some(p), Some(c)) = (package, core) {
+                cores.insert((p, c));
+            }
+            package = None;
+            core = None;
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => package = value.trim().parse().ok(),
+            "core id" => core = value.trim().parse().ok(),
+            _ => {}
+        }
+    }
+    if cores.is_empty() {
+        logical_threads()
+    } else {
+        cores.len()
+    }
+}
+
+/// `p`-th percentile (0–100) of an ascending-sorted sample, nearest-rank.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Reference bits per test row from direct single-sample plan calls.
+fn single_sample_reference(
+    artifact: &PnnArtifact,
+    rows: &[Vec<f64>],
+) -> Result<Vec<Vec<u64>>, Box<dyn std::error::Error>> {
+    let mut plan = InferencePlan::compile_artifact(artifact)?;
+    let mut reference = Vec::with_capacity(rows.len());
+    for row in rows {
+        let x = Matrix::from_fn(1, row.len(), |_, j| row[j]);
+        let out = plan.infer(&x)?;
+        reference.push(out.row(0).iter().map(|v| v.to_bits()).collect());
+    }
+    Ok(reference)
+}
+
+/// Drives `client_threads × requests_per_client` requests through `server`
+/// and measures completed throughput plus per-request latency percentiles.
+/// Every successful response is bit-checked against `reference`; a mismatch
+/// flips the returned flag.
+fn drive_load(
+    server: &Arc<Server>,
+    rows: &Arc<Vec<Vec<f64>>>,
+    reference: &Arc<Vec<Vec<u64>>>,
+    client_threads: usize,
+    requests_per_client: usize,
+) -> (PhaseResult, bool) {
+    let wall = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..client_threads {
+        let server = Arc::clone(server);
+        let rows = Arc::clone(rows);
+        let reference = Arc::clone(reference);
+        clients.push(std::thread::spawn(move || {
+            let mut latencies_us = Vec::with_capacity(requests_per_client);
+            let (mut completed, mut rejected) = (0usize, 0usize);
+            let mut identical = true;
+            for step in 0..requests_per_client {
+                let i = (step + c * 3) % rows.len();
+                let t = Instant::now();
+                match server.classify("Iris", &rows[i]) {
+                    Ok(scored) => {
+                        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                        completed += 1;
+                        let bits: Vec<u64> = scored.scores.iter().map(|v| v.to_bits()).collect();
+                        if bits != reference[i] {
+                            identical = false;
+                        }
+                    }
+                    Err(pnc_serve::ServeError::Overloaded { .. }) => rejected += 1,
+                    Err(e) => {
+                        eprintln!("unexpected serving error: {e}");
+                        identical = false;
+                    }
+                }
+            }
+            (latencies_us, completed, rejected, identical)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let (mut completed, mut rejected) = (0usize, 0usize);
+    let mut identical = true;
+    for client in clients {
+        let (lat, c, r, ok) = client.join().expect("client thread");
+        latencies.extend(lat);
+        completed += c;
+        rejected += r;
+        identical &= ok;
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    (
+        PhaseResult {
+            client_threads,
+            requests: client_threads * requests_per_client,
+            completed,
+            rejected,
+            requests_per_s: completed as f64 / elapsed,
+            p50_us: percentile(&latencies, 50.0),
+            p99_us: percentile(&latencies, 99.0),
+        },
+        identical,
+    )
+}
+
+/// Best-of-`reps` [`drive_load`] by completed throughput — the same
+/// best-of-N discipline as the other bench bins' `time_best`: transient
+/// slowdowns (scheduler preemption, noisy neighbors) only ever subtract
+/// throughput, so the max is the stable estimate.
+fn drive_load_best(
+    reps: usize,
+    server: &Arc<Server>,
+    rows: &Arc<Vec<Vec<f64>>>,
+    reference: &Arc<Vec<Vec<u64>>>,
+    client_threads: usize,
+    requests_per_client: usize,
+) -> (PhaseResult, bool) {
+    let mut best: Option<PhaseResult> = None;
+    let mut identical = true;
+    for _ in 0..reps {
+        let (phase, ok) = drive_load(server, rows, reference, client_threads, requests_per_client);
+        identical &= ok;
+        if best
+            .as_ref()
+            .is_none_or(|b| phase.requests_per_s > b.requests_per_s)
+        {
+            best = Some(phase);
+        }
+    }
+    (best.expect("reps >= 1"), identical)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    eprintln!("building fixture surrogate ...");
+    let data = build_dataset(&DatasetConfig {
+        samples: if quick { 60 } else { 120 },
+        sweep_points: if quick { 21 } else { 31 },
+    })?;
+    let surrogate = Arc::new(
+        train_surrogate(
+            &data,
+            &STrain {
+                layer_sizes: vec![10, 8, 4],
+                max_epochs: if quick { 60 } else { 200 },
+                patience: 100,
+                ..STrain::default()
+            },
+        )?
+        .0,
+    );
+
+    let ds = iris();
+    let (train, val, test) = ds.split(7);
+    let train_epochs = if quick { 2 } else { 6 };
+    eprintln!(
+        "training the {} network for {train_epochs} epoch(s) ...",
+        ds.name
+    );
+    let config = PnnConfig::for_dataset(ds.num_features(), ds.num_classes).with_seed(7);
+    let mut pnn = Pnn::new(config, surrogate)?;
+    Trainer::new(TrainConfig {
+        variation: VariationModel::None,
+        n_train_mc: 1,
+        n_val_mc: 1,
+        max_epochs: train_epochs,
+        patience: train_epochs,
+        parallel: ParallelConfig::serial(),
+        ..TrainConfig::default()
+    })
+    .train(
+        &mut pnn,
+        LabeledData::new(&train.features, &train.labels)?,
+        LabeledData::new(&val.features, &val.labels)?,
+    )?;
+
+    // Export → registry: the deployment path the serving layer exists for.
+    let artifact = PnnArtifact::from_pnn(&pnn, "Iris")?;
+    let precision = PlanPrecision::F64;
+    // Dwelling config for the correctness phase: a real deadline forces the
+    // dwell path of the batcher under concurrent traffic.
+    let dwell_config = ServeConfig {
+        precision,
+        max_batch: 32,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 1024,
+        worker_threads: 2,
+    };
+    // Throughput config: zero dwell — adaptive coalescing of whatever the
+    // closed-loop clients have queued (see the module docs) — and a single
+    // worker, so the serial/batched ratio isolates dispatch coalescing
+    // rather than queue-mutex contention between workers.
+    let load_config = ServeConfig {
+        max_wait: Duration::ZERO,
+        worker_threads: 1,
+        ..dwell_config.clone()
+    };
+    let mut registry = ModelRegistry::new(precision, load_config.max_batch);
+    registry.insert(artifact.clone())?;
+
+    let rows: Arc<Vec<Vec<f64>>> = Arc::new(
+        (0..test.features.rows())
+            .map(|i| test.features.row(i).to_vec())
+            .collect(),
+    );
+    let reference = Arc::new(single_sample_reference(&artifact, &rows)?);
+
+    // Phase 1: correctness — batched serving and the TCP hop vs direct bits.
+    eprintln!("verifying bit identity through the batching server ...");
+    let server = Arc::new(Server::start(&registry, dwell_config));
+    let (_, mut bit_identical) = drive_load(&server, &rows, &reference, 4, rows.len());
+
+    eprintln!("verifying bit identity over the framed-TCP hop ...");
+    let tcp = wire::TcpServer::start(Arc::clone(&server), "127.0.0.1:0")?;
+    let mut tcp_round_trip = true;
+    {
+        let mut client = wire::WireClient::connect(tcp.local_addr())?;
+        for (i, row) in rows.iter().enumerate() {
+            let scored = client.classify("Iris", row)?;
+            let bits: Vec<u64> = scored.scores.iter().map(|v| v.to_bits()).collect();
+            if bits != reference[i] {
+                tcp_round_trip = false;
+            }
+        }
+    }
+    tcp.shutdown();
+    server.shutdown();
+    eprintln!("  in-process: {bit_identical}   tcp: {tcp_round_trip}");
+
+    // Phase 2: the no-coalescing baseline — the same 8-client load against
+    // a server that dispatches exactly one request per batch.
+    let requests = if quick { 8_000 } else { 40_000 };
+    let load_clients = 8usize;
+    eprintln!(
+        "one-at-a-time baseline, {load_clients} clients × {} requests ...",
+        requests / load_clients
+    );
+    let serial_config = ServeConfig {
+        max_batch: 1,
+        ..load_config.clone()
+    };
+    let server = Arc::new(Server::start(&registry, serial_config));
+    let (serial, ok) = drive_load_best(
+        3,
+        &server,
+        &rows,
+        &reference,
+        load_clients,
+        requests / load_clients,
+    );
+    bit_identical &= ok;
+    server.shutdown();
+    eprintln!(
+        "  {:.0} req/s   p50 {:.1} µs   p99 {:.1} µs",
+        serial.requests_per_s, serial.p50_us, serial.p99_us
+    );
+
+    // Phase 3: the batching server under the same concurrent load.
+    let server = Arc::new(Server::start(&registry, load_config.clone()));
+    let mut load = Vec::new();
+    for client_threads in [2usize, load_clients] {
+        let per_client = requests / client_threads;
+        eprintln!("batched run: {client_threads} clients × {per_client} requests ...");
+        let (phase, ok) =
+            drive_load_best(3, &server, &rows, &reference, client_threads, per_client);
+        bit_identical &= ok;
+        eprintln!(
+            "  {:.0} req/s   p50 {:.1} µs   p99 {:.1} µs   rejected {}",
+            phase.requests_per_s, phase.p50_us, phase.p99_us, phase.rejected
+        );
+        load.push(phase);
+    }
+    server.shutdown();
+
+    // Same client count on both sides of the ratio: coalescing vs
+    // one-at-a-time dispatch, everything else equal.
+    let loaded_at_parity = load
+        .iter()
+        .find(|p| p.client_threads == load_clients)
+        .map(|p| p.requests_per_s)
+        .unwrap_or(0.0);
+    let batching_speedup = loaded_at_parity / serial.requests_per_s;
+
+    let report = Report {
+        machine_threads: physical_cores(),
+        model: ModelInfo {
+            dataset: ds.name.clone(),
+            in_dim: artifact.in_dim,
+            out_dim: artifact.out_dim,
+            precision: precision.name().to_string(),
+        },
+        config: ConfigInfo {
+            max_batch: load_config.max_batch,
+            max_wait_us: load_config.max_wait.as_micros() as u64,
+            queue_capacity: load_config.queue_capacity,
+            worker_threads: load_config.worker_threads,
+        },
+        serial,
+        load,
+        batching_speedup,
+        bit_identical,
+        tcp_round_trip,
+    };
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("\nreport saved to {}", out.display());
+
+    // End-of-run metrics summary next to the timing report: the `serve.*`
+    // traffic counters behind the numbers above (see docs/METRICS.md).
+    let metrics_out =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving_metrics.json");
+    pnc_obs::write_summary(&metrics_out)?;
+    eprintln!("metrics summary saved to {}", metrics_out.display());
+
+    println!(
+        "batching speedup vs single-request-at-a-time: {:.2}x \
+         (bit-identical: {}, tcp: {})",
+        report.batching_speedup, report.bit_identical, report.tcp_round_trip
+    );
+    Ok(())
+}

@@ -18,6 +18,12 @@ pub enum PnnError {
         /// Human-readable description.
         detail: String,
     },
+    /// An exported artifact failed validation (corrupt, non-finite values,
+    /// inconsistent shapes) and must not be loaded into a serving registry.
+    Artifact {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PnnError {
@@ -27,6 +33,7 @@ impl fmt::Display for PnnError {
             PnnError::Surrogate(e) => write!(f, "surrogate failure: {e}"),
             PnnError::Config { detail } => write!(f, "invalid configuration: {detail}"),
             PnnError::Data { detail } => write!(f, "invalid data: {detail}"),
+            PnnError::Artifact { detail } => write!(f, "invalid artifact: {detail}"),
         }
     }
 }

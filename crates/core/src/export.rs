@@ -5,11 +5,17 @@
 //! receive: per-crossbar conductances (with negative-weight flags) and the
 //! bespoke physical parameterization of every nonlinear circuit.
 
+use crate::infer::{extract_layers, ExtractedLayer};
 use crate::network::Pnn;
+use crate::PnnError;
 use pnc_linalg::Matrix;
 use pnc_spice::circuits::NonlinearCircuitParams;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
+
+/// Current [`PnnArtifact`] format version; bumped on incompatible change.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 1;
 
 /// One crossbar of the printed design.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,6 +121,289 @@ impl PrintedDesign {
                     .validate()
                     .is_ok()
         })
+    }
+}
+
+impl PrintedDesign {
+    /// Checks that every number in the design is finite: conductances,
+    /// physical ω component values, and η curve parameters. A failed or
+    /// diverged fit can leave NaN/inf in a design; such a design must never
+    /// reach a printer — or a serving registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] naming the first offending value.
+    pub fn validate(&self) -> Result<(), PnnError> {
+        for (k, cb) in self.crossbars.iter().enumerate() {
+            if let Some(g) = cb.conductances.as_slice().iter().find(|g| !g.is_finite()) {
+                return Err(PnnError::Artifact {
+                    detail: format!("crossbar {k}: non-finite conductance {g}"),
+                });
+            }
+            let (rows, cols) = cb.conductances.shape();
+            if cb.negated.len() != rows || cb.negated.iter().any(|r| r.len() != cols) {
+                return Err(PnnError::Artifact {
+                    detail: format!("crossbar {k}: negated mask shape mismatch"),
+                });
+            }
+        }
+        for (k, (act, inv)) in self.circuits.iter().enumerate() {
+            for (role, c) in [("act", act), ("inv", inv)] {
+                if c.omega.iter().any(|v| !v.is_finite()) {
+                    return Err(PnnError::Artifact {
+                        detail: format!("circuit {k} {role}: non-finite ω component"),
+                    });
+                }
+                if c.eta.iter().any(|v| !v.is_finite()) {
+                    return Err(PnnError::Artifact {
+                        detail: format!("circuit {k} {role}: non-finite η parameter"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One crossbar layer of a [`PnnArtifact`]: the exact flattened f64 numbers
+/// the compiled [`crate::InferencePlan`] executes — normalized sign-split
+/// weights of Eq. 1, η quadruples of Eqs. 2–3, and the precomputed
+/// `inv(1 V)` bias response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactLayer {
+    /// Input width of this crossbar.
+    pub in_dim: usize,
+    /// Output width of this crossbar.
+    pub out_dim: usize,
+    /// `(in_dim + 2) × out_dim` row-major positive-path weights.
+    pub w_pos: Vec<f64>,
+    /// Same shape: negative-path weights.
+    pub w_neg: Vec<f64>,
+    /// Activation-circuit η per circuit pair (1 entry, or `out_dim` for
+    /// per-neuron bespoke circuits).
+    pub eta_act: Vec<[f64; 4]>,
+    /// Negative-weight-circuit η per circuit pair (same length).
+    pub eta_inv: Vec<[f64; 4]>,
+    /// `inv(1 V)` per circuit pair (same length).
+    pub inv_ones: Vec<f64>,
+    /// Whether the ptanh activation applies after this crossbar.
+    pub apply_act: bool,
+}
+
+/// A trained pNN exported for deployment: everything a serving registry
+/// needs to rebuild a [`crate::CompiledPnn`] **bit-identically** — no live
+/// network, autodiff graph, or surrogate model required — plus the
+/// [`PrintedDesign`] the same training run would send to a printer.
+///
+/// The layer payload carries the exact f64 numbers
+/// [`crate::InferencePlan::compile`] extracts (graph-path η, normalized
+/// sign-split weights), so a plan compiled from the artifact reproduces the
+/// originating network's outputs bit for bit at every precision.
+///
+/// Loading always validates: [`Self::from_json`] / [`Self::load`] reject
+/// artifacts with non-finite values (the vendored JSON layer round-trips
+/// NaN/inf through `null` → NaN, exactly the corruption a failed fit
+/// produces) with a typed [`PnnError::Artifact`] — at load time, not as NaN
+/// scores at request time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PnnArtifact {
+    /// Format version, [`ARTIFACT_FORMAT_VERSION`] when written by this
+    /// crate.
+    pub format_version: u32,
+    /// Model identifier (e.g. the dataset/task the pNN was trained for);
+    /// serving registries key on it.
+    pub name: String,
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output class count.
+    pub out_dim: usize,
+    /// Crossbar layers in execution order.
+    pub layers: Vec<ArtifactLayer>,
+    /// The printable design of the same network, for provenance and
+    /// feasibility auditing.
+    pub design: PrintedDesign,
+}
+
+impl PnnArtifact {
+    /// Extracts a deployment artifact from a (typically trained) network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surrogate/graph failures from η extraction.
+    pub fn from_pnn(pnn: &Pnn, name: &str) -> Result<PnnArtifact, PnnError> {
+        let layers: Vec<ArtifactLayer> = extract_layers(pnn)?
+            .into_iter()
+            .map(|l| {
+                let (eta_act, eta_inv) = l.etas.iter().copied().unzip();
+                ArtifactLayer {
+                    in_dim: l.in_dim,
+                    out_dim: l.out_dim,
+                    w_pos: l.w_pos,
+                    w_neg: l.w_neg,
+                    eta_act,
+                    eta_inv,
+                    inv_ones: l.inv_ones,
+                    apply_act: l.apply_act,
+                }
+            })
+            .collect();
+        Ok(PnnArtifact {
+            format_version: ARTIFACT_FORMAT_VERSION,
+            name: name.to_string(),
+            in_dim: pnn.config().layer_sizes[0],
+            out_dim: layers.last().map(|l| l.out_dim).unwrap_or(0),
+            layers,
+            design: PrintedDesign::from_pnn(pnn),
+        })
+    }
+
+    /// Rebuilds the executable layer sequence. Callers validate first.
+    pub(crate) fn extracted_layers(&self) -> Vec<ExtractedLayer> {
+        self.layers
+            .iter()
+            .map(|l| ExtractedLayer {
+                in_dim: l.in_dim,
+                out_dim: l.out_dim,
+                w_pos: l.w_pos.clone(),
+                w_neg: l.w_neg.clone(),
+                etas: l
+                    .eta_act
+                    .iter()
+                    .copied()
+                    .zip(l.eta_inv.iter().copied())
+                    .collect(),
+                inv_ones: l.inv_ones.clone(),
+                apply_act: l.apply_act,
+            })
+            .collect()
+    }
+
+    /// Full artifact validation: version, non-empty consistent layer chain,
+    /// finite weights and η everywhere (layers *and* embedded design).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] describing the first defect found.
+    pub fn validate(&self) -> Result<(), PnnError> {
+        let fail = |detail: String| Err(PnnError::Artifact { detail });
+        if self.format_version != ARTIFACT_FORMAT_VERSION {
+            return fail(format!(
+                "unsupported format_version {} (this build reads {})",
+                self.format_version, ARTIFACT_FORMAT_VERSION
+            ));
+        }
+        if self.name.is_empty() {
+            return fail("empty model name".to_string());
+        }
+        if self.layers.is_empty() {
+            return fail("artifact has no layers".to_string());
+        }
+        let mut expect_in = self.in_dim;
+        for (i, l) in self.layers.iter().enumerate() {
+            if l.in_dim != expect_in {
+                return fail(format!(
+                    "layer {i}: in_dim {} breaks the layer chain (expected {expect_in})",
+                    l.in_dim
+                ));
+            }
+            if l.out_dim == 0 {
+                return fail(format!("layer {i}: zero output width"));
+            }
+            let w_len = (l.in_dim + 2) * l.out_dim;
+            if l.w_pos.len() != w_len || l.w_neg.len() != w_len {
+                return fail(format!(
+                    "layer {i}: weight lengths {}/{} != (in+2)*out = {w_len}",
+                    l.w_pos.len(),
+                    l.w_neg.len()
+                ));
+            }
+            let pairs = l.eta_act.len();
+            if pairs != 1 && pairs != l.out_dim {
+                return fail(format!(
+                    "layer {i}: {pairs} circuit pairs (expected 1 or out_dim {})",
+                    l.out_dim
+                ));
+            }
+            if l.eta_inv.len() != pairs || l.inv_ones.len() != pairs {
+                return fail(format!(
+                    "layer {i}: eta_inv/inv_ones lengths disagree with eta_act ({pairs})"
+                ));
+            }
+            if let Some(w) = l
+                .w_pos
+                .iter()
+                .chain(&l.w_neg)
+                .chain(&l.inv_ones)
+                .find(|w| !w.is_finite())
+            {
+                return fail(format!("layer {i}: non-finite weight {w}"));
+            }
+            if l.eta_act
+                .iter()
+                .chain(&l.eta_inv)
+                .flatten()
+                .any(|e| !e.is_finite())
+            {
+                return fail(format!("layer {i}: non-finite η parameter"));
+            }
+            expect_in = l.out_dim;
+        }
+        if expect_in != self.out_dim {
+            return fail(format!(
+                "last layer's out_dim {expect_in} != artifact out_dim {}",
+                self.out_dim
+            ));
+        }
+        self.design.validate()
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, PnnError> {
+        serde_json::to_string(self).map_err(|e| PnnError::Artifact {
+            detail: format!("serialization failed: {e}"),
+        })
+    }
+
+    /// Parses **and validates** an artifact from JSON: corrupt shapes and
+    /// non-finite values are load-time [`PnnError::Artifact`] errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] on parse failure or validation
+    /// failure.
+    pub fn from_json(json: &str) -> Result<PnnArtifact, PnnError> {
+        let artifact: PnnArtifact = serde_json::from_str(json).map_err(|e| PnnError::Artifact {
+            detail: format!("parse failed: {e}"),
+        })?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Writes the artifact as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] on serialization or I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), PnnError> {
+        std::fs::write(path, self.to_json()?).map_err(|e| PnnError::Artifact {
+            detail: format!("writing {} failed: {e}", path.display()),
+        })
+    }
+
+    /// Reads and validates an artifact from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] on I/O, parse, or validation failure.
+    pub fn load(path: &Path) -> Result<PnnArtifact, PnnError> {
+        let json = std::fs::read_to_string(path).map_err(|e| PnnError::Artifact {
+            detail: format!("reading {} failed: {e}", path.display()),
+        })?;
+        Self::from_json(&json)
     }
 }
 
@@ -238,5 +527,82 @@ mod tests {
         let back: PrintedDesign = serde_json::from_str(&json).unwrap();
         assert_eq!(design.crossbars.len(), back.crossbars.len());
         assert_eq!(design.circuits.len(), back.circuits.len());
+    }
+
+    #[test]
+    fn artifact_round_trip_compiles_bit_identically() {
+        let pnn = quick_pnn();
+        let artifact = PnnArtifact::from_pnn(&pnn, "unit").expect("exports");
+        artifact.validate().expect("valid");
+        let back = PnnArtifact::from_json(&artifact.to_json().expect("serializes")).expect("loads");
+        assert_eq!(artifact, back, "JSON round trip must preserve every bit");
+
+        // A plan compiled from the artifact matches one compiled from the
+        // live network bit for bit.
+        let x = pnc_linalg::Matrix::from_fn(5, 3, |i, j| 0.1 * (i + j) as f64);
+        let mut from_pnn = crate::InferencePlan::compile(&pnn).expect("compiles");
+        let mut from_artifact = crate::InferencePlan::compile_artifact(&back).expect("compiles");
+        assert_eq!(
+            from_pnn.infer(&x).expect("pnn plan"),
+            from_artifact.infer(&x).expect("artifact plan"),
+            "artifact-compiled plan must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn non_finite_artifact_is_rejected_at_load_time() {
+        let pnn = quick_pnn();
+        let mut artifact = PnnArtifact::from_pnn(&pnn, "unit").expect("exports");
+        artifact.layers[0].w_pos[0] = f64::NAN;
+        // The vendored JSON layer writes non-finite floats as `null` and
+        // reads them back as NaN — exactly how a diverged fit's corruption
+        // survives a round trip. Loading must still reject it.
+        let json = artifact.to_json().expect("serializes");
+        match PnnArtifact::from_json(&json) {
+            Err(PnnError::Artifact { detail }) => {
+                assert!(
+                    detail.contains("non-finite"),
+                    "should name the defect: {detail}"
+                )
+            }
+            other => panic!("NaN weight must be an Artifact error, got {other:?}"),
+        }
+
+        // Same for a poisoned η and a poisoned embedded design.
+        let mut bad_eta = PnnArtifact::from_pnn(&pnn, "unit").expect("exports");
+        bad_eta.layers[0].eta_act[0][1] = f64::INFINITY;
+        assert!(matches!(bad_eta.validate(), Err(PnnError::Artifact { .. })));
+        let mut bad_design = PnnArtifact::from_pnn(&pnn, "unit").expect("exports");
+        bad_design.design.circuits[0].0.eta[0] = f64::NAN;
+        assert!(matches!(
+            bad_design.validate(),
+            Err(PnnError::Artifact { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_artifact_shapes_are_rejected() {
+        let pnn = quick_pnn();
+        let good = PnnArtifact::from_pnn(&pnn, "unit").expect("exports");
+
+        let mut wrong_version = good.clone();
+        wrong_version.format_version = 99;
+        assert!(wrong_version.validate().is_err(), "unknown version");
+
+        let mut empty_name = good.clone();
+        empty_name.name.clear();
+        assert!(empty_name.validate().is_err(), "empty name");
+
+        let mut truncated = good.clone();
+        truncated.layers[1].w_neg.pop();
+        assert!(truncated.validate().is_err(), "truncated weights");
+
+        let mut broken_chain = good.clone();
+        broken_chain.layers[1].in_dim += 1;
+        assert!(broken_chain.validate().is_err(), "broken layer chain");
+
+        let mut no_layers = good;
+        no_layers.layers.clear();
+        assert!(no_layers.validate().is_err(), "no layers");
     }
 }

@@ -101,16 +101,53 @@ pub enum PlanPrecision {
 }
 
 impl PlanPrecision {
+    /// Parses a precision name: `f64`, `f32`, or `q16` (aliases `i16`,
+    /// `quant`), case-insensitively and ignoring surrounding whitespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Config`] for any other spelling. There is no
+    /// silent fallback: a typo in a deployment config must fail loudly, not
+    /// quietly serve a different numeric contract.
+    pub fn parse(raw: &str) -> Result<Self, PnnError> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "f64" => Ok(PlanPrecision::F64),
+            "f32" => Ok(PlanPrecision::F32),
+            "q16" | "i16" | "quant" => Ok(PlanPrecision::QuantI16),
+            other => Err(PnnError::Config {
+                detail: format!(
+                    "unrecognized plan precision {other:?} (expected f64, f32, or q16/i16/quant)"
+                ),
+            }),
+        }
+    }
+
     /// Reads the precision from the `PNC_INFER_PRECISION` environment
-    /// variable (`f32`, `q16`/`i16`/`quant`, anything else → [`Self::F64`]).
-    pub fn from_env() -> Self {
+    /// variable. Unset means [`Self::F64`]; a set but unrecognized value is
+    /// a hard [`PnnError::Config`] error surfaced to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Config`] when the variable is set to anything
+    /// other than `f64`, `f32`, or `q16`/`i16`/`quant`.
+    pub fn from_env() -> Result<Self, PnnError> {
         match std::env::var(PRECISION_ENV_VAR) {
-            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
-                "f32" => PlanPrecision::F32,
-                "q16" | "i16" | "quant" => PlanPrecision::QuantI16,
-                _ => PlanPrecision::F64,
-            },
-            Err(_) => PlanPrecision::F64,
+            Ok(raw) => Self::parse(&raw).map_err(|_| PnnError::Config {
+                detail: format!(
+                    "invalid {PRECISION_ENV_VAR}={raw:?} (expected f64, f32, or q16/i16/quant)"
+                ),
+            }),
+            Err(_) => Ok(PlanPrecision::F64),
+        }
+    }
+
+    /// Canonical lower-case name (`f64`, `f32`, `q16`), accepted back by
+    /// [`Self::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanPrecision::F64 => "f64",
+            PlanPrecision::F32 => "f32",
+            PlanPrecision::QuantI16 => "q16",
         }
     }
 }
@@ -122,19 +159,19 @@ impl PlanPrecision {
 /// per-neuron bespoke path — exactly the dispatch [`crate::PLayer::forward`]
 /// uses.
 #[derive(Debug, Clone)]
-struct ExtractedLayer {
-    in_dim: usize,
-    out_dim: usize,
+pub(crate) struct ExtractedLayer {
+    pub(crate) in_dim: usize,
+    pub(crate) out_dim: usize,
     /// `(in_dim + 2) × out_dim` row-major: normalized weights of θ ≥ 0
     /// entries, zero elsewhere.
-    w_pos: Vec<f64>,
+    pub(crate) w_pos: Vec<f64>,
     /// Same shape: normalized weights of θ < 0 entries.
-    w_neg: Vec<f64>,
+    pub(crate) w_neg: Vec<f64>,
     /// `(activation, negative-weight)` η quadruples per circuit pair.
-    etas: Vec<([f64; 4], [f64; 4])>,
+    pub(crate) etas: Vec<([f64; 4], [f64; 4])>,
     /// `inv(1 V)` per pair — the negative-weight path of the bias leg.
-    inv_ones: Vec<f64>,
-    apply_act: bool,
+    pub(crate) inv_ones: Vec<f64>,
+    pub(crate) apply_act: bool,
 }
 
 impl ExtractedLayer {
@@ -174,7 +211,7 @@ fn ptanh_curve_f32(e: &[f32; 4], x: f32) -> f32 {
 /// (the plain `eta()` path differs from the graph in the last ulps), and
 /// the weight arithmetic mirrors [`crate::PLayer::forward`] operation for
 /// operation — both are required for the f64 plan's bit-identity contract.
-fn extract_layers(pnn: &Pnn) -> Result<Vec<ExtractedLayer>, PnnError> {
+pub(crate) fn extract_layers(pnn: &Pnn) -> Result<Vec<ExtractedLayer>, PnnError> {
     // η per circuit pair, through the graph machinery.
     let mut g = Graph::new();
     let mut pair_etas = Vec::with_capacity(pnn.circuits().len());
@@ -433,6 +470,44 @@ impl InferencePlan {
         Ok(InferencePlan {
             in_dim: pnn.config().layer_sizes[0],
             out_dim: layers.last().map(|l| l.out_dim).unwrap_or(0),
+            layers,
+            capacity,
+            scratch,
+        })
+    }
+
+    /// Compiles a plan from an exported [`crate::PnnArtifact`] — no live
+    /// network or surrogate needed. The artifact carries the exact f64
+    /// numbers [`Self::compile`] would extract, so the resulting plan is
+    /// **bit-identical** to one compiled from the originating network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if the artifact fails validation
+    /// (non-finite values, inconsistent shapes).
+    pub fn compile_artifact(artifact: &crate::PnnArtifact) -> Result<InferencePlan, PnnError> {
+        Self::compile_artifact_with_capacity(artifact, DEFAULT_CAPACITY)
+    }
+
+    /// [`Self::compile_artifact`] with an explicit micro-batch capacity
+    /// (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if the artifact fails validation.
+    pub fn compile_artifact_with_capacity(
+        artifact: &crate::PnnArtifact,
+        capacity: usize,
+    ) -> Result<InferencePlan, PnnError> {
+        obs_register();
+        artifact.validate()?;
+        let layers = artifact.extracted_layers();
+        let capacity = capacity.max(1);
+        let scratch = Scratch::new(&layers, capacity);
+        OBS_PLANS_COMPILED.increment();
+        Ok(InferencePlan {
+            in_dim: artifact.in_dim,
+            out_dim: artifact.out_dim,
             layers,
             capacity,
             scratch,
@@ -725,6 +800,47 @@ impl InferencePlanF32 {
         Ok(InferencePlanF32 {
             in_dim: pnn.config().layer_sizes[0],
             out_dim: layers.last().map(|l| l.out_dim).unwrap_or(0),
+            layers,
+            capacity,
+            scratch,
+        })
+    }
+
+    /// Compiles from an exported [`crate::PnnArtifact`] (see
+    /// [`InferencePlan::compile_artifact`]); the f64 → f32 narrowing is the
+    /// same one [`Self::compile`] applies, so artifact- and network-compiled
+    /// f32 plans are bit-identical to each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if the artifact fails validation.
+    pub fn compile_artifact(artifact: &crate::PnnArtifact) -> Result<InferencePlanF32, PnnError> {
+        Self::compile_artifact_with_capacity(artifact, DEFAULT_CAPACITY)
+    }
+
+    /// [`Self::compile_artifact`] with an explicit micro-batch capacity
+    /// (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if the artifact fails validation.
+    pub fn compile_artifact_with_capacity(
+        artifact: &crate::PnnArtifact,
+        capacity: usize,
+    ) -> Result<InferencePlanF32, PnnError> {
+        obs_register();
+        artifact.validate()?;
+        let layers: Vec<LayerF32> = artifact
+            .extracted_layers()
+            .iter()
+            .map(LayerF32::from_f64)
+            .collect();
+        let capacity = capacity.max(1);
+        let scratch = ScratchF32::new(&layers, capacity);
+        OBS_PLANS_COMPILED.increment();
+        Ok(InferencePlanF32 {
+            in_dim: artifact.in_dim,
+            out_dim: artifact.out_dim,
             layers,
             capacity,
             scratch,
@@ -1048,6 +1164,47 @@ impl InferencePlanQuant {
         })
     }
 
+    /// Compiles from an exported [`crate::PnnArtifact`] (see
+    /// [`InferencePlan::compile_artifact`]); quantization is the same one
+    /// [`Self::compile`] applies, so artifact- and network-compiled Q1.14
+    /// plans are bit-identical to each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if the artifact fails validation.
+    pub fn compile_artifact(artifact: &crate::PnnArtifact) -> Result<InferencePlanQuant, PnnError> {
+        Self::compile_artifact_with_capacity(artifact, DEFAULT_CAPACITY)
+    }
+
+    /// [`Self::compile_artifact`] with an explicit micro-batch capacity
+    /// (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if the artifact fails validation.
+    pub fn compile_artifact_with_capacity(
+        artifact: &crate::PnnArtifact,
+        capacity: usize,
+    ) -> Result<InferencePlanQuant, PnnError> {
+        obs_register();
+        artifact.validate()?;
+        let layers: Vec<LayerQuant> = artifact
+            .extracted_layers()
+            .iter()
+            .map(LayerQuant::from_f64)
+            .collect();
+        let capacity = capacity.max(1);
+        let scratch = ScratchQuant::new(&layers, capacity);
+        OBS_PLANS_COMPILED.increment();
+        Ok(InferencePlanQuant {
+            in_dim: artifact.in_dim,
+            out_dim: artifact.out_dim,
+            layers,
+            capacity,
+            scratch,
+        })
+    }
+
     /// Input width the plan was compiled for.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -1185,9 +1342,37 @@ impl CompiledPnn {
     ///
     /// # Errors
     ///
-    /// As for [`Self::compile`].
+    /// As for [`Self::compile`], plus [`PnnError::Config`] when the
+    /// variable is set to an unrecognized value ([`PlanPrecision::from_env`]
+    /// — operator typos fail loudly instead of silently serving f64).
     pub fn compile_from_env(pnn: &Pnn) -> Result<CompiledPnn, PnnError> {
-        Self::compile(pnn, PlanPrecision::from_env())
+        Self::compile(pnn, PlanPrecision::from_env()?)
+    }
+
+    /// Compiles an exported [`crate::PnnArtifact`] at the requested
+    /// precision and micro-batch capacity — the serving-registry entry
+    /// point: no live network or surrogate required, and the f64 variant is
+    /// bit-identical to a plan compiled from the originating network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Artifact`] if the artifact fails validation.
+    pub fn compile_artifact(
+        artifact: &crate::PnnArtifact,
+        precision: PlanPrecision,
+        capacity: usize,
+    ) -> Result<CompiledPnn, PnnError> {
+        Ok(match precision {
+            PlanPrecision::F64 => CompiledPnn::F64(InferencePlan::compile_artifact_with_capacity(
+                artifact, capacity,
+            )?),
+            PlanPrecision::F32 => CompiledPnn::F32(
+                InferencePlanF32::compile_artifact_with_capacity(artifact, capacity)?,
+            ),
+            PlanPrecision::QuantI16 => CompiledPnn::QuantI16(
+                InferencePlanQuant::compile_artifact_with_capacity(artifact, capacity)?,
+            ),
+        })
     }
 
     /// The plan's precision.
@@ -1196,6 +1381,38 @@ impl CompiledPnn {
             CompiledPnn::F64(_) => PlanPrecision::F64,
             CompiledPnn::F32(_) => PlanPrecision::F32,
             CompiledPnn::QuantI16(_) => PlanPrecision::QuantI16,
+        }
+    }
+
+    /// Input width the plan was compiled for.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            CompiledPnn::F64(p) => p.in_dim(),
+            CompiledPnn::F32(p) => p.in_dim(),
+            CompiledPnn::QuantI16(p) => p.in_dim(),
+        }
+    }
+
+    /// Output width (number of classes).
+    pub fn out_dim(&self) -> usize {
+        match self {
+            CompiledPnn::F64(p) => p.out_dim(),
+            CompiledPnn::F32(p) => p.out_dim(),
+            CompiledPnn::QuantI16(p) => p.out_dim(),
+        }
+    }
+
+    /// Writes output voltages for a batch into `out` (`x.rows() ×
+    /// out_dim`), allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnnError::Data`] on input-width or output-shape mismatch.
+    pub fn infer_into(&mut self, x: &Matrix, out: &mut Matrix) -> Result<(), PnnError> {
+        match self {
+            CompiledPnn::F64(p) => p.infer_into(x, out),
+            CompiledPnn::F32(p) => p.infer_into(x, out),
+            CompiledPnn::QuantI16(p) => p.infer_into(x, out),
         }
     }
 
@@ -1257,18 +1474,46 @@ mod tests {
     }
 
     #[test]
-    fn precision_from_env_parses_all_spellings() {
-        // Uses the parsing helper directly to avoid mutating process env.
-        let parse = |raw: &str| match raw.trim().to_ascii_lowercase().as_str() {
-            "f32" => PlanPrecision::F32,
-            "q16" | "i16" | "quant" => PlanPrecision::QuantI16,
-            _ => PlanPrecision::F64,
-        };
-        assert_eq!(parse("f32"), PlanPrecision::F32);
-        assert_eq!(parse(" Q16 "), PlanPrecision::QuantI16);
-        assert_eq!(parse("i16"), PlanPrecision::QuantI16);
-        assert_eq!(parse("quant"), PlanPrecision::QuantI16);
-        assert_eq!(parse("f64"), PlanPrecision::F64);
-        assert_eq!(parse("garbage"), PlanPrecision::F64);
+    fn precision_parse_accepts_all_spellings() {
+        // Exercises the parsing helper directly to avoid mutating process
+        // env (`from_env` is `parse` plus the unset → F64 default).
+        assert_eq!(PlanPrecision::parse("f32").unwrap(), PlanPrecision::F32);
+        assert_eq!(
+            PlanPrecision::parse(" Q16 ").unwrap(),
+            PlanPrecision::QuantI16
+        );
+        assert_eq!(
+            PlanPrecision::parse("i16").unwrap(),
+            PlanPrecision::QuantI16
+        );
+        assert_eq!(
+            PlanPrecision::parse("quant").unwrap(),
+            PlanPrecision::QuantI16
+        );
+        assert_eq!(PlanPrecision::parse("F64").unwrap(), PlanPrecision::F64);
+        for p in [
+            PlanPrecision::F64,
+            PlanPrecision::F32,
+            PlanPrecision::QuantI16,
+        ] {
+            assert_eq!(PlanPrecision::parse(p.name()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn precision_parse_rejects_unknown_values_with_typed_error() {
+        // The silent-fallback regression: a typo'd precision used to
+        // quietly select F64; it must now surface as a Config error.
+        for bad in ["garbage", "f16", "", "q14", "fp64"] {
+            match PlanPrecision::parse(bad) {
+                Err(PnnError::Config { detail }) => {
+                    assert!(
+                        detail.contains("precision"),
+                        "error should name the problem: {detail}"
+                    );
+                }
+                other => panic!("{bad:?} must be a Config error, got {other:?}"),
+            }
+        }
     }
 }

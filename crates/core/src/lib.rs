@@ -91,7 +91,10 @@ mod variation;
 
 pub use error::PnnError;
 pub use eval::{accuracy, mc_evaluate, mc_evaluate_with, McStats};
-pub use export::{CircuitDesign, CrossbarDesign, PrintedDesign};
+pub use export::{
+    ArtifactLayer, CircuitDesign, CrossbarDesign, PnnArtifact, PrintedDesign,
+    ARTIFACT_FORMAT_VERSION,
+};
 pub use infer::{CompiledPnn, InferencePlan, InferencePlanF32, InferencePlanQuant, PlanPrecision};
 pub use layer::{project_printable, PLayer};
 pub use network::{LossKind, NonlinearityGranularity, Pnn, PnnConfig, PnnVars};

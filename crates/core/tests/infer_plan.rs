@@ -217,6 +217,73 @@ fn reduced_precision_plans_are_self_consistent_across_threads() {
     }
 }
 
+/// Micro-batch chunking edge cases through all three precisions: an empty
+/// batch (0 rows — a serving micro-batcher flushing an empty queue), and
+/// row counts sitting exactly on, one under, and one over the capacity
+/// boundary. Chunking must never panic and never change bits.
+#[test]
+fn empty_and_capacity_boundary_batches_chunk_correctly_at_all_precisions() {
+    let ds = &benchmark_suite()[0];
+    let (train, val, test) = ds.split(29);
+    let pnn = network_for(ds, &train, &val, 3, training_epochs(ds));
+    let graph_all = pnn.infer(&test.features, None).expect("graph forward");
+
+    for capacity in [1, 3, 4] {
+        let mut plan64 = InferencePlan::compile_with_capacity(&pnn, capacity).expect("f64");
+        let mut plan32 = InferencePlanF32::compile_with_capacity(&pnn, capacity).expect("f32");
+        let mut planq = InferencePlanQuant::compile_with_capacity(&pnn, capacity).expect("q16");
+
+        // Reference outputs at full batch, per precision.
+        let ref32 = plan32.infer(&test.features).expect("f32 full");
+        let refq = planq.infer(&test.features).expect("q16 full");
+
+        // 0 rows: must succeed with a 0-row output, not panic.
+        let empty = Matrix::zeros(0, ds.num_features());
+        for (name, out) in [
+            ("f64", plan64.infer(&empty).expect("f64 empty")),
+            ("f32", plan32.infer(&empty).expect("f32 empty")),
+            ("q16", planq.infer(&empty).expect("q16 empty")),
+        ] {
+            assert_eq!(out.shape(), (0, ds.num_classes), "{name} empty batch");
+        }
+        assert_eq!(
+            plan64.predict(&empty).expect("f64 empty predict"),
+            Vec::<usize>::new()
+        );
+        // The parallel path must also tolerate 0 rows.
+        for threads in [1, 2] {
+            let par = ParallelConfig::with_threads(threads);
+            assert_eq!(
+                plan64
+                    .infer_parallel(&empty, &par)
+                    .expect("f64 par empty")
+                    .shape(),
+                (0, ds.num_classes)
+            );
+        }
+
+        // capacity-1, capacity, and capacity+1 rows: the exact boundary at
+        // which the chunk loop rolls over. Bits must match the full-batch
+        // reference rows.
+        for rows in [capacity.saturating_sub(1), capacity, capacity + 1] {
+            let rows = rows.min(test.features.rows());
+            let x = Matrix::from_fn(rows, ds.num_features(), |i, j| test.features[(i, j)]);
+            let out64 = plan64.infer(&x).expect("f64 boundary");
+            let out32 = plan32.infer(&x).expect("f32 boundary");
+            let outq = planq.infer(&x).expect("q16 boundary");
+            for i in 0..rows {
+                assert_eq!(
+                    out64.row(i),
+                    graph_all.row(i),
+                    "f64 cap {capacity} rows {rows}"
+                );
+                assert_eq!(out32.row(i), ref32.row(i), "f32 cap {capacity} rows {rows}");
+                assert_eq!(outq.row(i), refq.row(i), "q16 cap {capacity} rows {rows}");
+            }
+        }
+    }
+}
+
 #[test]
 fn plan_rejects_wrong_input_width_and_output_shape() {
     let ds = &benchmark_suite()[0];

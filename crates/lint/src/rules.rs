@@ -83,8 +83,11 @@ const NUMERIC_CRATES: &[&str] = &[
     "pnc-qmc",
 ];
 
-/// Crates allowed to read the wall clock (timing is their purpose).
-const WALLCLOCK_CRATES: &[&str] = &["pnc-obs", "pnc-bench"];
+/// Crates allowed to read the wall clock: timing is the purpose of
+/// `pnc-obs` and `pnc-bench`, and `pnc-serve`'s micro-batcher dwells on a
+/// real deadline (traffic shape is wall-clock-dependent by nature; response
+/// payloads stay deterministic).
+const WALLCLOCK_CRATES: &[&str] = &["pnc-obs", "pnc-bench", "pnc-serve"];
 
 /// The one file allowed to spell out raw rayon reductions: it *implements*
 /// the ordered helpers everything else must call.

@@ -20,6 +20,9 @@
 //!   and variation-aware training (the paper's contribution).
 //! * [`obs`] — structured observability: deterministic counters/histograms,
 //!   span timers, and the opt-in `PNC_OBS` JSON-lines event sink.
+//! * [`serve`] — the batched serving layer: artifact registry,
+//!   micro-batching workers over compiled inference plans, and the
+//!   framed-TCP front door with bounded-queue backpressure.
 //!
 //! # Quickstart
 //!
@@ -72,6 +75,7 @@ pub use pnc_fit as fit;
 pub use pnc_linalg as linalg;
 pub use pnc_obs as obs;
 pub use pnc_qmc as qmc;
+pub use pnc_serve as serve;
 pub use pnc_spice as spice;
 pub use pnc_surrogate as surrogate;
 
