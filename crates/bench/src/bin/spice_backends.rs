@@ -1,0 +1,319 @@
+//! Solver-backend shootout: dense LU vs sparse LU vs coordinate descent on
+//! the two circuit families where the choice matters — resistor ladders
+//! (high diameter, where coordinate descent struggles) and crossbar
+//! networks (the paper's topology, where sparsity pays). Results go to
+//! `BENCH_spice.json` at the repo root, with the `spice.*` metrics summary
+//! beside it in `BENCH_spice_metrics.json`.
+//!
+//! Every timed circuit is also solved once per backend for an *in-situ*
+//! agreement check against the dense-LU oracle: `worst_sparse_dev` and
+//! `worst_cd_dev` in the report are the largest node-voltage deviations
+//! seen anywhere in the run, and `scripts/check_bench_spice.sh` holds them
+//! to the tolerances documented in `docs/SOLVERS.md`. The same script
+//! enforces the headline scaling bar: on the largest crossbar (≥ 10× the
+//! Fig. 1 node count) dense LU must be ≥ 5× slower than sparse LU.
+//!
+//! Coordinate-descent entries are `null` where the backend is not run
+//! (long ladders — its documented high-diameter weakness) or where it
+//! reports non-convergence; a `null` is never an agreement failure.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin spice_backends -- [--quick]
+//! ```
+
+use pnc_spice::circuits::{resistor_ladder, CrossbarNetwork};
+use pnc_spice::{Circuit, DcSolver, SolverBackend};
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// Sparse LU must track the dense oracle to linear-solver precision.
+const SPARSE_TOL: f64 = 1e-8;
+
+/// Coordinate descent agrees within its residual-implied bound at default
+/// tolerances (see `docs/SOLVERS.md`).
+const CD_TOL: f64 = 2e-4;
+
+/// Ladders longer than this skip coordinate descent: information moves one
+/// node per sweep, so the sweep count grows with the diameter.
+const CD_LADDER_LIMIT: usize = 24;
+
+/// One circuit measured under every applicable backend.
+#[derive(Debug, Serialize)]
+struct CircuitResult {
+    /// `"ladder"` or `"crossbar"`.
+    family: String,
+    /// Human-readable size, e.g. `"ladder-64"` or `"crossbar-16x16x16"`.
+    label: String,
+    /// Non-ground node count (the MNA dimension less vsource branches).
+    nodes: usize,
+    /// Cold solves per second under the dense-LU oracle.
+    dense_solves_per_s: f64,
+    /// Cold solves per second under sparse LU.
+    sparse_solves_per_s: f64,
+    /// Cold solves per second under coordinate descent; `null` where the
+    /// backend is skipped or did not converge.
+    cd_solves_per_s: Option<f64>,
+    /// Largest |voltage difference| vs the dense oracle across all nodes.
+    sparse_max_dev: f64,
+    /// Same for coordinate descent; `null` where skipped.
+    cd_max_dev: Option<f64>,
+}
+
+/// The scaling headline: the crossbar where sparsity must pay.
+#[derive(Debug, Serialize)]
+struct Headline {
+    label: String,
+    nodes: usize,
+    dense_solves_per_s: f64,
+    sparse_solves_per_s: f64,
+    /// `sparse_solves_per_s / dense_solves_per_s` — the ≥ 5 hard bar.
+    dense_vs_sparse_slowdown: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Physical cores on the measuring machine.
+    machine_threads: usize,
+    /// Whether this was a `--quick` smoke run.
+    quick: bool,
+    circuits: Vec<CircuitResult>,
+    headline: Headline,
+    /// Smallest measured node count where sparse LU out-solves dense LU;
+    /// `null` if dense won everywhere (it never should at these sizes).
+    crossover_nodes: Option<usize>,
+    /// The agreement bars the deviations below are held to.
+    sparse_agreement_tol: f64,
+    cd_agreement_tol: f64,
+    /// Largest sparse-vs-dense node-voltage deviation anywhere in the run.
+    worst_sparse_dev: f64,
+    /// Largest coord-descent-vs-dense deviation over the circuits where
+    /// coordinate descent ran.
+    worst_cd_dev: f64,
+}
+
+fn logical_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`, falling back to [`logical_threads`] (same accounting as
+/// the other bench bins).
+fn physical_cores() -> usize {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical_threads();
+    };
+    let mut cores = std::collections::HashSet::new();
+    let (mut package, mut core) = (None::<u64>, None::<u64>);
+    for line in info.lines().chain(std::iter::once("")) {
+        if line.trim().is_empty() {
+            if let (Some(p), Some(c)) = (package, core) {
+                cores.insert((p, c));
+            }
+            package = None;
+            core = None;
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => package = value.trim().parse().ok(),
+            "core id" => core = value.trim().parse().ok(),
+            _ => {}
+        }
+    }
+    if cores.is_empty() {
+        logical_threads()
+    } else {
+        cores.len()
+    }
+}
+
+/// Cold solves per second of `circuit` under `backend`, best of `reps`
+/// batches. The batch size is calibrated from one warmup solve so slow
+/// backends on big circuits still finish promptly, then the max batch rate
+/// is taken — transient slowdowns only ever subtract throughput.
+fn solves_per_s(circuit: &Circuit, backend: SolverBackend, reps: usize, target_s: f64) -> f64 {
+    let solver = DcSolver::with_backend(backend);
+    let warmup = Instant::now();
+    solver.solve(circuit).expect("timed circuit solves");
+    let one = warmup.elapsed().as_secs_f64().max(1e-7);
+    let batch = ((target_s / one).ceil() as usize).clamp(1, 20_000);
+    let mut best = 0.0_f64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..batch {
+            solver.solve(circuit).expect("timed circuit solves");
+        }
+        best = best.max(batch as f64 / t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Largest |node-voltage difference| between a backend's solution and the
+/// dense oracle's, over every non-ground node.
+fn max_deviation(circuit: &Circuit, oracle: &[f64], backend: SolverBackend) -> Option<f64> {
+    let got = DcSolver::with_backend(backend).solve(circuit).ok()?;
+    Some(
+        oracle
+            .iter()
+            .zip(got.voltages())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max),
+    )
+}
+
+/// Measures one circuit under every applicable backend.
+fn measure(
+    family: &str,
+    label: String,
+    circuit: &Circuit,
+    run_cd: bool,
+    reps: usize,
+    target_s: f64,
+) -> CircuitResult {
+    eprintln!("  {label} ({} nodes) ...", circuit.num_nodes());
+    let oracle = DcSolver::new().solve(circuit).expect("dense oracle solves");
+    let sparse_max_dev =
+        max_deviation(circuit, oracle.voltages(), SolverBackend::SparseLu).unwrap_or(f64::INFINITY);
+    let cd_max_dev = if run_cd {
+        max_deviation(circuit, oracle.voltages(), SolverBackend::CoordDescent)
+    } else {
+        None
+    };
+    let dense = solves_per_s(circuit, SolverBackend::DenseLu, reps, target_s);
+    let sparse = solves_per_s(circuit, SolverBackend::SparseLu, reps, target_s);
+    // Only time coordinate descent where its agreement solve converged.
+    let cd = cd_max_dev.map(|_| solves_per_s(circuit, SolverBackend::CoordDescent, reps, target_s));
+    eprintln!(
+        "    dense {dense:.0}/s   sparse {sparse:.0}/s   cd {}",
+        cd.map_or("skipped".to_string(), |c| format!("{c:.0}/s")),
+    );
+    CircuitResult {
+        family: family.to_string(),
+        label,
+        nodes: circuit.num_nodes(),
+        dense_solves_per_s: dense,
+        sparse_solves_per_s: sparse,
+        cd_solves_per_s: cd,
+        sparse_max_dev,
+        cd_max_dev,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 5 };
+    let target_s = if quick { 0.05 } else { 0.25 };
+
+    let mut circuits = Vec::new();
+
+    eprintln!("resistor ladders ...");
+    let ladder_sections: &[usize] = if quick {
+        &[8, 24, 96]
+    } else {
+        &[8, 24, 96, 384]
+    };
+    for &sections in ladder_sections {
+        let (ladder, _) = resistor_ladder(sections, 1_000.0, 10_000.0)?;
+        circuits.push(measure(
+            "ladder",
+            format!("ladder-{sections}"),
+            &ladder,
+            sections <= CD_LADDER_LIMIT,
+            reps,
+            target_s,
+        ));
+    }
+
+    eprintln!("crossbar networks ...");
+    let crossbar_layers: &[&[usize]] = if quick {
+        &[&[4, 4], &[8, 8, 8], &[16, 16, 16, 16]]
+    } else {
+        &[&[4, 4], &[8, 8, 8], &[12, 12, 12], &[16, 16, 16, 16]]
+    };
+    let mut headline: Option<Headline> = None;
+    for &layers in crossbar_layers {
+        let label = format!(
+            "crossbar-{}",
+            layers
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        );
+        let net = CrossbarNetwork::build(layers, 42)?;
+        let result = measure(
+            "crossbar",
+            label.clone(),
+            net.circuit(),
+            true,
+            reps,
+            target_s,
+        );
+        headline = Some(Headline {
+            label,
+            nodes: result.nodes,
+            dense_solves_per_s: result.dense_solves_per_s,
+            sparse_solves_per_s: result.sparse_solves_per_s,
+            dense_vs_sparse_slowdown: result.sparse_solves_per_s / result.dense_solves_per_s,
+        });
+        circuits.push(result);
+    }
+    let headline = headline.expect("at least one crossbar is always measured");
+
+    let mut by_nodes: Vec<&CircuitResult> = circuits.iter().collect();
+    by_nodes.sort_by_key(|r| r.nodes);
+    let crossover_nodes = by_nodes
+        .iter()
+        .find(|r| r.sparse_solves_per_s > r.dense_solves_per_s)
+        .map(|r| r.nodes);
+
+    let worst_sparse_dev = circuits
+        .iter()
+        .map(|r| r.sparse_max_dev)
+        .fold(0.0_f64, f64::max);
+    let worst_cd_dev = circuits
+        .iter()
+        .filter_map(|r| r.cd_max_dev)
+        .fold(0.0_f64, f64::max);
+
+    let report = Report {
+        machine_threads: physical_cores(),
+        quick,
+        circuits,
+        headline,
+        crossover_nodes,
+        sparse_agreement_tol: SPARSE_TOL,
+        cd_agreement_tol: CD_TOL,
+        worst_sparse_dev,
+        worst_cd_dev,
+    };
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_spice.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("\nreport saved to {}", out.display());
+
+    // End-of-run metrics summary next to the timing report: the
+    // `spice.backend.*` counters behind the numbers above (docs/METRICS.md).
+    let metrics_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_spice_metrics.json");
+    pnc_obs::write_summary(&metrics_out)?;
+    eprintln!("metrics summary saved to {}", metrics_out.display());
+
+    println!(
+        "headline {}: {} nodes, dense {:.0}/s vs sparse {:.0}/s ({:.1}x), \
+         worst sparse dev {:.2e}, worst cd dev {:.2e}",
+        report.headline.label,
+        report.headline.nodes,
+        report.headline.dense_solves_per_s,
+        report.headline.sparse_solves_per_s,
+        report.headline.dense_vs_sparse_slowdown,
+        report.worst_sparse_dev,
+        report.worst_cd_dev,
+    );
+    Ok(())
+}

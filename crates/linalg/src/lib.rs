@@ -25,6 +25,10 @@
 //!   (f64×4, f32×8, i16→i32) shared by the blocked matmul and the compiled
 //!   inference plans in `pnc-core`, all safe code, all honoring the same
 //!   ascending-`k` accumulation order.
+//! * [`sparse`] — compressed-sparse-column storage and Markowitz-ordered
+//!   sparse LU with a cached symbolic analysis, the factorization behind
+//!   the `sparse-lu` circuit-solver backend (docs/SOLVERS.md at the
+//!   workspace root).
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@ mod lu;
 mod matrix;
 pub mod parallel;
 pub mod simd;
+pub mod sparse;
 pub mod stats;
 mod workspace;
 

@@ -1,0 +1,802 @@
+//! Sparse matrix storage and sparse LU factorization.
+//!
+//! Dense LU ([`Lu`](crate::Lu)) costs O(n³) regardless of structure, which
+//! caps the circuit simulator at the paper's Fig. 1 activation subcircuit.
+//! MNA matrices of full printed-neuromorphic networks are overwhelmingly
+//! sparse — a node couples only to its few incident devices — so this module
+//! provides the storage and factorization that scale with *nonzeros* instead
+//! of dimension:
+//!
+//! * [`SparseBuilder`] — coordinate-format assembly buffer; duplicate
+//!   entries are summed, mirroring MNA stamping.
+//! * [`CscMatrix`] — compressed-sparse-column storage with deterministic
+//!   matrix–vector products.
+//! * [`SparseLu`] — sparse LU with Markowitz pivoting (fill-minimizing
+//!   pivot choice under a partial-pivoting stability threshold) and a
+//!   cached symbolic analysis: [`SparseLu::refactor`] re-runs the numeric
+//!   elimination along the recorded pivot order, skipping the pivot search
+//!   entirely for same-pattern matrices (Newton re-assemblies, sweep
+//!   points).
+//!
+//! Everything here is deterministic: pivot selection scans in fixed index
+//! order with fixed tie-breaking, eliminations run serially, and explicit
+//! zeros are preserved so a matrix family sharing one sparsity pattern
+//! keeps that pattern through every refactorization.
+//!
+//! # Examples
+//!
+//! ```
+//! use pnc_linalg::sparse::{SparseBuilder, SparseLu};
+//!
+//! # fn main() -> Result<(), pnc_linalg::LinalgError> {
+//! let mut b = SparseBuilder::new(2, 2);
+//! b.push(0, 0, 4.0);
+//! b.push(0, 1, 1.0);
+//! b.push(1, 0, 1.0);
+//! b.push(1, 1, 3.0);
+//! let a = b.build()?;
+//! let lu = SparseLu::factor(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+use crate::{LinalgError, Matrix};
+
+/// Coordinate-format (triplet) assembly buffer for a sparse matrix.
+///
+/// [`push`](Self::push) records `(row, col, value)` triplets in any order;
+/// [`build`](Self::build) sorts, sums duplicates (the natural semantics of
+/// MNA stamping, where several devices contribute to one matrix entry), and
+/// produces a [`CscMatrix`]. Exact-zero results of the summation are *kept*
+/// as explicit entries so that re-assembling the same device structure
+/// always yields the same sparsity pattern.
+#[derive(Debug, Clone)]
+pub struct SparseBuilder {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl SparseBuilder {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        SparseBuilder {
+            rows,
+            cols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Records `value` at `(row, col)`; repeated coordinates are summed by
+    /// [`build`](Self::build). Out-of-range coordinates are reported there,
+    /// not here, so stamping loops stay infallible.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        self.triplets.push((row, col, value));
+    }
+
+    /// Number of triplets recorded so far (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// `true` when no triplet has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Compresses the triplets into column-major storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if any triplet lies
+    /// outside the declared shape.
+    pub fn build(&self) -> Result<CscMatrix, LinalgError> {
+        for &(r, c, _) in &self.triplets {
+            if r >= self.rows || c >= self.cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "sparse_build",
+                    lhs: (self.rows, self.cols),
+                    rhs: (r, c),
+                });
+            }
+        }
+        let mut sorted = self.triplets.clone();
+        sorted.sort_by_key(|&(r, c, _)| (c, r));
+
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        let mut row_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            row_idx.push(r);
+            values.push(v);
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        Ok(CscMatrix {
+            nrows: self.rows,
+            ncols: self.cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+}
+
+/// Compressed-sparse-column matrix of `f64` entries.
+///
+/// Construct via [`SparseBuilder`]. Entries within each column are sorted
+/// by row; explicit zeros are legal and preserved (see [`SparseBuilder`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// `col_ptr[c]..col_ptr[c + 1]` indexes column `c` in `row_idx`/`values`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (explicit zeros included).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entry at `(row, col)`, or `0.0` when the position holds no
+    /// entry.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        if row >= self.nrows || col >= self.ncols {
+            return 0.0;
+        }
+        let lo = self.col_ptr[col];
+        let hi = self.col_ptr[col + 1];
+        match self.row_idx[lo..hi].binary_search(&row) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Computes `y = A·x` in a fixed accumulation order (column-major, rows
+    /// ascending), so repeated products are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != cols` or
+    /// `y.len() != rows`.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.ncols || y.len() != self.nrows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sparse_mul_vec",
+                lhs: (self.nrows, self.ncols),
+                rhs: (y.len(), x.len()),
+            });
+        }
+        y.fill(0.0);
+        for (c, &xc) in x.iter().enumerate() {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[k]] += self.values[k] * xc;
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands to a dense [`Matrix`] (tests and small diagnostics only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for c in 0..self.ncols {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                m[(self.row_idx[k], c)] = self.values[k];
+            }
+        }
+        m
+    }
+}
+
+/// The cached symbolic analysis of a [`SparseLu`]: the pivot order chosen by
+/// the Markowitz search. Refactorizations of same-pattern matrices follow
+/// this order verbatim and skip the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbolic {
+    row_perm: Vec<usize>,
+    col_perm: Vec<usize>,
+}
+
+impl Symbolic {
+    /// Dimension of the matrices this analysis applies to.
+    pub fn dim(&self) -> usize {
+        self.row_perm.len()
+    }
+}
+
+/// Sparse LU factorization with Markowitz-ordered pivoting.
+///
+/// [`factor`](Self::factor) chooses each pivot to minimize the Markowitz
+/// fill estimate `(r−1)·(c−1)` among entries passing a partial-pivoting
+/// stability threshold, records the resulting pivot order as a [`Symbolic`]
+/// analysis, and stores the numeric factors in a form optimized for
+/// repeated [`solve`](Self::solve) calls. [`refactor`](Self::refactor)
+/// renumbers a *same-pattern* matrix (identical structure, new values —
+/// exactly what Newton re-assembly produces) along the cached pivot order,
+/// skipping the O(n·nnz) pivot search.
+///
+/// All arithmetic runs in a fixed serial order: factors, refactors, and
+/// solves are bit-identical across runs and thread counts.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    dim: usize,
+    symbolic: Symbolic,
+    /// Per elimination step `k`: `(original row, multiplier)` of every row
+    /// the pivot row was subtracted from.
+    l_ops: Vec<Vec<(usize, f64)>>,
+    /// Per elimination step `k`: the pivot row over the columns still active
+    /// after step `k` (original column indices), pivot entry excluded.
+    u_rows: Vec<Vec<(usize, f64)>>,
+    /// Pivot values, one per elimination step.
+    pivots: Vec<f64>,
+}
+
+/// Pivots smaller than this (absolute value) are treated as singular —
+/// matches the dense [`Lu`](crate::Lu) tolerance.
+const PIVOT_TOL: f64 = 1e-14;
+
+/// Relative stability threshold for Markowitz pivoting: a candidate must be
+/// at least this fraction of the largest active entry in its column. The
+/// classic compromise (Duff/Erisman/Reid) between sparsity and growth.
+const MARKOWITZ_THRESHOLD: f64 = 0.1;
+
+impl SparseLu {
+    /// Factors a square sparse matrix, choosing the pivot order by the
+    /// Markowitz criterion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `a` is not square and
+    /// [`LinalgError::Singular`] if no stable pivot remains at some
+    /// elimination step.
+    pub fn factor(a: &CscMatrix) -> Result<Self, LinalgError> {
+        Self::factor_inner(a, None)
+    }
+
+    /// Re-runs the numeric factorization of a same-pattern matrix along the
+    /// cached pivot order, without any pivot search.
+    ///
+    /// The caller guarantees `a` has the sparsity pattern of the originally
+    /// factored matrix (the MNA assembly of a fixed circuit topology always
+    /// does). On success `self` holds the new factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on a shape change and
+    /// [`LinalgError::Singular`] when a recorded pivot position is absent
+    /// or numerically too small for the new values — the caller should then
+    /// fall back to a fresh [`factor`](Self::factor), which re-runs the
+    /// stability-aware pivot search. `self` is unchanged on error.
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<(), LinalgError> {
+        let fresh = Self::factor_inner(a, Some(&self.symbolic))?;
+        *self = fresh;
+        Ok(())
+    }
+
+    fn factor_inner(a: &CscMatrix, fixed: Option<&Symbolic>) -> Result<Self, LinalgError> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sparse_lu_factor",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if let Some(sym) = fixed {
+            if sym.dim() != n {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "sparse_lu_refactor",
+                    lhs: (sym.dim(), sym.dim()),
+                    rhs: a.shape(),
+                });
+            }
+        }
+
+        // Working rows: active entries sorted by column.
+        let mut rows_ws: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for c in 0..n {
+            for k in a.col_ptr[c]..a.col_ptr[c + 1] {
+                rows_ws[a.row_idx[k]].push((c, a.values[k]));
+            }
+        }
+        for r in rows_ws.iter_mut() {
+            r.sort_by_key(|&(c, _)| c);
+        }
+
+        let mut row_active = vec![true; n];
+        let mut col_active = vec![true; n];
+        // Active rows holding an entry in each column (Markowitz column
+        // counts; maintained incrementally).
+        let mut col_count = vec![0usize; n];
+        for row in &rows_ws {
+            for &(c, _) in row {
+                col_count[c] += 1;
+            }
+        }
+
+        let mut row_perm = Vec::with_capacity(n);
+        let mut col_perm = Vec::with_capacity(n);
+        let mut l_ops: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut u_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut pivots = Vec::with_capacity(n);
+        let mut col_max = vec![0.0f64; n];
+        let mut merged: Vec<(usize, f64)> = Vec::new();
+
+        for step in 0..n {
+            // --- Pivot selection ---------------------------------------
+            let (pi, pj) = if let Some(sym) = fixed {
+                (sym.row_perm[step], sym.col_perm[step])
+            } else {
+                // Column maxima over the active submatrix, for the
+                // stability threshold. Active rows only reference active
+                // columns (eliminated columns are removed from every row).
+                col_max.fill(0.0);
+                for (r, row) in rows_ws.iter().enumerate() {
+                    if !row_active[r] {
+                        continue;
+                    }
+                    for &(c, v) in row {
+                        let av = v.abs();
+                        if col_active[c] && av > col_max[c] {
+                            col_max[c] = av;
+                        }
+                    }
+                }
+                let mut best: Option<(usize, usize, usize)> = None;
+                for (r, row) in rows_ws.iter().enumerate() {
+                    if !row_active[r] {
+                        continue;
+                    }
+                    let r_count = row.len();
+                    for &(c, v) in row {
+                        let av = v.abs();
+                        if av < PIVOT_TOL || av < MARKOWITZ_THRESHOLD * col_max[c] {
+                            continue;
+                        }
+                        let cost = (r_count - 1) * (col_count[c] - 1);
+                        // Strict `<` keeps the first (lowest row, then
+                        // lowest column) candidate on ties: deterministic.
+                        if best.is_none_or(|(bc, _, _)| cost < bc) {
+                            best = Some((cost, r, c));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, r, c)) => (r, c),
+                    None => return Err(LinalgError::Singular { pivot: step }),
+                }
+            };
+
+            if !row_active[pi] || !col_active[pj] {
+                return Err(LinalgError::Singular { pivot: step });
+            }
+            let pivot_pos = match rows_ws[pi].binary_search_by_key(&pj, |&(c, _)| c) {
+                Ok(p) => p,
+                Err(_) => return Err(LinalgError::Singular { pivot: step }),
+            };
+            let pivot_val = rows_ws[pi][pivot_pos].1;
+            if pivot_val.abs() < PIVOT_TOL {
+                return Err(LinalgError::Singular { pivot: step });
+            }
+
+            // --- Elimination -------------------------------------------
+            let mut pivot_row = std::mem::take(&mut rows_ws[pi]);
+            row_active[pi] = false;
+            for &(c, _) in &pivot_row {
+                col_count[c] -= 1;
+            }
+            pivot_row.remove(pivot_pos);
+            col_active[pj] = false;
+
+            let mut ops: Vec<(usize, f64)> = Vec::new();
+            for (r, row) in rows_ws.iter_mut().enumerate() {
+                if !row_active[r] {
+                    continue;
+                }
+                let Ok(pos) = row.binary_search_by_key(&pj, |&(c, _)| c) else {
+                    continue;
+                };
+                let mult = row[pos].1 / pivot_val;
+                row.remove(pos);
+                col_count[pj] = col_count[pj].saturating_sub(1);
+                // row ← row − mult · pivot_row, merged in column order.
+                // Exact-zero results are kept so the pattern stays stable
+                // across refactorizations.
+                merged.clear();
+                let mut i = 0;
+                let mut j = 0;
+                while i < row.len() || j < pivot_row.len() {
+                    match (row.get(i), pivot_row.get(j)) {
+                        (Some(&(ca, va)), Some(&(cb, vb))) => {
+                            if ca < cb {
+                                merged.push((ca, va));
+                                i += 1;
+                            } else if cb < ca {
+                                merged.push((cb, -mult * vb));
+                                col_count[cb] += 1;
+                                j += 1;
+                            } else {
+                                merged.push((ca, va - mult * vb));
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                        (Some(&(ca, va)), None) => {
+                            merged.push((ca, va));
+                            i += 1;
+                        }
+                        (None, Some(&(cb, vb))) => {
+                            merged.push((cb, -mult * vb));
+                            col_count[cb] += 1;
+                            j += 1;
+                        }
+                        (None, None) => {}
+                    }
+                }
+                std::mem::swap(row, &mut merged);
+                ops.push((r, mult));
+            }
+
+            row_perm.push(pi);
+            col_perm.push(pj);
+            l_ops.push(ops);
+            u_rows.push(pivot_row);
+            pivots.push(pivot_val);
+        }
+
+        Ok(SparseLu {
+            dim: n,
+            symbolic: Symbolic { row_perm, col_perm },
+            l_ops,
+            u_rows,
+            pivots,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cached pivot order, reusable via [`SparseLu::refactor`].
+    pub fn symbolic(&self) -> &Symbolic {
+        &self.symbolic
+    }
+
+    /// Stored nonzeros of the L and U factors combined (fill-in measure;
+    /// the dense equivalent would be `dim²`).
+    pub fn factor_nnz(&self) -> usize {
+        let l: usize = self.l_ops.iter().map(Vec::len).sum();
+        let u: usize = self.u_rows.iter().map(Vec::len).sum();
+        l + u + self.dim
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = vec![0.0; self.dim];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a preallocated slice, allocating one internal
+    /// scratch vector. Bit-identical to [`SparseLu::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on any length mismatch.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
+        let n = self.dim;
+        if b.len() != n || x.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sparse_lu_solve",
+                lhs: (n, n),
+                rhs: (b.len().max(x.len()), 1),
+            });
+        }
+        // Forward: replay the recorded eliminations on b.
+        let mut y = b.to_vec();
+        for (k, ops) in self.l_ops.iter().enumerate() {
+            let ypr = y[self.symbolic.row_perm[k]];
+            for &(r, m) in ops {
+                y[r] -= m * ypr;
+            }
+        }
+        // Backward: every column in u_rows[k] is eliminated at a later step,
+        // so solving in reverse step order has all dependencies ready.
+        for k in (0..n).rev() {
+            let mut acc = y[self.symbolic.row_perm[k]];
+            for &(c, v) in &self.u_rows[k] {
+                acc -= v * x[c];
+            }
+            x[self.symbolic.col_perm[k]] = acc / self.pivots[k];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lu;
+
+    fn dense_residual(a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let d = a.to_dense();
+        let mut worst = 0.0f64;
+        for i in 0..b.len() {
+            let mut acc = -b[i];
+            for (j, xj) in x.iter().enumerate() {
+                acc += d[(i, j)] * xj;
+            }
+            worst = worst.max(acc.abs());
+        }
+        worst
+    }
+
+    fn tridiag(n: usize) -> CscMatrix {
+        let mut b = SparseBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 4.0 + i as f64 * 0.01);
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+                b.push(i + 1, i, -1.5);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_sums_duplicates_and_keeps_zeros() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.push(0, 0, 2.0);
+        b.push(0, 0, 3.0);
+        b.push(1, 1, 1.0);
+        b.push(1, 0, 5.0);
+        b.push(1, 0, -5.0); // sums to an explicit zero — kept
+        let m = b.build().unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.push(2, 0, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let a = tridiag(6);
+        let x: Vec<f64> = (0..6).map(|i| 0.3 * i as f64 - 0.7).collect();
+        let mut y = vec![0.0; 6];
+        a.mul_vec(&x, &mut y).unwrap();
+        let d = a.to_dense();
+        for i in 0..6 {
+            let want: f64 = (0..6).map(|j| d[(i, j)] * x[j]).sum();
+            assert!((y[i] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solves_tridiagonal_system() {
+        let n = 40;
+        let a = tridiag(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let lu = SparseLu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(dense_residual(&a, &x, &b) < 1e-10);
+        // Tridiagonal elimination in Markowitz order generates no fill.
+        assert!(lu.factor_nnz() <= a.nnz());
+    }
+
+    #[test]
+    fn agrees_with_dense_lu() {
+        let a = tridiag(12);
+        let b: Vec<f64> = (0..12).map(|i| 1.0 - 0.2 * i as f64).collect();
+        let sparse = SparseLu::factor(&a).unwrap().solve(&b).unwrap();
+        let dense = Lu::factor(&a.to_dense()).unwrap().solve(&b).unwrap();
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-10, "sparse {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_bitwise() {
+        let n = 24;
+        let a = tridiag(n);
+        let mut lu = SparseLu::factor(&a).unwrap();
+        let sym = lu.symbolic().clone();
+
+        // Same pattern, new values.
+        let mut b = SparseBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 5.0 + i as f64 * 0.02);
+            if i + 1 < n {
+                b.push(i, i + 1, -0.5);
+                b.push(i + 1, i, -0.25);
+            }
+        }
+        let a2 = b.build().unwrap();
+        lu.refactor(&a2).unwrap();
+        assert_eq!(lu.symbolic(), &sym, "refactor must keep the pivot order");
+
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let via_refactor = lu.solve(&rhs).unwrap();
+        // A fresh factor of a2 may pick different pivots; the refactored
+        // solve must still satisfy the system.
+        assert!(dense_residual(&a2, &via_refactor, &rhs) < 1e-10);
+    }
+
+    #[test]
+    fn refactor_rejects_shape_change() {
+        let mut lu = SparseLu::factor(&tridiag(5)).unwrap();
+        assert!(matches!(
+            lu.refactor(&tridiag(6)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_detects_newly_singular_values() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 1.0);
+        let mut lu = SparseLu::factor(&b.build().unwrap()).unwrap();
+        let kept = lu.clone();
+
+        let mut z = SparseBuilder::new(2, 2);
+        z.push(0, 0, 0.0);
+        z.push(1, 1, 1.0);
+        let err = lu.refactor(&z.build().unwrap());
+        assert!(matches!(err, Err(LinalgError::Singular { .. })));
+        // Error must leave the old factors intact.
+        assert_eq!(lu.pivots, kept.pivots);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, 2.0);
+        b.push(1, 1, 4.0);
+        assert!(matches!(
+            SparseLu::factor(&b.build().unwrap()),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        let mut b = SparseBuilder::new(2, 3);
+        b.push(0, 0, 1.0);
+        assert!(matches!(
+            SparseLu::factor(&b.build().unwrap()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let lu = SparseLu::factor(&tridiag(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Anti-diagonal matrix: every diagonal entry is structurally zero.
+        let mut b = SparseBuilder::new(3, 3);
+        b.push(0, 2, 2.0);
+        b.push(1, 1, 3.0);
+        b.push(2, 0, 4.0);
+        let a = b.build().unwrap();
+        let x = SparseLu::factor(&a)
+            .unwrap()
+            .solve(&[2.0, 6.0, 8.0])
+            .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() {
+        let a = tridiag(9);
+        let b: Vec<f64> = (0..9).map(|i| 0.5 - i as f64).collect();
+        let lu = SparseLu::factor(&a).unwrap();
+        let fresh = lu.solve(&b).unwrap();
+        let mut reused = vec![f64::NAN; 9];
+        lu.solve_into(&b, &mut reused).unwrap();
+        assert_eq!(fresh, reused);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Lu;
+    use proptest::prelude::*;
+
+    /// Random sparse diagonally dominant matrices (always factorable).
+    fn arb_sparse_dd(n: usize) -> impl Strategy<Value = CscMatrix> {
+        proptest::collection::vec((0..n, 0..n, -1.0..1.0f64), 0..(3 * n)).prop_map(move |entries| {
+            let mut b = SparseBuilder::new(n, n);
+            let mut diag_boost = vec![1.0f64; n];
+            for (r, c, v) in entries {
+                b.push(r, c, v);
+                diag_boost[r] += v.abs();
+            }
+            for (i, boost) in diag_boost.iter().enumerate() {
+                b.push(i, i, *boost + 1.0);
+            }
+            b.build().expect("in-range by construction")
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn sparse_solution_matches_dense_lu(
+            (a, b) in (3usize..10).prop_flat_map(|n| {
+                (arb_sparse_dd(n), proptest::collection::vec(-5.0..5.0f64, n))
+            })
+        ) {
+            let sparse = SparseLu::factor(&a).unwrap().solve(&b).unwrap();
+            let dense = Lu::factor(&a.to_dense()).unwrap().solve(&b).unwrap();
+            for (s, d) in sparse.iter().zip(&dense) {
+                prop_assert!((s - d).abs() < 1e-8, "sparse {} vs dense {}", s, d);
+            }
+        }
+
+        #[test]
+        fn refactor_same_values_is_bitwise_stable(
+            a in (3usize..10).prop_flat_map(arb_sparse_dd)
+        ) {
+            let lu = SparseLu::factor(&a).unwrap();
+            let mut again = lu.clone();
+            again.refactor(&a).unwrap();
+            let b: Vec<f64> = (0..a.rows()).map(|i| i as f64 - 2.0).collect();
+            prop_assert_eq!(lu.solve(&b).unwrap(), again.solve(&b).unwrap());
+        }
+    }
+}

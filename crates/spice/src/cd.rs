@@ -1,0 +1,305 @@
+//! Exact nonlinear coordinate descent for resistive networks.
+//!
+//! Implements the solver of Scellier, *A Fast Algorithm to Simulate
+//! Nonlinear Resistive Networks* (arXiv 2402.11674), adapted to this
+//! crate's device set: nodes driven by ground-referenced voltage sources
+//! are clamped, and every remaining (free) node's scalar KCL equation
+//! `f_i(v_i) = 0` is solved exactly in turn — a Gauss–Seidel-style sweep —
+//! until the whole network satisfies the same voltage-update *and*
+//! KCL-residual tolerances as the Newton backends. No global linear system
+//! is ever assembled or factored.
+//!
+//! Each per-node equation is monotone increasing in the node's own voltage
+//! (every conductance is non-negative and `gmin` adds a strictly positive
+//! floor), so the safeguarded scalar Newton inner loop converges to the
+//! unique per-node root. Sweeps run in ascending node order with no
+//! threading, so results are bit-identical across runs and `PNC_NUM_THREADS`
+//! settings. Selection guidance and failure modes are catalogued in
+//! `docs/SOLVERS.md` at the workspace root.
+
+use crate::mna::OBS_CD_SWEEPS;
+use crate::{
+    Circuit, DcSolver, Device, Node, RecoveryRung, Solution, SolveDiagnostics, SpiceError,
+};
+
+/// Iteration cap of the per-node scalar Newton loop inside one coordinate
+/// update; each equation is monotone, so the cap only bounds pathological
+/// device models.
+const CD_INNER_ITERS: usize = 60;
+
+/// Per-inner-iteration clamp on a node voltage move, in volts. Looser than
+/// the Newton backends' `max_step` because a scalar update cannot overshoot
+/// other nodes, only its own root.
+const CD_STEP_CLAMP: f64 = 1.0;
+
+/// Internal residual polish factor. Newton's quadratic convergence
+/// overshoots `residual_tolerance` by orders of magnitude on its final
+/// iteration; coordinate descent converges linearly and would otherwise
+/// stop right at the bound, where circuit gain can amplify the residual
+/// slack into visible voltage differences. Sweeps therefore aim this much
+/// below `residual_tolerance`; the documented tolerance itself is still the
+/// acceptance bar if the sweep budget runs out first.
+const CD_POLISH_FACTOR: f64 = 1e-3;
+
+/// `1.0` when `node` is the free node with MNA index `i`, else `0.0`.
+fn ind(i: usize, node: Node) -> f64 {
+    if node.index() != 0 && node.index() - 1 == i {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Sign with which a two-terminal current (flowing `a → b` internally)
+/// enters node `i`'s KCL sum: `+1` leaving via `a`, `−1` via `b`.
+fn sign(i: usize, a: Node, b: Node) -> f64 {
+    ind(i, a) - ind(i, b)
+}
+
+/// Coordinate-descent DC solve. `x0` is the warm-start MNA vector from the
+/// shared Newton prelude (node voltages in `x0[..n]`; branch currents are
+/// ignored and recomputed from KCL at the solution).
+pub(crate) fn solve(
+    solver: &DcSolver,
+    circuit: &Circuit,
+    x0: &[f64],
+    cap_state: Option<(&[f64], f64)>,
+    rung: RecoveryRung,
+) -> Result<Solution, SpiceError> {
+    let n = circuit.num_nodes();
+    let m = circuit.num_vsources();
+    let devices = circuit.devices();
+
+    // Clamp analysis: each voltage source must pin one non-ground node
+    // against ground, and no node may be pinned twice (the MNA formulation
+    // of either case is singular or needs a branch unknown this method
+    // does not carry).
+    let mut clamp: Vec<Option<f64>> = vec![None; n];
+    let mut vsrc_nodes: Vec<(usize, bool)> = Vec::with_capacity(m);
+    for device in devices {
+        let Device::VSource {
+            plus,
+            minus,
+            voltage,
+        } = device
+        else {
+            continue;
+        };
+        let (node, value, plus_clamped) = if plus.index() != 0 && minus.index() == 0 {
+            (plus.index() - 1, *voltage, true)
+        } else if plus.index() == 0 && minus.index() != 0 {
+            (minus.index() - 1, -*voltage, false)
+        } else {
+            return Err(SpiceError::UnsupportedTopology {
+                backend: "coord-descent",
+                detail: "every voltage source must connect one non-ground node to ground".into(),
+            });
+        };
+        if clamp[node].is_some() {
+            return Err(SpiceError::UnsupportedTopology {
+                backend: "coord-descent",
+                detail: format!(
+                    "node {} is pinned by more than one voltage source",
+                    node + 1
+                ),
+            });
+        }
+        clamp[node] = Some(value);
+        vsrc_nodes.push((node, plus_clamped));
+    }
+
+    let mut v: Vec<f64> = x0[..n].to_vec();
+    for (vi, c) in v.iter_mut().zip(&clamp) {
+        if let Some(value) = c {
+            *vi = *value;
+        }
+    }
+    let free: Vec<usize> = (0..n).filter(|i| clamp[*i].is_none()).collect();
+
+    // Device indices whose KCL current at a node depends on that node's
+    // voltage; built once and iterated in fixed order for determinism.
+    let mut touching: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (di, device) in devices.iter().enumerate() {
+        let mut note = |node: Node| {
+            if node.index() != 0 {
+                let slot = &mut touching[node.index() - 1];
+                // A device with both terminals on one node would be pushed
+                // twice; its current there is identically zero, keep one.
+                if slot.last() != Some(&di) {
+                    slot.push(di);
+                }
+            }
+        };
+        match device {
+            Device::Resistor { a, b, .. } => {
+                note(*a);
+                note(*b);
+            }
+            Device::Capacitor { a, b, .. } => {
+                if cap_state.is_some() {
+                    note(*a);
+                    note(*b);
+                }
+            }
+            Device::ISource { from, to, .. } => {
+                note(*from);
+                note(*to);
+            }
+            Device::Egt { drain, source, .. } => {
+                note(*drain);
+                note(*source);
+            }
+            Device::VSource { .. } => {}
+        }
+    }
+
+    // Voltage of `node` under the estimate `v` (ground = 0).
+    let volt = |v: &[f64], node: Node| -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            v[node.index() - 1]
+        }
+    };
+
+    // KCL sum of currents leaving node `i` (amperes) and its derivative with
+    // respect to `v[i]` (siemens). Matches the Newton backends' residual
+    // exactly: gmin to ground plus every device current, voltage-source
+    // branches excluded.
+    let node_flow = |v: &[f64], i: usize| -> (f64, f64) {
+        let mut f = solver.gmin * v[i];
+        let mut fp = solver.gmin;
+        for &di in &touching[i] {
+            match &devices[di] {
+                Device::Resistor { a, b, resistance } => {
+                    let s = sign(i, *a, *b);
+                    if s != 0.0 {
+                        let g = 1.0 / resistance;
+                        f += s * g * (volt(v, *a) - volt(v, *b));
+                        fp += g;
+                    }
+                }
+                Device::Capacitor { a, b, capacitance } => {
+                    // Backward-Euler companion, as in the Newton assembly.
+                    let Some((prev, h)) = cap_state else { continue };
+                    let s = sign(i, *a, *b);
+                    if s != 0.0 {
+                        let g_c = capacitance / h;
+                        let v_prev = prev[a.index()] - prev[b.index()];
+                        f += s * g_c * (volt(v, *a) - volt(v, *b) - v_prev);
+                        fp += g_c;
+                    }
+                }
+                Device::ISource { from, to, current } => {
+                    f += sign(i, *from, *to) * current;
+                }
+                Device::Egt {
+                    drain,
+                    gate,
+                    source,
+                    model,
+                } => {
+                    let vgs = volt(v, *gate) - volt(v, *source);
+                    let vds = volt(v, *drain) - volt(v, *source);
+                    let op = model.evaluate(vgs, vds);
+                    let s = sign(i, *drain, *source);
+                    if s != 0.0 {
+                        f += s * op.id;
+                        let dg = ind(i, *gate) - ind(i, *source);
+                        let dd = ind(i, *drain) - ind(i, *source);
+                        fp += s * (op.gm * dg + op.gds * dd);
+                    }
+                }
+                Device::VSource { .. } => {}
+            }
+        }
+        (f, fp)
+    };
+
+    // Exact per-node solve: safeguarded scalar Newton on the monotone
+    // single-variable KCL equation. Returns how far the node moved.
+    let polish_tol = solver.residual_tolerance * CD_POLISH_FACTOR;
+    let inner_tol = 0.5 * polish_tol;
+    let update_node = |v: &mut Vec<f64>, i: usize| -> f64 {
+        let start = v[i];
+        for _ in 0..CD_INNER_ITERS {
+            let (f, fp) = node_flow(v, i);
+            if f.abs() <= inner_tol {
+                break;
+            }
+            let step = (-f / fp.max(solver.gmin)).clamp(-CD_STEP_CLAMP, CD_STEP_CLAMP);
+            v[i] += step;
+            if step.abs() < 1e-16 {
+                break;
+            }
+        }
+        (v[i] - start).abs()
+    };
+
+    // Cyclic sweeps over the free nodes in ascending index order. The
+    // sweep budget scales with the free-node count because information
+    // propagates at most one topological hop per sweep.
+    let max_sweeps = solver
+        .max_iterations
+        .saturating_mul(4)
+        .saturating_add(free.len().saturating_mul(4))
+        .saturating_add(16);
+    let mut sweeps = 0usize;
+    let residual = loop {
+        sweeps += 1;
+        OBS_CD_SWEEPS.increment();
+        let mut max_dv = 0.0_f64;
+        for &i in &free {
+            max_dv = max_dv.max(update_node(&mut v, i));
+        }
+        // Acceptance mirrors the Newton backends: the sweep must have
+        // settled *and* the full KCL residual must be small, evaluated
+        // after the sweep so later updates cannot hide earlier drift.
+        let mut residual = 0.0_f64;
+        for &i in &free {
+            residual = residual.max(node_flow(&v, i).0.abs());
+        }
+        if max_dv < solver.tolerance && residual < polish_tol {
+            break residual;
+        }
+        if sweeps >= max_sweeps {
+            // Out of budget: the polished target was not reached, but the
+            // documented tolerance contract may still be satisfied.
+            if residual < solver.residual_tolerance {
+                break residual;
+            }
+            return Err(SpiceError::NoConvergence {
+                iterations: sweeps,
+                residual,
+            });
+        }
+    };
+
+    // Branch currents from KCL at each clamped node: the source carries
+    // exactly the current the rest of the circuit draws there.
+    let source_currents: Vec<f64> = vsrc_nodes
+        .iter()
+        .map(|&(node, plus_clamped)| {
+            let flow = node_flow(&v, node).0;
+            if plus_clamped {
+                -flow
+            } else {
+                flow
+            }
+        })
+        .collect();
+
+    let mut voltages = vec![0.0; n + 1];
+    voltages[1..].copy_from_slice(&v);
+    Ok(Solution {
+        voltages,
+        source_currents,
+        diagnostics: SolveDiagnostics {
+            iterations: sweeps,
+            residual,
+            rung,
+            attempts: 1,
+            factorizations: 0,
+        },
+    })
+}

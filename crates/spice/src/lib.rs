@@ -12,10 +12,31 @@
 //!   channel-length modulation ([`EgtModel`]),
 //! * damped **Newton–Raphson** iteration with analytic device Jacobians and a
 //!   `gmin` safety conductance ([`DcSolver`]),
+//! * three interchangeable **solver backends** — dense LU (the oracle),
+//!   sparse LU with cached symbolic analysis, and the exact
+//!   coordinate-descent method of Scellier 2024 — selected per-circuit via
+//!   [`DcSolver::backend`] or process-wide via `PNC_SPICE_BACKEND`
+//!   ([`SolverBackend`]; catalogue and selection guidance in
+//!   `docs/SOLVERS.md` at the workspace root),
 //! * **DC sweeps** with warm-started continuation ([`sweep::dc_sweep`]), and
 //! * ready-made netlists of the paper's nonlinear subcircuits: the two-stage
-//!   tanh-like `ptanh` circuit and the single-stage negative-weight inverter
+//!   tanh-like `ptanh` circuit, the single-stage negative-weight inverter,
+//!   and scalable resistor-ladder / crossbar-network benchmark topologies
 //!   ([`circuits`]).
+//!
+//! # MNA formulation
+//!
+//! The unknown vector stacks the non-ground node voltages (indices
+//! `0..num_nodes`) and one branch current per independent voltage source
+//! (indices `num_nodes..`). Node rows are Kirchhoff current sums —
+//! conductance stamps for resistors, backward-Euler companions for
+//! capacitors in transient analysis, linearized companion models for EGTs —
+//! and each voltage source contributes a branch row `v₊ − v₋ = V` plus
+//! `±1` couplings that inject its branch current into the terminal node
+//! rows. Every backend solves this same system (coordinate descent
+//! eliminates the branch unknowns by clamping source-driven nodes) and all
+//! honor the same dual convergence contract: the voltage update *and* the
+//! KCL residual must settle below their tolerances.
 //!
 //! The substitution preserves what the downstream pipeline needs: a smooth
 //! family of tanh-like transfer curves, nonlinearly parameterized by the seven
@@ -50,6 +71,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+mod cd;
 pub mod circuits;
 mod egt;
 mod error;
@@ -59,6 +82,7 @@ mod netlist_io;
 pub mod sweep;
 mod transient;
 
+pub use backend::{SolverBackend, BACKEND_ENV_VAR};
 pub use egt::{EgtModel, EgtOperatingPoint};
 pub use error::SpiceError;
 pub use mna::{

@@ -1,5 +1,7 @@
+use crate::backend::SolverBackend;
 use crate::{Circuit, Device, SpiceError};
-use pnc_linalg::{Lu, Matrix};
+use pnc_linalg::sparse::{CscMatrix, SparseBuilder, SparseLu};
+use pnc_linalg::{LinalgError, Lu, Matrix};
 use pnc_obs::{Counter, FieldValue, Histogram};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
@@ -20,6 +22,14 @@ static OBS_RUNG_SOURCE: Counter = Counter::new("spice.recovery.source_stepping")
 static OBS_GMIN_STEPS: Counter = Counter::new("spice.recovery.gmin_steps");
 static OBS_SOURCE_STEPS: Counter = Counter::new("spice.recovery.source_steps");
 static OBS_RESIDUAL: Histogram = Histogram::new("spice.newton.residual");
+// Backend-dispatch tallies: one per-solve count on the backend that ran it,
+// plus the sparse/coordinate-descent work counters those backends emit.
+static OBS_BACKEND_DENSE: Counter = Counter::new("spice.backend.dense_lu");
+static OBS_BACKEND_SPARSE: Counter = Counter::new("spice.backend.sparse_lu");
+static OBS_BACKEND_CD: Counter = Counter::new("spice.backend.coord_descent");
+pub(crate) static OBS_CD_SWEEPS: Counter = Counter::new("spice.backend.cd_sweeps");
+static OBS_SPARSE_SYMBOLIC: Counter = Counter::new("spice.backend.sparse_symbolic");
+static OBS_SPARSE_REFACTOR: Counter = Counter::new("spice.backend.sparse_refactor");
 
 /// Registers the crate's whole metric set so summaries always carry every
 /// documented key, including zero-valued failure/recovery counters.
@@ -38,6 +48,12 @@ fn obs_register() {
         OBS_GMIN_STEPS.register();
         OBS_SOURCE_STEPS.register();
         OBS_RESIDUAL.register();
+        OBS_BACKEND_DENSE.register();
+        OBS_BACKEND_SPARSE.register();
+        OBS_BACKEND_CD.register();
+        OBS_CD_SWEEPS.register();
+        OBS_SPARSE_SYMBOLIC.register();
+        OBS_SPARSE_REFACTOR.register();
     });
 }
 
@@ -83,6 +99,11 @@ const CACHE_GUESS_TOL: f64 = 0.05;
 #[derive(Debug, Default)]
 pub struct NewtonCache {
     lu: Option<Lu>,
+    /// Sparse counterpart of `lu`, used by the `sparse-lu` backend: carrying
+    /// it across warm-started solves reuses both the numeric factorization
+    /// (while the residual contracts) and its symbolic pivot order (on every
+    /// refactorization).
+    sparse: Option<SparseLu>,
     x_at_factor: Vec<f64>,
 }
 
@@ -94,19 +115,29 @@ impl NewtonCache {
 
     /// `true` when the cache holds a factorization ready for reuse.
     pub fn is_warm(&self) -> bool {
-        self.lu.is_some()
+        self.lu.is_some() || self.sparse.is_some()
     }
 
     /// Drops any held factorization.
     pub fn clear(&mut self) {
         self.lu = None;
+        self.sparse = None;
         self.x_at_factor.clear();
     }
 
-    /// `true` if the held factorization can be trusted for a solve of
+    /// `true` if the held dense factorization can be trusted for a solve of
     /// dimension `dim` starting from `x`.
     fn matches(&self, dim: usize, x: &[f64]) -> bool {
-        if self.lu.is_none() || self.x_at_factor.len() != dim {
+        self.lu.is_some() && self.guess_close(dim, x)
+    }
+
+    /// Sparse-backend counterpart of [`Self::matches`].
+    fn matches_sparse(&self, dim: usize, x: &[f64]) -> bool {
+        self.sparse.as_ref().is_some_and(|lu| lu.dim() == dim) && self.guess_close(dim, x)
+    }
+
+    fn guess_close(&self, dim: usize, x: &[f64]) -> bool {
+        if self.x_at_factor.len() != dim {
             return false;
         }
         let mut dist = 0.0_f64;
@@ -314,12 +345,12 @@ impl FaultInjection {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     /// Voltage of every node including ground at index 0.
-    voltages: Vec<f64>,
+    pub(crate) voltages: Vec<f64>,
     /// Current through each voltage source (flowing from `plus` through the
     /// source to `minus`), in source insertion order.
-    source_currents: Vec<f64>,
+    pub(crate) source_currents: Vec<f64>,
     /// How the solve went: iterations, recovery rung, final residual.
-    diagnostics: SolveDiagnostics,
+    pub(crate) diagnostics: SolveDiagnostics,
 }
 
 impl Solution {
@@ -409,6 +440,13 @@ pub struct DcSolver {
     /// ([`NEWTON_REUSE_ENV_VAR`]; `0`/`off`/`false` disable, enabled
     /// otherwise). Solves without a cache always run classic full Newton.
     pub newton_reuse: bool,
+    /// Which algorithm computes the operating point (see [`SolverBackend`]
+    /// and `docs/SOLVERS.md`). `None` — the default — resolves the
+    /// `PNC_SPICE_BACKEND` environment variable at each solve, so an
+    /// unrecognized value there surfaces as [`SpiceError::Config`] from the
+    /// solve itself rather than silently falling back; `Some(backend)` pins
+    /// the choice in code and ignores the environment.
+    pub backend: Option<SolverBackend>,
 }
 
 impl Default for DcSolver {
@@ -422,6 +460,7 @@ impl Default for DcSolver {
             recovery: RecoveryPolicy::default(),
             fault_injection: None,
             newton_reuse: newton_reuse_default(),
+            backend: None,
         }
     }
 }
@@ -431,6 +470,31 @@ impl DcSolver {
     /// circuits in this workspace.
     pub fn new() -> Self {
         DcSolver::default()
+    }
+
+    /// Creates a default solver pinned to `backend`, ignoring the
+    /// `PNC_SPICE_BACKEND` environment variable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pnc_spice::{Circuit, DcSolver, SolverBackend, GROUND};
+    ///
+    /// # fn main() -> Result<(), pnc_spice::SpiceError> {
+    /// let mut ckt = Circuit::new();
+    /// let n = ckt.new_node();
+    /// ckt.vsource(n, GROUND, 1.0)?;
+    /// ckt.resistor(n, GROUND, 1_000.0)?;
+    /// let sol = DcSolver::with_backend(SolverBackend::CoordDescent).solve(&ckt)?;
+    /// assert!((sol.voltage(n) - 1.0).abs() < 1e-9);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_backend(backend: SolverBackend) -> Self {
+        DcSolver {
+            backend: Some(backend),
+            ..DcSolver::default()
+        }
     }
 
     /// Solves the DC operating point starting from an all-zero voltage guess.
@@ -511,7 +575,30 @@ impl DcSolver {
         cache: Option<&mut NewtonCache>,
     ) -> Result<Solution, SpiceError> {
         obs_register();
-        let result = self.solve_recovered_inner(circuit, guess, cap_state, cache);
+        // Resolve the backend once per solve. A bad `PNC_SPICE_BACKEND`
+        // value errors out here, before any numeric work — no fallback.
+        let resolved = match self.backend {
+            Some(b) => b,
+            None => SolverBackend::from_env()?,
+        };
+        match resolved {
+            SolverBackend::DenseLu => OBS_BACKEND_DENSE.increment(),
+            SolverBackend::SparseLu => OBS_BACKEND_SPARSE.increment(),
+            SolverBackend::CoordDescent => OBS_BACKEND_CD.increment(),
+        }
+        // Pin the resolved backend so every recovery rung (some clone the
+        // solver) dispatches identically without re-reading the environment.
+        let pinned;
+        let solver = if self.backend == Some(resolved) {
+            self
+        } else {
+            pinned = DcSolver {
+                backend: Some(resolved),
+                ..self.clone()
+            };
+            &pinned
+        };
+        let result = solver.solve_recovered_inner(circuit, guess, cap_state, cache);
         OBS_SOLVES.increment();
         match &result {
             Ok(sol) => {
@@ -810,7 +897,7 @@ impl DcSolver {
         guess: Option<&[f64]>,
         cap_state: Option<(&[f64], f64)>,
         rung: RecoveryRung,
-        mut cache: Option<&mut NewtonCache>,
+        cache: Option<&mut NewtonCache>,
     ) -> Result<Solution, SpiceError> {
         let n = circuit.num_nodes();
         let m = circuit.num_vsources();
@@ -848,6 +935,31 @@ impl DcSolver {
                 });
             }
         }
+
+        // Backend dispatch happens after the shared prelude so guess
+        // validation, trivial circuits, and fault injection behave the same
+        // regardless of backend. `None` only reaches this point via direct
+        // internal calls; it means the dense default.
+        match self.backend.unwrap_or_default() {
+            SolverBackend::DenseLu => self.newton_dense(circuit, x, cap_state, rung, cache),
+            SolverBackend::SparseLu => self.newton_sparse(circuit, x, cap_state, rung, cache),
+            SolverBackend::CoordDescent => crate::cd::solve(self, circuit, &x, cap_state, rung),
+        }
+    }
+
+    /// The dense Newton loop behind [`SolverBackend::DenseLu`]: full dense
+    /// assembly, dense LU per iteration (or modified Newton with `cache`).
+    /// This is the oracle path the other backends are validated against.
+    fn newton_dense(
+        &self,
+        circuit: &Circuit,
+        mut x: Vec<f64>,
+        cap_state: Option<(&[f64], f64)>,
+        rung: RecoveryRung,
+        mut cache: Option<&mut NewtonCache>,
+    ) -> Result<Solution, SpiceError> {
+        let n = circuit.num_nodes();
+        let dim = x.len();
 
         // A factorization carried over from an earlier solve is only
         // trusted when the warm-start point stayed near where it was taken;
@@ -959,6 +1071,299 @@ impl DcSolver {
             iterations: self.max_iterations,
             residual: last_residual,
         })
+    }
+
+    /// The sparse Newton loop behind [`SolverBackend::SparseLu`]: the same
+    /// damped iteration and acceptance criteria as [`Self::newton_dense`],
+    /// but over compressed-sparse-column assembly with Markowitz-ordered
+    /// sparse LU. Classic Newton refactors numerically every iteration while
+    /// reusing the cached symbolic pivot order; with a [`NewtonCache`] and
+    /// [`DcSolver::newton_reuse`], the numeric factorization is additionally
+    /// kept while the residual contracts geometrically (modified Newton),
+    /// across iterations and warm-started sweep points.
+    fn newton_sparse(
+        &self,
+        circuit: &Circuit,
+        mut x: Vec<f64>,
+        cap_state: Option<(&[f64], f64)>,
+        rung: RecoveryRung,
+        mut cache: Option<&mut NewtonCache>,
+    ) -> Result<Solution, SpiceError> {
+        let n = circuit.num_nodes();
+        let dim = x.len();
+
+        let reuse = self.newton_reuse && cache.is_some();
+        if let Some(c) = cache.as_deref_mut() {
+            if !reuse || !c.matches_sparse(dim, &x) {
+                c.clear();
+            }
+        }
+        // Factorization slot for cache-less solves; dropped on return, but
+        // its symbolic pivot order still serves every refactorization within
+        // this solve.
+        let mut local: Option<SparseLu> = None;
+
+        let mut last_update = f64::INFINITY;
+        let mut last_residual = f64::INFINITY;
+        let mut prev_residual = f64::INFINITY;
+        let mut factorizations = 0usize;
+        let mut f = vec![0.0; dim];
+        let mut delta = vec![0.0; dim];
+        for iter in 0..=self.max_iterations {
+            let (a, rhs) = self.assemble_sparse(circuit, &x, cap_state)?;
+
+            // KCL residual of the nonlinear system at x — the companion
+            // linearization is exact at its expansion point, so
+            // F(x) = A(x)·x − rhs(x), as in the dense path.
+            a.mul_vec(&x, &mut f)?;
+            let mut residual = 0.0_f64;
+            for (fi, r) in f.iter_mut().zip(&rhs) {
+                *fi -= *r;
+                residual = residual.max(fi.abs());
+            }
+            last_residual = residual;
+
+            if last_update < self.tolerance && residual < self.residual_tolerance {
+                let mut voltages = vec![0.0; n + 1];
+                voltages[1..].copy_from_slice(&x[..n]);
+                return Ok(Solution {
+                    voltages,
+                    source_currents: x[n..].to_vec(),
+                    diagnostics: SolveDiagnostics {
+                        iterations: iter,
+                        residual,
+                        rung,
+                        attempts: 1,
+                        factorizations,
+                    },
+                });
+            }
+            if iter == self.max_iterations {
+                break;
+            }
+
+            // Numeric refactorization is skipped only in modified-Newton
+            // mode while the residual keeps contracting geometrically.
+            let stalled = residual > STALL_CONTRACTION * prev_residual;
+            let slot = match cache.as_deref_mut() {
+                Some(c) => &mut c.sparse,
+                None => &mut local,
+            };
+            let refresh = match slot.as_ref() {
+                None => true,
+                Some(lu) => lu.dim() != dim || !reuse || stalled,
+            };
+            if refresh {
+                match slot.as_mut().filter(|lu| lu.dim() == dim) {
+                    Some(lu) => match lu.refactor(&a) {
+                        Ok(()) => OBS_SPARSE_REFACTOR.increment(),
+                        // A pivot order taken at a different operating point
+                        // can go numerically bad; redo the symbolic analysis
+                        // before giving up on the solve.
+                        Err(LinalgError::Singular { .. }) => {
+                            *slot = Some(SparseLu::factor(&a)?);
+                            OBS_SPARSE_SYMBOLIC.increment();
+                        }
+                        Err(e) => return Err(e.into()),
+                    },
+                    None => {
+                        *slot = Some(SparseLu::factor(&a)?);
+                        OBS_SPARSE_SYMBOLIC.increment();
+                    }
+                }
+                factorizations += 1;
+                if let Some(c) = cache.as_deref_mut() {
+                    c.x_at_factor.clear();
+                    c.x_at_factor.extend_from_slice(&x);
+                }
+            }
+
+            // Delta-form step with the (possibly stale) factorization:
+            // J·Δ = −F(x), then the same damping as the dense path.
+            for fi in f.iter_mut() {
+                *fi = -*fi;
+            }
+            let lu = match cache.as_deref() {
+                Some(c) => c.sparse.as_ref(),
+                None => local.as_ref(),
+            };
+            if let Some(lu) = lu {
+                lu.solve_into(&f, &mut delta)?;
+            }
+            let mut max_delta = 0.0_f64;
+            for (i, d) in delta.iter().enumerate() {
+                let mut d = *d;
+                // Only damp node voltages; source branch currents may move
+                // freely.
+                if i < n {
+                    d = d.clamp(-self.max_step, self.max_step);
+                }
+                x[i] += d;
+                if i < n {
+                    max_delta = max_delta.max(d.abs());
+                }
+            }
+            last_update = max_delta;
+            prev_residual = residual;
+        }
+
+        Err(SpiceError::NoConvergence {
+            iterations: self.max_iterations,
+            residual: last_residual,
+        })
+    }
+
+    /// Sparse counterpart of [`Self::assemble`]: identical stamps pushed
+    /// into a [`SparseBuilder`]. The builder keeps explicit zeros and the
+    /// stamp positions depend only on the netlist topology (never on `x`),
+    /// so the pattern — and with it the cached symbolic pivot order — is
+    /// stable across Newton iterations and same-circuit sweep points.
+    fn assemble_sparse(
+        &self,
+        circuit: &Circuit,
+        x: &[f64],
+        cap_state: Option<(&[f64], f64)>,
+    ) -> Result<(CscMatrix, Vec<f64>), SpiceError> {
+        let n = circuit.num_nodes();
+        let m = circuit.num_vsources();
+        let dim = n + m;
+        let mut b = SparseBuilder::new(dim, dim);
+        let mut rhs = vec![0.0; dim];
+
+        // gmin from every node to ground keeps floating nodes solvable.
+        for i in 0..n {
+            b.push(i, i, self.gmin);
+        }
+
+        // Voltage of a node under the current estimate (ground = 0).
+        let volt = |node: crate::Node| -> f64 {
+            if node.index() == 0 {
+                0.0
+            } else {
+                x[node.index() - 1]
+            }
+        };
+        // Row/col index of a node in the MNA system, None for ground.
+        let idx = |node: crate::Node| -> Option<usize> {
+            if node.index() == 0 {
+                None
+            } else {
+                Some(node.index() - 1)
+            }
+        };
+
+        let mut vsrc_counter = 0usize;
+        for device in circuit.devices() {
+            match device {
+                Device::Resistor {
+                    a,
+                    b: nb,
+                    resistance,
+                } => {
+                    let cond = 1.0 / resistance;
+                    if let Some(i) = idx(*a) {
+                        b.push(i, i, cond);
+                    }
+                    if let Some(j) = idx(*nb) {
+                        b.push(j, j, cond);
+                    }
+                    if let (Some(i), Some(j)) = (idx(*a), idx(*nb)) {
+                        b.push(i, j, -cond);
+                        b.push(j, i, -cond);
+                    }
+                }
+                Device::VSource {
+                    plus,
+                    minus,
+                    voltage,
+                } => {
+                    let k = n + vsrc_counter;
+                    vsrc_counter += 1;
+                    if let Some(i) = idx(*plus) {
+                        b.push(i, k, 1.0);
+                        b.push(k, i, 1.0);
+                    }
+                    if let Some(j) = idx(*minus) {
+                        b.push(j, k, -1.0);
+                        b.push(k, j, -1.0);
+                    }
+                    rhs[k] = *voltage;
+                }
+                Device::Capacitor {
+                    a,
+                    b: nb,
+                    capacitance,
+                } => {
+                    let Some((prev, h)) = cap_state else {
+                        continue; // open circuit in DC analysis
+                    };
+                    let g_c = capacitance / h;
+                    let v_prev = prev[a.index()] - prev[nb.index()];
+                    if let Some(i) = idx(*a) {
+                        b.push(i, i, g_c);
+                        rhs[i] += g_c * v_prev;
+                    }
+                    if let Some(j) = idx(*nb) {
+                        b.push(j, j, g_c);
+                        rhs[j] -= g_c * v_prev;
+                    }
+                    if let (Some(i), Some(j)) = (idx(*a), idx(*nb)) {
+                        b.push(i, j, -g_c);
+                        b.push(j, i, -g_c);
+                    }
+                }
+                Device::ISource { from, to, current } => {
+                    if let Some(i) = idx(*from) {
+                        rhs[i] -= current;
+                    }
+                    if let Some(j) = idx(*to) {
+                        rhs[j] += current;
+                    }
+                }
+                Device::Egt {
+                    drain,
+                    gate,
+                    source,
+                    model,
+                } => {
+                    let vgs = volt(*gate) - volt(*source);
+                    let vds = volt(*drain) - volt(*source);
+                    let op = model.evaluate(vgs, vds);
+                    // Companion model: i_d ≈ i_eq + gm·v_gs + gds·v_ds.
+                    let i_eq = op.id - op.gm * vgs - op.gds * vds;
+
+                    let d = idx(*drain);
+                    let gt = idx(*gate);
+                    let s = idx(*source);
+
+                    // KCL at drain: +i_d leaves the node into the channel.
+                    if let Some(di) = d {
+                        rhs[di] -= i_eq;
+                        if let Some(gi) = gt {
+                            b.push(di, gi, op.gm);
+                        }
+                        b.push(di, di, op.gds);
+                        if let Some(si) = s {
+                            b.push(di, si, -(op.gm + op.gds));
+                        }
+                    }
+                    // KCL at source: −i_d (channel current enters the node).
+                    if let Some(si) = s {
+                        rhs[si] += i_eq;
+                        if let Some(gi) = gt {
+                            b.push(si, gi, -op.gm);
+                        }
+                        if let Some(di) = d {
+                            b.push(si, di, -op.gds);
+                        }
+                        b.push(si, si, op.gm + op.gds);
+                    }
+                    // Gate draws no DC current.
+                }
+            }
+        }
+
+        Ok((b.build()?, rhs))
     }
 
     /// Assembles the linearized MNA system `G·x = rhs` at the estimate `x`.
@@ -1485,6 +1890,157 @@ mod tests {
         assert_eq!(off.guess_perturbations, 0);
         assert_eq!(off.gmin_steps, 0);
         assert_eq!(off.source_steps, 0);
+    }
+
+    fn egt_inverter_circuit(vin: f64) -> (Circuit, crate::Node) {
+        let model = EgtModel::printed(600e-6, 20e-6);
+        let mut c = Circuit::new();
+        let supply = c.new_node();
+        let input = c.new_node();
+        let out = c.new_node();
+        c.vsource(supply, GROUND, 1.0).unwrap();
+        c.vsource(input, GROUND, vin).unwrap();
+        c.resistor(supply, out, 200_000.0).unwrap();
+        c.egt(out, input, GROUND, model).unwrap();
+        (c, out)
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_on_nonlinear_circuit() {
+        for vin in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            let (c, out) = egt_inverter_circuit(vin);
+            let dense = DcSolver::new().solve(&c).unwrap();
+            let sparse = DcSolver::with_backend(SolverBackend::SparseLu)
+                .solve(&c)
+                .unwrap();
+            assert!(
+                (dense.voltage(out) - sparse.voltage(out)).abs() < 1e-9,
+                "vin {vin}: dense {} vs sparse {}",
+                dense.voltage(out),
+                sparse.voltage(out)
+            );
+            assert!((dense.source_current(0) - sparse.source_current(0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coord_descent_matches_dense_on_nonlinear_circuit() {
+        for vin in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            let (c, out) = egt_inverter_circuit(vin);
+            let dense = DcSolver::new().solve(&c).unwrap();
+            let cd = DcSolver::with_backend(SolverBackend::CoordDescent)
+                .solve(&c)
+                .unwrap();
+            // CD stops once the KCL residual is below tolerance; through the
+            // 200 kΩ output impedance that allows a few µV of voltage slack
+            // (the documented cross-backend agreement bound in SOLVERS.md).
+            assert!(
+                (dense.voltage(out) - cd.voltage(out)).abs() < 1e-5,
+                "vin {vin}: dense {} vs cd {}",
+                dense.voltage(out),
+                cd.voltage(out)
+            );
+            assert!((dense.source_current(0) - cd.source_current(0)).abs() < 1e-8);
+            assert_eq!(cd.diagnostics().factorizations, 0);
+        }
+    }
+
+    #[test]
+    fn coord_descent_source_currents_match_dense() {
+        let mut c = Circuit::new();
+        let vin = c.new_node();
+        let mid = c.new_node();
+        c.vsource(vin, GROUND, 1.0).unwrap();
+        c.resistor(vin, mid, 1_000.0).unwrap();
+        c.resistor(mid, GROUND, 1_000.0).unwrap();
+        let cd = DcSolver::with_backend(SolverBackend::CoordDescent)
+            .solve(&c)
+            .unwrap();
+        assert!((cd.voltage(mid) - 0.5).abs() < 1e-9);
+        assert!((cd.source_current(0) + 0.5e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn coord_descent_handles_minus_clamped_sources() {
+        // A vsource wired ground-to-node clamps the node at −V.
+        let mut c = Circuit::new();
+        let n = c.new_node();
+        c.vsource(GROUND, n, 1.0).unwrap();
+        c.resistor(n, GROUND, 1_000.0).unwrap();
+        let cd = DcSolver::with_backend(SolverBackend::CoordDescent)
+            .solve(&c)
+            .unwrap();
+        let dense = DcSolver::new().solve(&c).unwrap();
+        assert!((cd.voltage(n) + 1.0).abs() < 1e-9);
+        assert!((cd.source_current(0) - dense.source_current(0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn coord_descent_rejects_floating_vsource() {
+        let mut c = Circuit::new();
+        let a = c.new_node();
+        let b = c.new_node();
+        c.vsource(a, b, 0.5).unwrap();
+        c.resistor(a, GROUND, 1_000.0).unwrap();
+        c.resistor(b, GROUND, 1_000.0).unwrap();
+        let err = DcSolver::with_backend(SolverBackend::CoordDescent).solve(&c);
+        assert!(
+            matches!(err, Err(SpiceError::UnsupportedTopology { backend, .. }) if backend == "coord-descent"),
+            "{err:?}"
+        );
+        // The LU backends handle the same circuit fine.
+        DcSolver::new().solve(&c).unwrap();
+        DcSolver::with_backend(SolverBackend::SparseLu)
+            .solve(&c)
+            .unwrap();
+    }
+
+    #[test]
+    fn sparse_backend_reuses_symbolic_analysis_across_sweep() {
+        // A warm-started sweep through one cache must refactor numerically
+        // without redoing the Markowitz analysis (counted via diagnostics:
+        // factorizations happen, yet solves still converge identically).
+        let model = EgtModel::printed(400e-6, 40e-6);
+        let mut c = Circuit::new();
+        let supply = c.new_node();
+        let input = c.new_node();
+        let out = c.new_node();
+        c.vsource(supply, GROUND, 1.0).unwrap();
+        let vin_id = c.vsource(input, GROUND, 0.0).unwrap();
+        c.resistor(supply, out, 100_000.0).unwrap();
+        c.egt(out, input, GROUND, model).unwrap();
+
+        let dense = DcSolver::new();
+        let sparse = DcSolver::with_backend(SolverBackend::SparseLu);
+        let mut cache = NewtonCache::new();
+        let mut guess: Option<Vec<f64>> = None;
+        for i in 0..=10 {
+            let vin = i as f64 / 10.0;
+            c.set_vsource(vin_id, vin).unwrap();
+            let s = sparse
+                .solve_with_cache(&c, guess.as_deref(), &mut cache)
+                .unwrap();
+            let d = dense.solve(&c).unwrap();
+            assert!(
+                (s.voltage(out) - d.voltage(out)).abs() < 1e-8,
+                "vin {vin}: sparse {} vs dense {}",
+                s.voltage(out),
+                d.voltage(out)
+            );
+            guess = Some(s.voltages()[1..].to_vec());
+        }
+        assert!(cache.is_warm());
+    }
+
+    #[test]
+    fn backend_solves_are_deterministic() {
+        for backend in SolverBackend::all() {
+            let (c, _) = egt_inverter_circuit(0.45);
+            let solver = DcSolver::with_backend(backend);
+            let a = solver.solve(&c).unwrap();
+            let b = solver.solve(&c).unwrap();
+            assert_eq!(a, b, "{backend:?} must be run-to-run deterministic");
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The `PNC_SPICE_BACKEND` environment path of [`SolverBackend`].
+//!
+//! Kept in its own integration-test binary because it mutates process
+//! environment — no other test shares this process, so there is no race
+//! with parallel test threads reading the variable (the same isolation
+//! pattern as `pnc-core`'s `precision_env` test).
+
+use pnc_spice::{Circuit, DcSolver, SolverBackend, SpiceError, BACKEND_ENV_VAR, GROUND};
+
+#[test]
+fn env_override_selects_backends_and_hard_errors_on_typos() {
+    std::env::remove_var(BACKEND_ENV_VAR);
+    assert_eq!(
+        SolverBackend::from_env().expect("unset is the dense default"),
+        SolverBackend::DenseLu
+    );
+
+    for (value, expected) in [
+        ("dense-lu", SolverBackend::DenseLu),
+        (" Sparse-LU ", SolverBackend::SparseLu),
+        ("coord_descent", SolverBackend::CoordDescent),
+    ] {
+        std::env::set_var(BACKEND_ENV_VAR, value);
+        assert_eq!(
+            SolverBackend::from_env().expect("valid spelling"),
+            expected,
+            "{value:?}"
+        );
+    }
+
+    // The env-selected backend actually drives solves: a voltage source
+    // floating between two non-ground nodes is solvable by the LU backends
+    // but rejected by coordinate descent, so the typed rejection proves the
+    // dispatch happened.
+    let mut floating = Circuit::new();
+    let a = floating.new_node();
+    let b = floating.new_node();
+    floating.vsource(a, b, 0.5).expect("valid");
+    floating.resistor(a, GROUND, 1_000.0).expect("valid");
+    floating.resistor(b, GROUND, 1_000.0).expect("valid");
+
+    std::env::set_var(BACKEND_ENV_VAR, "coord-descent");
+    let err = DcSolver::new().solve(&floating);
+    assert!(
+        matches!(
+            err,
+            Err(SpiceError::UnsupportedTopology { backend, .. }) if backend == "coord-descent"
+        ),
+        "env-selected coord-descent must reject the floating source: {err:?}"
+    );
+    std::env::set_var(BACKEND_ENV_VAR, "sparse-lu");
+    DcSolver::new()
+        .solve(&floating)
+        .expect("sparse-lu handles floating sources");
+
+    // A solver pinned in code ignores the environment entirely.
+    std::env::set_var(BACKEND_ENV_VAR, "coord-descent");
+    DcSolver::with_backend(SolverBackend::DenseLu)
+        .solve(&floating)
+        .expect("pinned backend must ignore the env override");
+
+    // The hardened path: an operator typo must be a typed error naming the
+    // variable, never a silent fallback to some other solver.
+    for bad in ["newton", "dense", "sparse", ""] {
+        std::env::set_var(BACKEND_ENV_VAR, bad);
+        match SolverBackend::from_env() {
+            Err(SpiceError::Config { detail }) => {
+                assert!(
+                    detail.contains(BACKEND_ENV_VAR) && detail.contains(bad),
+                    "error must name the variable and the bad value: {detail}"
+                );
+            }
+            other => panic!("{bad:?} must fail from_env, got {other:?}"),
+        }
+        // The same hard error surfaces from an actual solve, before any
+        // numeric work.
+        let mut ckt = Circuit::new();
+        let n = ckt.new_node();
+        ckt.resistor(n, GROUND, 1_000.0).expect("valid");
+        match DcSolver::new().solve(&ckt) {
+            Err(SpiceError::Config { detail }) => {
+                assert!(detail.contains(BACKEND_ENV_VAR), "{detail}");
+            }
+            other => panic!("solve with {bad:?} must fail, got {other:?}"),
+        }
+    }
+
+    std::env::remove_var(BACKEND_ENV_VAR);
+}

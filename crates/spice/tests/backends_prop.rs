@@ -1,0 +1,164 @@
+//! Cross-backend property tests: on random ladder and crossbar topologies
+//! the sparse-LU backend must track the dense-LU oracle to linear-solver
+//! precision, coordinate descent must agree within its documented
+//! residual-implied tolerance, and every backend must be bit-identical
+//! across thread counts (the determinism contract of `docs/SOLVERS.md`).
+
+use pnc_linalg::ParallelConfig;
+use pnc_spice::circuits::{resistor_ladder, CrossbarNetwork, NonlinearCircuitParams, PtanhCircuit};
+use pnc_spice::{sweep, Circuit, DcSolver, Node, SolverBackend, GROUND};
+use proptest::prelude::*;
+
+/// A random crossbar-like linear layer: `ins` source-driven columns fan
+/// into `outs` weighted-sum rows through the given resistances, each row
+/// pulled down to ground. Returns the circuit and the row nodes.
+fn random_crossbar(
+    ins: usize,
+    outs: usize,
+    volts: &[f64],
+    weights: &[f64],
+) -> (Circuit, Vec<Node>) {
+    let mut c = Circuit::new();
+    let cols: Vec<Node> = (0..ins).map(|_| c.new_node()).collect();
+    for (k, &col) in cols.iter().enumerate() {
+        c.vsource(col, GROUND, volts[k % volts.len()])
+            .expect("valid");
+    }
+    let rows: Vec<Node> = (0..outs).map(|_| c.new_node()).collect();
+    let mut w = 0usize;
+    for &row in &rows {
+        for &col in &cols {
+            c.resistor(col, row, weights[w % weights.len()])
+                .expect("valid");
+            w += 1;
+        }
+        c.resistor(row, GROUND, weights[w % weights.len()])
+            .expect("valid");
+        w += 1;
+    }
+    (c, rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random ladders: sparse LU tracks dense LU to solver precision and
+    /// coordinate descent stays within its residual-implied bound. Short
+    /// ladders only — coordinate descent propagates information one node
+    /// per sweep, its documented weakness on high-diameter topologies.
+    #[test]
+    fn backends_agree_on_random_ladders(
+        sections in 1usize..24,
+        r_series in 100.0..50_000.0f64,
+        r_shunt in 1_000.0..200_000.0f64,
+    ) {
+        let (ladder, _) = resistor_ladder(sections, r_series, r_shunt).expect("valid");
+        let dense = DcSolver::new().solve(&ladder).expect("dense converges");
+        let sparse = DcSolver::with_backend(SolverBackend::SparseLu)
+            .solve(&ladder)
+            .expect("sparse converges");
+        let cd = DcSolver::with_backend(SolverBackend::CoordDescent)
+            .solve(&ladder)
+            .expect("cd converges");
+        for ((d, s), c) in dense
+            .voltages()
+            .iter()
+            .zip(sparse.voltages())
+            .zip(cd.voltages())
+        {
+            prop_assert!((d - s).abs() < 1e-9, "sparse: {d} vs {s}");
+            prop_assert!((d - c).abs() < 2e-4, "cd: {d} vs {c}");
+        }
+        prop_assert!(
+            (dense.source_current(0) - sparse.source_current(0)).abs() < 1e-9
+        );
+        prop_assert!(
+            (dense.source_current(0) - cd.source_current(0)).abs() < 1e-7
+        );
+    }
+
+    /// Random single-layer crossbars: all three backends agree on every
+    /// weighted-sum row voltage.
+    #[test]
+    fn backends_agree_on_random_crossbars(
+        ins in 1usize..6,
+        outs in 1usize..6,
+        volts in proptest::collection::vec(0.0..1.0f64, 1..6),
+        weights in proptest::collection::vec(5_000.0..150_000.0f64, 1..12),
+    ) {
+        let (c, rows) = random_crossbar(ins, outs, &volts, &weights);
+        let dense = DcSolver::new().solve(&c).expect("dense converges");
+        let sparse = DcSolver::with_backend(SolverBackend::SparseLu)
+            .solve(&c)
+            .expect("sparse converges");
+        let cd = DcSolver::with_backend(SolverBackend::CoordDescent)
+            .solve(&c)
+            .expect("cd converges");
+        for &row in &rows {
+            prop_assert!((dense.voltage(row) - sparse.voltage(row)).abs() < 1e-9);
+            prop_assert!((dense.voltage(row) - cd.voltage(row)).abs() < 2e-4);
+        }
+    }
+}
+
+/// Per-backend determinism across thread counts on the Fig. 1/Fig. 3
+/// nonlinear circuit: a parallel transfer-curve sweep must be bit-identical
+/// at 1, 2, and 8 threads for every backend.
+#[test]
+fn every_backend_is_thread_invariant_on_fig1_circuit() {
+    let grid = sweep::linspace(0.0, 1.0, 41);
+    for backend in SolverBackend::all() {
+        let mut ckt = PtanhCircuit::build(&NonlinearCircuitParams::nominal()).expect("builds");
+        ckt.set_solver(DcSolver::with_backend(backend));
+        let one = ckt
+            .transfer_curve_parallel(&grid, &ParallelConfig::with_threads(1))
+            .expect("solves");
+        let two = ckt
+            .transfer_curve_parallel(&grid, &ParallelConfig::with_threads(2))
+            .expect("solves");
+        let eight = ckt
+            .transfer_curve_parallel(&grid, &ParallelConfig::with_threads(8))
+            .expect("solves");
+        assert_eq!(one, two, "{backend:?} differs between 1 and 2 threads");
+        assert_eq!(one, eight, "{backend:?} differs between 1 and 8 threads");
+    }
+}
+
+/// Cross-backend agreement on the paper's Fig. 1 nonlinear transfer curve:
+/// sparse LU tracks the dense oracle tightly; coordinate descent within its
+/// documented tolerance.
+#[test]
+fn backends_agree_on_fig1_transfer_curve() {
+    let grid = sweep::linspace(0.0, 1.0, 41);
+    let curve = |backend: SolverBackend| -> Vec<(f64, f64)> {
+        let mut ckt = PtanhCircuit::build(&NonlinearCircuitParams::nominal()).expect("builds");
+        ckt.set_solver(DcSolver::with_backend(backend));
+        ckt.transfer_curve(&grid).expect("solves")
+    };
+    let dense = curve(SolverBackend::DenseLu);
+    let sparse = curve(SolverBackend::SparseLu);
+    let cd = curve(SolverBackend::CoordDescent);
+    for (((_, d), (_, s)), (_, c)) in dense.iter().zip(&sparse).zip(&cd) {
+        assert!((d - s).abs() < 1e-8, "sparse: {d} vs {s}");
+        assert!((d - c).abs() < 2e-4, "cd: {d} vs {c}");
+    }
+}
+
+/// The crossbar-scale network solves on every backend with matching
+/// outputs — the in-repo version of the bench's in-situ agreement bar.
+#[test]
+fn backends_agree_on_crossbar_network() {
+    let net = CrossbarNetwork::build(&[10, 8, 6], 1234).expect("builds");
+    let dense = net.solve().expect("dense solves");
+    for (backend, tol) in [
+        (SolverBackend::SparseLu, 1e-8),
+        (SolverBackend::CoordDescent, 2e-4),
+    ] {
+        let mut alt = net.clone();
+        alt.set_solver(DcSolver::with_backend(backend));
+        let got = alt.solve().expect("alt backend solves");
+        for (d, g) in dense.iter().zip(&got) {
+            assert!((d - g).abs() < tol, "{backend:?}: {d} vs {g}");
+        }
+    }
+}

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 files=("$@")
 if [ ${#files[@]} -eq 0 ]; then
-    files=(README.md DESIGN.md ISSUE.md EXPERIMENTS.md ROADMAP.md CHANGELOG.md docs/METRICS.md docs/LINTS.md)
+    files=(README.md DESIGN.md ISSUE.md EXPERIMENTS.md ROADMAP.md CHANGELOG.md docs/METRICS.md docs/LINTS.md docs/SOLVERS.md)
 fi
 
 status=0
