@@ -63,6 +63,7 @@ pub fn check_gradients(
     let vars: Vec<Var> = inputs.iter().map(|m| g.leaf(m.clone())).collect();
     let loss = build(&mut g, &vars);
     // pnc-lint: allow(no-panic-in-lib) — test utility; the documented contract is to fail loudly on a malformed build closure
+    // pnc-lint: allow(panic-reachability) — same contract: check_gradients is a dev/test harness whose pub API promises a loud abort, not a Result
     let grads = g.backward(loss).expect("gradcheck loss must be scalar");
 
     let mut report = GradcheckReport {

@@ -65,6 +65,7 @@ pub fn summarize(table2: &Table2) -> Table3 {
                         .iter()
                         .find(|c| c.arm == arm && (c.test_epsilon - eps).abs() < 1e-12)
                         // pnc-lint: allow(no-panic-in-lib) — bench-internal: Table 2 rows are built with all 8 cells two functions up
+                        // pnc-lint: allow(panic-reachability) — `summarize` is bench tooling; its rows come from `run_table2` in this crate, never from external input
                         .expect("8-cell row layout");
                     means.push(cell.stats.mean);
                     stds.push(cell.stats.std);
@@ -116,12 +117,14 @@ pub fn headline_improvements(table3: &Table3) -> Headline {
         .iter()
         .find(|r| r.arm.learnable && r.arm.variation_aware)
         // pnc-lint: allow(no-panic-in-lib) — bench-internal: documented `# Panics` contract; Table 3 always includes the full arm
+        // pnc-lint: allow(panic-reachability) — `headline_improvements` is bench tooling with a documented `# Panics` contract on self-produced tables
         .expect("full-method row");
     let base = table3
         .rows
         .iter()
         .find(|r| !r.arm.learnable && !r.arm.variation_aware)
         // pnc-lint: allow(no-panic-in-lib) — bench-internal: documented `# Panics` contract; Table 3 always includes the baseline arm
+        // pnc-lint: allow(panic-reachability) — `headline_improvements` is bench tooling with a documented `# Panics` contract on self-produced tables
         .expect("baseline row");
     let ratio = |num: f64, den: f64| -> f64 {
         let r = num / den;

@@ -4,18 +4,39 @@
 //! tool prints a note when the checked-in counts are stale on the high
 //! side). Counts, not line numbers, key the baseline so unrelated edits
 //! that shift lines do not invalidate it.
+//!
+//! Since schema `pnc-lint-baseline/2` the same file also carries the
+//! **oracle registry**: content hashes pinning the bodies of the
+//! designated oracle fns, each with a mandatory justification recorded the
+//! last time the hash changed. Unlike the ratchet counts (which
+//! post-process findings), the registry is *input* to the `oracle-freeze`
+//! rule.
 
 use std::collections::BTreeMap;
 
 use crate::diag::{Finding, Status};
 use crate::rules::RULES;
 
-/// Parsed baseline: `(rule, path) -> allowed finding count`.
+/// One pinned oracle fn in the registry.
+#[derive(Debug, Clone, Default)]
+pub struct OracleEntry {
+    /// 16-hex-digit normalized-token fingerprint of the fn (see
+    /// [`crate::fingerprint`]); empty = registered but not yet frozen.
+    pub hash: String,
+    /// Why the pinned body is the trusted one (recorded by
+    /// `update-oracles --justify`); mandatory.
+    pub justification: String,
+}
+
+/// Parsed baseline: `(rule, path) -> allowed finding count`, plus the
+/// oracle registry.
 #[derive(Debug, Clone, Default)]
 pub struct Baseline {
     /// Allowed counts keyed by `"<rule> <path>"` (BTreeMap for stable
     /// serialization order).
     pub counts: BTreeMap<String, u64>,
+    /// Oracle registry keyed by `"<Qual::fn> <path>"`.
+    pub oracles: BTreeMap<String, OracleEntry>,
 }
 
 /// A baseline entry whose budget exceeds the current findings — the debt
@@ -43,15 +64,19 @@ impl Baseline {
                 *counts.entry(format!("{} {}", f.rule, f.path)).or_insert(0) += 1;
             }
         }
-        Baseline { counts }
+        Baseline {
+            counts,
+            oracles: BTreeMap::new(),
+        }
     }
 
     /// Serializes to the checked-in JSON format.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"pnc-lint-baseline/1\",\n");
+        let mut out = String::from("{\n  \"schema\": \"pnc-lint-baseline/2\",\n");
         out.push_str(
             "  \"note\": \"ratchet-only: counts may shrink, never grow; regenerate with \
-             `cargo run -p pnc-lint -- update-baseline`\",\n",
+             `cargo run -p pnc-lint -- update-baseline`. `oracles` pins content hashes of \
+             the frozen oracle fns; re-freeze via `update-oracles --justify`\",\n",
         );
         out.push_str("  \"counts\": {");
         for (i, (key, count)) in self.counts.iter().enumerate() {
@@ -61,6 +86,22 @@ impl Baseline {
             out.push_str(&format!("\n    \"{key}\": {count}"));
         }
         if self.counts.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
+        out.push_str("  \"oracles\": {");
+        for (i, (key, entry)) in self.oracles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{key}\": {{\n      \"hash\": \"{}\",\n      \"justification\": \"{}\"\n    }}",
+                entry.hash,
+                entry.justification.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        if self.oracles.is_empty() {
             out.push_str("}\n}\n");
         } else {
             out.push_str("\n  }\n}\n");
@@ -76,6 +117,7 @@ impl Baseline {
             return Err("baseline root must be a JSON object".to_string());
         };
         let mut counts = BTreeMap::new();
+        let mut oracles = BTreeMap::new();
         for (key, val) in pairs {
             if key == "schema" {
                 let json::Value::String(schema) = &val else {
@@ -83,6 +125,29 @@ impl Baseline {
                 };
                 if !schema.starts_with("pnc-lint-baseline") {
                     return Err(format!("unrecognized baseline schema `{schema}`"));
+                }
+                continue;
+            }
+            if key == "oracles" {
+                let json::Value::Object(entries) = val else {
+                    return Err("`oracles` must be an object".to_string());
+                };
+                for (name, fields) in entries {
+                    let json::Value::Object(fields) = fields else {
+                        return Err(format!("oracle `{name}` must be an object"));
+                    };
+                    let mut entry = OracleEntry::default();
+                    for (fkey, fval) in fields {
+                        let json::Value::String(s) = fval else {
+                            return Err(format!("oracle `{name}` field `{fkey}` must be a string"));
+                        };
+                        match fkey.as_str() {
+                            "hash" => entry.hash = s,
+                            "justification" => entry.justification = s,
+                            _ => {}
+                        }
+                    }
+                    oracles.insert(name, entry);
                 }
                 continue;
             }
@@ -104,7 +169,7 @@ impl Baseline {
                 counts.insert(entry, n as u64);
             }
         }
-        Ok(Baseline { counts })
+        Ok(Baseline { counts, oracles })
     }
 }
 

@@ -1,0 +1,460 @@
+//! An over-approximate intra-workspace call graph.
+//!
+//! Nodes are the function items of shipping files (libraries, crate roots,
+//! binaries — test/bench/example targets never carry library panic
+//! contracts). Edges come from call-shaped token patterns inside each
+//! function body: `name(`, `Type::name(`, and `.name(`. Resolution is by
+//! simple name against every node, narrowed when we can do better:
+//!
+//! - a `use` import in the calling file pins the name to a crate (`use
+//!   pnc_linalg::solve_dense;` → only `pnc-linalg` candidates),
+//! - a `Type::name(` path call keeps only candidates whose qualifier ends
+//!   with `Type`,
+//! - a bare `name(` call prefers same-crate candidates (module-local calls
+//!   cannot leave the crate without a `use`, which the first bullet covers),
+//! - a `.name(` method call keeps every candidate — trait dispatch and
+//!   inherent methods are indistinguishable at token level, and for
+//!   reachability analysis over-approximation is the sound direction.
+//!
+//! The graph exists so `panic-reachability` can answer "which `pub` API can
+//! reach this residual panic site, and by what shortest path" — false edges
+//! cost a justification comment, missing edges would cost correctness, so
+//! every heuristic above errs toward more edges.
+
+use crate::scope::{is_keyword, FnItem};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// One function node in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the defining file in the slice passed to [`build`].
+    pub file: usize,
+    /// Index of the item in that file's `fns` vec.
+    pub item: usize,
+    /// Simple name (copied out for index building).
+    pub name: String,
+}
+
+/// The call graph over a workspace file set.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All nodes, ordered by (file index, item index) — deterministic.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: `edges[n]` lists callee node ids, sorted and deduped.
+    pub edges: Vec<Vec<usize>>,
+    /// Node id lookup by (file index, item index).
+    by_item: BTreeMap<(usize, usize), usize>,
+}
+
+/// Result of the multi-source BFS from the `pub` API surface.
+pub struct Reachability {
+    /// `dist[n]` = calls from the nearest pub entry (0 = the entry itself);
+    /// `None` = unreachable from any pub fn.
+    dist: Vec<Option<u32>>,
+    /// BFS predecessor (`None` for entry points).
+    pred: Vec<Option<usize>>,
+}
+
+impl CallGraph {
+    /// Node id for the `item_idx`-th fn of `file_idx`, if it is in the graph.
+    pub fn node_of(&self, file_idx: usize, item_idx: usize) -> Option<usize> {
+        self.by_item.get(&(file_idx, item_idx)).copied()
+    }
+
+    /// The [`FnItem`] behind node `n`.
+    pub fn item<'a>(&self, files: &'a [SourceFile], n: usize) -> &'a FnItem {
+        let node = &self.nodes[n];
+        &files[node.file].fns[node.item]
+    }
+
+    /// Multi-source shortest paths from every bare-`pub` fn defined in
+    /// library code (crate roots and `src/` modules; binaries are entries
+    /// for their own `main`-reachable code but carry no API contract, and
+    /// `#[cfg(test)]` fns are not API).
+    pub fn reach_from_pub(&self, files: &[SourceFile]) -> Reachability {
+        let mut dist: Vec<Option<u32>> = vec![None; self.nodes.len()];
+        let mut pred: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let file = &files[node.file];
+            let item = &file.fns[node.item];
+            let is_lib = matches!(
+                file.kind,
+                crate::source::FileKind::CrateRoot | crate::source::FileKind::Lib
+            );
+            if is_lib && item.is_pub && !file.is_test_line(item.line) {
+                dist[id] = Some(0);
+                queue.push_back(id);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let d = dist[n].unwrap_or(0);
+            for &m in &self.edges[n] {
+                if dist[m].is_none() {
+                    dist[m] = Some(d + 1);
+                    pred[m] = Some(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        Reachability { dist, pred }
+    }
+}
+
+impl Reachability {
+    /// Distance (in calls) from the nearest pub entry to node `n`.
+    pub fn dist(&self, n: usize) -> Option<u32> {
+        self.dist.get(n).copied().flatten()
+    }
+
+    /// The shortest entry → `n` path as qualified names, e.g.
+    /// `["Server::classify", "push", "grow"]`. Empty when unreachable.
+    pub fn path(&self, graph: &CallGraph, files: &[SourceFile], n: usize) -> Vec<String> {
+        if self.dist(n).is_none() {
+            return Vec::new();
+        }
+        let mut rev = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.pred.get(cur).copied().flatten() {
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev.iter()
+            .map(|&m| graph.item(files, m).qual.clone())
+            .collect()
+    }
+}
+
+/// Builds the call graph for `files`. Only shipping files contribute nodes;
+/// fns wholly inside `#[cfg(test)]` modules are excluded (their calls must
+/// not make library code look pub-reachable).
+pub fn build(files: &[SourceFile]) -> CallGraph {
+    let mut nodes = Vec::new();
+    let mut by_item = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !file.kind.is_shipping() {
+            continue;
+        }
+        for (ii, item) in file.fns.iter().enumerate() {
+            if file.is_test_line(item.line) {
+                continue;
+            }
+            let id = nodes.len();
+            nodes.push(FnNode {
+                file: fi,
+                item: ii,
+                name: item.name.clone(),
+            });
+            by_item.insert((fi, ii), id);
+        }
+    }
+    for (id, node) in nodes.iter().enumerate() {
+        by_name.entry(node.name.as_str()).or_default().push(id);
+    }
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (fi, file) in files.iter().enumerate() {
+        if !file.kind.is_shipping() {
+            continue;
+        }
+        let imports = use_imports(file);
+        let code: Vec<(usize, &crate::lexer::Token)> = file.code_tokens().collect();
+        for c in 0..code.len() {
+            let (orig, tok) = code[c];
+            if tok.kind != crate::lexer::TokenKind::Ident
+                || is_keyword(&tok.text)
+                || !code.get(c + 1).is_some_and(|(_, n)| n.is_punct('('))
+            {
+                continue;
+            }
+            // `name!(` is a macro invocation, not a call — but the lexer
+            // splits `!` as its own Punct, so `name !(` has `!` at c+1 and
+            // never matches above. `name(` after `fn` is a definition.
+            if c > 0 && code[c - 1].1.is_ident("fn") {
+                continue;
+            }
+            let Some(candidates) = by_name.get(tok.text.as_str()) else {
+                continue;
+            };
+            let Some(item_idx) = file
+                .fns
+                .iter()
+                .position(|f| (f.body_open..=f.body_close).contains(&orig))
+            else {
+                continue; // call outside any fn body (const init, attrs)
+            };
+            let Some(caller) = by_item.get(&(fi, item_idx)).copied() else {
+                continue; // caller is test-only or non-shipping
+            };
+
+            // Classify the call shape from the previous tokens.
+            let prev = c.checked_sub(1).map(|p| code[p].1);
+            let resolved: Vec<usize> = if prev.is_some_and(|p| p.is_punct('.')) {
+                // Method call: every same-name node (over-approximate).
+                candidates.clone()
+            } else if prev.is_some_and(|p| p.is_punct(':'))
+                && c >= 3
+                && code[c - 2].1.is_punct(':')
+                && code[c - 3].1.kind == crate::lexer::TokenKind::Ident
+            {
+                // `Seg::name(` — keep candidates whose qualifier ends with
+                // `Seg::name`; fall back to all if the qualifier is a module
+                // path we don't model.
+                let seg = &code[c - 3].1.text;
+                let want = format!("{seg}::{}", tok.text);
+                let narrowed: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let it = &files[nodes[id].file].fns[nodes[id].item];
+                        it.qual == want || it.qual.ends_with(&format!("::{want}"))
+                    })
+                    .collect();
+                if narrowed.is_empty() {
+                    candidates.clone()
+                } else {
+                    narrowed
+                }
+            } else if let Some(src_crate) = imports.get(tok.text.as_str()) {
+                // Imported name: pin to the importing crate when it names a
+                // workspace crate (`pnc_linalg` → `pnc-linalg`; `crate` /
+                // `self` / `super` → the calling file's own crate).
+                let want: String = match src_crate.as_str() {
+                    "crate" | "self" | "super" => file.crate_name.clone(),
+                    other => other.replace('_', "-"),
+                };
+                let narrowed: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| files[nodes[id].file].crate_name == want)
+                    .collect();
+                if narrowed.is_empty() {
+                    candidates.clone()
+                } else {
+                    narrowed
+                }
+            } else {
+                // Bare call without an import: module-local, so same-crate
+                // candidates when any exist.
+                let narrowed: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| files[nodes[id].file].crate_name == file.crate_name)
+                    .collect();
+                if narrowed.is_empty() {
+                    candidates.clone()
+                } else {
+                    narrowed
+                }
+            };
+            for callee in resolved {
+                if callee != caller {
+                    edges[caller].push(callee);
+                }
+            }
+        }
+    }
+    for adj in &mut edges {
+        adj.sort_unstable();
+        adj.dedup();
+    }
+    CallGraph {
+        nodes,
+        edges,
+        by_item,
+    }
+}
+
+/// Extracts `use` imports as terminal-name → first-path-segment, e.g.
+/// `use pnc_linalg::{Matrix, solve};` → `Matrix → pnc_linalg`,
+/// `solve → pnc_linalg`. `as` renames map the rename.
+fn use_imports(file: &SourceFile) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let code: Vec<&crate::lexer::Token> = file.code_tokens().map(|(_, t)| t).collect();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        // First path segment.
+        let Some(first) = code.get(i + 1) else { break };
+        if first.kind != crate::lexer::TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let root = first.text.clone();
+        // Walk to the terminating `;`, recording terminal names: an ident
+        // followed by `,`, `}`, `;`, or by `as <rename>`.
+        let mut j = i + 2;
+        while j < code.len() && !code[j].is_punct(';') {
+            let tok = code[j];
+            if tok.kind == crate::lexer::TokenKind::Ident && !tok.is_ident("as") {
+                let next = code.get(j + 1);
+                let terminal = match next {
+                    Some(n) => n.is_punct(',') || n.is_punct('}') || n.is_punct(';'),
+                    None => true,
+                };
+                if terminal {
+                    map.insert(tok.text.clone(), root.clone());
+                } else if next.is_some_and(|n| n.is_ident("as")) {
+                    if let Some(rename) = code.get(j + 2) {
+                        map.insert(rename.text.clone(), root.clone());
+                    }
+                    j += 2;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn file(path: &str, crate_name: &str, kind: FileKind, src: &str) -> SourceFile {
+        SourceFile::parse(path, crate_name, kind, src)
+    }
+
+    #[test]
+    fn bfs_finds_the_shortest_path_from_pub_entries() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "pnc-x",
+            FileKind::CrateRoot,
+            r#"
+            pub fn entry() { middle(); }
+            fn middle() { deep(); }
+            fn deep() { sink(); }
+            pub fn shortcut() { sink(); }
+            fn sink() {}
+            fn orphan_helper() { }
+            "#,
+        );
+        let files = [f];
+        let graph = build(&files);
+        let reach = graph.reach_from_pub(&files);
+        let sink_item = files[0]
+            .fns
+            .iter()
+            .position(|f| f.name == "sink")
+            .expect("sink");
+        let sink = graph.node_of(0, sink_item).expect("node");
+        assert_eq!(reach.dist(sink), Some(1), "shortcut is the nearest entry");
+        assert_eq!(reach.path(&graph, &files, sink), ["shortcut", "sink"]);
+
+        let orphan_item = files[0]
+            .fns
+            .iter()
+            .position(|f| f.name == "orphan_helper")
+            .expect("orphan");
+        let orphan = graph.node_of(0, orphan_item).expect("node");
+        assert_eq!(reach.dist(orphan), None, "never called, not pub");
+    }
+
+    #[test]
+    fn use_imports_narrow_cross_crate_calls() {
+        let lib_a = file(
+            "crates/a/src/lib.rs",
+            "pnc-a",
+            FileKind::CrateRoot,
+            "pub fn helper() { boom(); } fn boom() {}",
+        );
+        // Same fn name in an unrelated crate, NOT imported by b.
+        let lib_c = file(
+            "crates/c/src/lib.rs",
+            "pnc-c",
+            FileKind::CrateRoot,
+            "pub fn helper() {}",
+        );
+        let lib_b = file(
+            "crates/b/src/lib.rs",
+            "pnc-b",
+            FileKind::CrateRoot,
+            "use pnc_a::helper;\npub fn run() { helper(); }",
+        );
+        let files = [lib_a, lib_c, lib_b];
+        let graph = build(&files);
+        let run_item = files[2]
+            .fns
+            .iter()
+            .position(|f| f.name == "run")
+            .expect("run");
+        let run = graph.node_of(2, run_item).expect("node");
+        let a_helper = graph.node_of(0, 0).expect("a::helper");
+        let c_helper = graph.node_of(1, 0).expect("c::helper");
+        assert!(
+            graph.edges[run].contains(&a_helper),
+            "import resolves to pnc-a"
+        );
+        assert!(
+            !graph.edges[run].contains(&c_helper),
+            "unimported same-name crate is excluded"
+        );
+    }
+
+    #[test]
+    fn test_mod_fns_are_not_entries_or_nodes() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "pnc-x",
+            FileKind::CrateRoot,
+            r#"
+            fn quiet() {}
+            #[cfg(test)]
+            mod tests {
+                pub fn noisy() { super::quiet(); }
+            }
+            "#,
+        );
+        let files = [f];
+        let graph = build(&files);
+        assert_eq!(graph.nodes.len(), 1, "only `quiet` is a node");
+        let reach = graph.reach_from_pub(&files);
+        assert_eq!(reach.dist(0), None, "no pub entry reaches quiet");
+    }
+
+    #[test]
+    fn qualified_calls_narrow_by_impl_type() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "pnc-x",
+            FileKind::CrateRoot,
+            r#"
+            struct A; struct B;
+            impl A { fn make() {} }
+            impl B { fn make() {} }
+            pub fn go() { A::make(); }
+            "#,
+        );
+        let files = [f];
+        let graph = build(&files);
+        let go_item = files[0]
+            .fns
+            .iter()
+            .position(|f| f.name == "go")
+            .expect("go");
+        let go = graph.node_of(0, go_item).expect("node");
+        let a_make = files[0]
+            .fns
+            .iter()
+            .position(|f| f.qual == "A::make")
+            .expect("A");
+        let b_make = files[0]
+            .fns
+            .iter()
+            .position(|f| f.qual == "B::make")
+            .expect("B");
+        let a_node = graph.node_of(0, a_make).expect("a node");
+        let b_node = graph.node_of(0, b_make).expect("b node");
+        assert!(graph.edges[go].contains(&a_node));
+        assert!(!graph.edges[go].contains(&b_node));
+    }
+}

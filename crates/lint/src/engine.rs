@@ -1,26 +1,43 @@
 //! Ties the rules together: runs them over a set of files and documents,
 //! applies inline suppressions, and reports suppression hygiene.
 
+use crate::baseline::OracleEntry;
 use crate::diag::{sort_findings, Finding, Status};
 use crate::docs::Docs;
 use crate::rules::{self, SUPPRESSION_RULE};
 use crate::source::SourceFile;
+use crate::structural;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// Runs every rule over `files` + `docs`, applies suppressions, and returns
-/// the findings in stable order. Baseline application is a separate step
-/// ([`crate::baseline::apply`]) so callers can inspect pre-baseline state.
-pub fn analyze(files: &[SourceFile], docs: &Docs) -> Vec<Finding> {
+/// the findings in stable order. `oracles` is the registry section of the
+/// baseline (input to `oracle-freeze`); the ratchet *counts* are still a
+/// separate post-processing step ([`crate::baseline::apply`]) so callers
+/// can inspect pre-baseline state.
+pub fn analyze(
+    files: &[SourceFile],
+    docs: &Docs,
+    oracles: &BTreeMap<String, OracleEntry>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in files {
         findings.extend(rules::check_file(file));
     }
     findings.extend(rules::check_workspace(files, docs));
+    findings.extend(structural::check_structural(files, oracles));
 
     // Apply inline suppressions: a suppression covers findings of its rule
-    // on its own line or the line directly below.
+    // on its own line and the line directly below — and when suppressions
+    // for different rules stack on consecutive lines (one site triggering
+    // several rules), the whole stack covers the first code line after it.
     let mut used: Vec<Vec<bool>> = files
         .iter()
         .map(|f| vec![false; f.suppressions.len()])
+        .collect();
+    let sup_lines: Vec<BTreeSet<u32>> = files
+        .iter()
+        .map(|f| f.suppressions.iter().map(|s| s.line).collect())
         .collect();
     for finding in &mut findings {
         let Some((fi, file)) = files
@@ -31,9 +48,14 @@ pub fn analyze(files: &[SourceFile], docs: &Docs) -> Vec<Finding> {
             continue;
         };
         for (si, sup) in file.suppressions.iter().enumerate() {
-            if sup.rule == finding.rule
-                && (sup.line == finding.line || sup.line + 1 == finding.line)
-            {
+            if sup.rule != finding.rule {
+                continue;
+            }
+            let mut stack_end = sup.line;
+            while sup_lines[fi].contains(&(stack_end + 1)) {
+                stack_end += 1;
+            }
+            if finding.line >= sup.line && finding.line <= stack_end + 1 {
                 finding.status = Status::Suppressed(sup.reason.clone());
                 used[fi][si] = true;
                 break;

@@ -1,0 +1,118 @@
+//! Normalized-token content fingerprints for the oracle-freeze registry.
+//!
+//! A fingerprint covers a function item from its `fn` keyword through the
+//! closing brace of its body, hashing only *code* tokens (kind + text).
+//! Comments, doc comments, whitespace, and formatting therefore never
+//! perturb the hash — `cargo fmt` and comment edits are free — while any
+//! token-level change to the signature or body (a literal, an operator, a
+//! renamed local) changes it. The hash is FNV-1a 64, rendered as 16 lower
+//! hex digits; it needs to be stable and cheap, not cryptographic — the
+//! registry guards against *accidental* edits, and review guards against
+//! adversarial ones.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope::FnItem;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64 hasher (zero-dependency; `std::hash` offers no
+/// stable-across-runs hasher by design).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes the code tokens of `item` (inclusive `fn` keyword through body
+/// close) from the file's full token stream.
+pub fn fn_fingerprint(tokens: &[Token], item: &FnItem) -> String {
+    let mut h = Fnv::new();
+    let end = item.body_close.min(tokens.len().saturating_sub(1));
+    for tok in tokens
+        .iter()
+        .take(end + 1)
+        .skip(item.sig_start)
+        .filter(|t| t.is_code())
+    {
+        // One discriminant byte per kind keeps `"x"` (Str) distinct from
+        // `x` (Ident); 0xFF terminates each token so concatenations can't
+        // collide (`ab`+`c` vs `a`+`bc`).
+        h.update(&[kind_tag(tok.kind)]);
+        h.update(tok.text.as_bytes());
+        h.update(&[0xFF]);
+    }
+    format!("{:016x}", h.0)
+}
+
+fn kind_tag(kind: TokenKind) -> u8 {
+    match kind {
+        TokenKind::Ident => 1,
+        TokenKind::Lifetime => 2,
+        TokenKind::Number => 3,
+        TokenKind::Str => 4,
+        TokenKind::Char => 5,
+        TokenKind::Punct => 6,
+        TokenKind::LineComment => 7,
+        TokenKind::BlockComment => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::parse_fns;
+
+    fn hash_first(src: &str) -> String {
+        let toks = lex(src);
+        let fns = parse_fns(&toks);
+        assert!(!fns.is_empty(), "no fn in fixture: {src}");
+        fn_fingerprint(&toks, &fns[0])
+    }
+
+    #[test]
+    fn comments_and_formatting_do_not_change_the_hash() {
+        let a = hash_first("fn f(x: f64) -> f64 { x * 0.5 }");
+        let b = hash_first("fn f(\n    x: f64\n) -> f64 {\n    // halve\n    x * 0.5\n}");
+        assert_eq!(a, b);
+        // A trailing comma IS a token change, though: normalization covers
+        // comments and whitespace, nothing syntactic.
+        let c = hash_first("fn f(x: f64,) -> f64 { x * 0.5 }");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn any_code_token_change_changes_the_hash() {
+        let base = hash_first("fn f(x: f64) -> f64 { x * 0.5 }");
+        let literal = hash_first("fn f(x: f64) -> f64 { x * 0.75 }");
+        let operator = hash_first("fn f(x: f64) -> f64 { x + 0.5 }");
+        let rename = hash_first("fn f(y: f64) -> f64 { y * 0.5 }");
+        assert_ne!(base, literal);
+        assert_ne!(base, operator);
+        assert_ne!(base, rename);
+    }
+
+    #[test]
+    fn string_and_ident_tokens_do_not_collide() {
+        let s = hash_first(r#"fn f() { g("x"); }"#);
+        let i = hash_first("fn f() { g(x); }");
+        assert_ne!(s, i);
+    }
+
+    #[test]
+    fn hash_is_16_hex_chars() {
+        let h = hash_first("fn f() {}");
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -29,9 +29,12 @@ pub fn render(findings: &[Finding], files_scanned: usize) -> String {
         .filter(|f| f.status == Status::Baselined)
         .count();
     let suppressed = total - new - baselined;
+    // Suppression hygiene rides along with the registered rules.
+    let rules_run = crate::rules::RULES.len() + 1;
 
-    let mut out = String::from("{\n  \"schema\": \"pnc-lint-report/1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"pnc-lint-report/2\",\n");
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"rules_run\": {rules_run},\n"));
     out.push_str(&format!(
         "  \"summary\": {{\"total\": {total}, \"new\": {new}, \"baselined\": {baselined}, \
          \"suppressed\": {suppressed}}},\n"

@@ -1,4 +1,6 @@
-//! The seven workspace-invariant rules.
+//! The flat (token-pattern) workspace-invariant rules, plus the registry
+//! of every rule the engine runs. The structural rules themselves live in
+//! [`crate::structural`].
 //!
 //! Per-file rules take one [`SourceFile`]; workspace rules additionally see
 //! every file and the loaded [`Docs`]. All rules are token-level
@@ -63,6 +65,27 @@ pub const RULES: &[RuleInfo] = &[
         summary: "every std::env::var(\"PNC_…\") read must be documented in the README table",
         baselinable: false,
     },
+    RuleInfo {
+        id: "oracle-freeze",
+        summary:
+            "registered oracle fns are content-hash-frozen; edits require update-oracles --justify",
+        baselinable: false,
+    },
+    RuleInfo {
+        id: "panic-reachability",
+        summary: "no pub library API may reach a residual panic site; shortest call path reported",
+        baselinable: false,
+    },
+    RuleInfo {
+        id: "lock-across-blocking",
+        summary: "MutexGuard live across Condvar::wait or TCP/file I/O in pnc-serve",
+        baselinable: false,
+    },
+    RuleInfo {
+        id: "unordered-float-reduction",
+        summary: "deferred par chains / captured += accumulators must use the ordered helpers",
+        baselinable: false,
+    },
 ];
 
 /// True when `id` names a rule (including the engine's hygiene pseudo-rule,
@@ -91,10 +114,10 @@ const WALLCLOCK_CRATES: &[&str] = &["pnc-obs", "pnc-bench", "pnc-serve"];
 
 /// The one file allowed to spell out raw rayon reductions: it *implements*
 /// the ordered helpers everything else must call.
-const ORDERED_HELPER_FILE: &str = "crates/linalg/src/parallel.rs";
+pub(crate) const ORDERED_HELPER_FILE: &str = "crates/linalg/src/parallel.rs";
 
 /// Rayon combinators that start a parallel chain.
-const PAR_ITER_IDENTS: &[&str] = &[
+pub(crate) const PAR_ITER_IDENTS: &[&str] = &[
     "par_iter",
     "par_iter_mut",
     "into_par_iter",
@@ -105,7 +128,7 @@ const PAR_ITER_IDENTS: &[&str] = &[
 ];
 
 /// Unordered reduction combinators that must not follow a parallel chain.
-const REDUCTION_IDENTS: &[&str] = &["sum", "product", "fold", "reduce", "reduce_with"];
+pub(crate) const REDUCTION_IDENTS: &[&str] = &["sum", "product", "fold", "reduce", "reduce_with"];
 
 /// Runs every per-file rule on `file`.
 pub fn check_file(file: &SourceFile) -> Vec<Finding> {

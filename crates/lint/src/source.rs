@@ -4,6 +4,7 @@
 //! carries.
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::scope::{parse_fns, FnItem};
 
 /// What kind of compilation target a file belongs to. Rules use this to
 /// scope themselves (e.g. panic-freedom applies to libraries and binaries,
@@ -75,6 +76,8 @@ pub struct SourceFile {
     pub kind: FileKind,
     /// Token stream (comments included).
     pub tokens: Vec<Token>,
+    /// Function items found by the scope parser (document order).
+    pub fns: Vec<FnItem>,
     /// Inclusive 1-based line ranges covered by `#[cfg(test)] mod { … }`.
     pub test_spans: Vec<(u32, u32)>,
     /// Well-formed suppressions found in comments.
@@ -89,11 +92,13 @@ impl SourceFile {
         let tokens = lex(text);
         let test_spans = find_test_spans(&tokens);
         let (suppressions, bad_suppressions) = find_suppressions(&tokens);
+        let fns = parse_fns(&tokens);
         SourceFile {
             path: path.to_string(),
             crate_name: crate_name.to_string(),
             kind,
             tokens,
+            fns,
             test_spans,
             suppressions,
             bad_suppressions,

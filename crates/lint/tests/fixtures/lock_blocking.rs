@@ -1,0 +1,44 @@
+//! Fixture for lock-across-blocking: a guard held across blocking I/O
+//! (flagged) next to the three correct idioms (scoped block, explicit
+//! drop, and a Condvar consuming the guard) that must stay quiet.
+
+pub struct Pool {
+    state: std::sync::Mutex<Vec<u8>>,
+    ready: std::sync::Condvar,
+}
+
+impl Pool {
+    /// BAD: `guard` is live across `.flush()` — one stalled peer wedges
+    /// every thread contending for `state`.
+    pub fn bad_hold(&self, stream: &mut std::net::TcpStream) {
+        let guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = std::io::Write::flush(stream);
+        drop(guard);
+    }
+
+    /// OK: the guard dies at the inner block's close brace.
+    pub fn scoped(&self, worker: std::thread::JoinHandle<()>) {
+        let taken = {
+            let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        let _ = worker.join();
+        let _ = taken;
+    }
+
+    /// OK: explicit drop before the blocking call.
+    pub fn dropped(&self, stream: &mut std::net::TcpStream) {
+        let guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        drop(guard);
+        let _ = std::io::Write::flush(stream);
+    }
+
+    /// OK: `Condvar::wait` consumes the guard by value — the canonical
+    /// sleep, not a hold-across-block.
+    pub fn waiting(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.is_empty() {
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: `oracle_frozen.rs` after a drive-by edit to the oracle body.
+//! Same file layout, same signature — only the body tokens changed, which
+//! must trip `oracle-freeze` against a registry pinning the original hash.
+
+pub struct Matrix;
+
+impl Matrix {
+    /// The pinned reference body (pretend triple-loop matmul).
+    pub fn matmul_reference(a: f64, b: f64) -> f64 {
+        let mut acc = 1e-12;
+        acc += a * b;
+        acc
+    }
+}

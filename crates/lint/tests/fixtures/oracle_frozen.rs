@@ -1,0 +1,13 @@
+//! Fixture: a pretend frozen oracle. The integration test pins this body's
+//! fingerprint in a registry and checks that the unedited file is clean.
+
+pub struct Matrix;
+
+impl Matrix {
+    /// The pinned reference body (pretend triple-loop matmul).
+    pub fn matmul_reference(a: f64, b: f64) -> f64 {
+        let mut acc = 0.0;
+        acc += a * b;
+        acc
+    }
+}

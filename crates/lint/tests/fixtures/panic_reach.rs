@@ -1,0 +1,40 @@
+//! Fixture for panic-reachability: seeded panics reachable from the pub
+//! API (via the shortest of several routes), plus unreachable and
+//! test-only panics that must stay quiet.
+
+/// Reaches `inner` the long way round: entry -> outer -> inner.
+pub fn entry(bytes: &[u8]) -> u8 {
+    outer(bytes)
+}
+
+/// Reaches `inner` directly — the SHORTEST path the finding must report.
+pub fn shortcut(bytes: &[u8]) -> u8 {
+    inner(bytes)
+}
+
+fn outer(bytes: &[u8]) -> u8 {
+    inner(bytes)
+}
+
+fn inner(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+/// A panic site inside the pub fn itself (distance zero).
+pub fn direct(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+/// Not called by any pub fn — its unwrap is unreachable from the API.
+fn orphan(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_panics_are_fine() {
+        assert_eq!(super::orphan(Some(3)), 3);
+        panic!("loud test failure");
+    }
+}

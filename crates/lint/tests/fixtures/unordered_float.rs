@@ -1,0 +1,34 @@
+//! Fixture for unordered-float-reduction: the two scope-aware shapes the
+//! line-local `ordered-reduction` rule cannot see, next to the compliant
+//! versions.
+
+/// BAD (a): the parallel chain is bound, then reduced two lines later —
+/// no single line contains both the adapter and the reduction.
+pub fn deferred(xs: &[f64]) -> f64 {
+    let chain = xs.par_iter().map(|x| x * 2.0);
+    chain.sum()
+}
+
+/// BAD (b): a captured accumulator mutated inside the parallel chain.
+pub fn captured(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    xs.par_iter().for_each(|x| {
+        total += x;
+    });
+    total
+}
+
+/// OK: the chain is collected (ordered) before the serial reduction.
+pub fn collected(xs: &[f64]) -> f64 {
+    let rows: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    rows.iter().sum()
+}
+
+/// OK: fully serial accumulation.
+pub fn serial(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}

@@ -17,14 +17,15 @@ fn real_workspace_has_no_unsuppressed_findings() {
         "workspace discovery looks broken: only {} files",
         ws.files.len()
     );
-    let mut findings = engine::analyze(&ws.files, &ws.docs);
-
     let baseline_path = root.join("lint_baseline.json");
-    if baseline_path.is_file() {
+    let parsed = if baseline_path.is_file() {
         let text = std::fs::read_to_string(&baseline_path).expect("baseline readable");
-        let parsed = Baseline::parse(&text).expect("baseline parses");
-        baseline::apply(&mut findings, &parsed);
-    }
+        Baseline::parse(&text).expect("baseline parses")
+    } else {
+        Baseline::default()
+    };
+    let mut findings = engine::analyze(&ws.files, &ws.docs, &parsed.oracles);
+    baseline::apply(&mut findings, &parsed);
 
     let new: Vec<String> = findings
         .iter()
@@ -36,6 +37,32 @@ fn real_workspace_has_no_unsuppressed_findings() {
         "pnc-lint found unsuppressed, non-baselined findings:\n{}",
         new.join("\n")
     );
+}
+
+#[test]
+fn baseline_registry_pins_every_required_oracle() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("lint_baseline.json"))
+        .expect("lint_baseline.json exists at the workspace root");
+    let parsed = Baseline::parse(&text).expect("baseline parses");
+    for required in pnc_lint::structural::REQUIRED_ORACLES {
+        let entry = parsed
+            .oracles
+            .iter()
+            .find(|(k, _)| k.split_once(' ').map(|(q, _)| q) == Some(required))
+            .map(|(_, e)| e)
+            .unwrap_or_else(|| panic!("required oracle `{required}` is not in the registry"));
+        assert_eq!(
+            entry.hash.len(),
+            16,
+            "oracle `{required}` has no 16-hex pinned hash: {:?}",
+            entry.hash
+        );
+        assert!(
+            !entry.justification.trim().is_empty(),
+            "oracle `{required}` is pinned without a justification"
+        );
+    }
 }
 
 #[test]

@@ -160,6 +160,7 @@ impl Histogram {
     pub fn observe(&'static self, v: f64) {
         self.ensure_registered();
         self.count.fetch_add(1, Ordering::Relaxed);
+        // pnc-lint: allow(panic-reachability) — bucket_index clamps to 0..NUM_BUCKETS for every f64 including NaN/inf (unit-tested below)
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         if v.is_finite() {
             update_extremum(&self.min_bits, v, |new, cur| new < cur);

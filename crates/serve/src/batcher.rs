@@ -164,6 +164,7 @@ pub(crate) fn run_worker(
         let rows = batch.len();
         OBS_BATCHES.increment();
         OBS_BATCH_SIZE.observe(rows as f64);
+        // pnc-lint: allow(panic-reachability) — i < rows = batch.len() by Matrix::from_fn; features.len() == in_dim was validated at enqueue in Server::classify
         let x = Matrix::from_fn(rows, in_dim, |i, j| batch[i].features[j]);
         let mut out = Matrix::zeros(rows, out_dim);
         match plan.infer_into(&x, &mut out) {

@@ -1,0 +1,87 @@
+//! Wire-framing behaviour at the 16 MiB frame cap: the boundary payload is
+//! legal, one byte more is rejected before any allocation or partial
+//! write, and a poisoned length prefix surfaces to [`WireClient`] users as
+//! a typed [`ServeError`], not a hang or an abort.
+
+use pnc_serve::wire::{read_frame, write_frame, WireClient, MAX_FRAME_BYTES};
+use pnc_serve::ServeError;
+use std::io::Write;
+use std::net::TcpListener;
+
+#[test]
+fn frame_exactly_at_the_cap_round_trips() {
+    let payload = vec![0xA5u8; MAX_FRAME_BYTES];
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &payload).expect("cap-sized payload is legal");
+    assert_eq!(buf.len(), 4 + MAX_FRAME_BYTES);
+    let mut cursor = std::io::Cursor::new(buf);
+    let back = read_frame(&mut cursor).expect("cap-sized frame reads back");
+    assert_eq!(back.len(), MAX_FRAME_BYTES);
+    assert!(back == payload, "payload bytes must survive the round trip");
+}
+
+#[test]
+fn write_rejects_cap_plus_one_before_touching_the_stream() {
+    let payload = vec![0u8; MAX_FRAME_BYTES + 1];
+    let mut buf = Vec::new();
+    let err = write_frame(&mut buf, &payload).expect_err("must reject");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        buf.is_empty(),
+        "an oversized frame must not leave a partial prefix on the stream"
+    );
+}
+
+#[test]
+fn read_rejects_cap_plus_one_prefix_before_allocating() {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
+    // Deliberately no payload bytes: a pre-allocation reject never reads
+    // past the prefix, so their absence must not matter.
+    let mut cursor = std::io::Cursor::new(raw);
+    let err = read_frame(&mut cursor).expect_err("must reject");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert_eq!(
+        cursor.position(),
+        4,
+        "only the 4-byte prefix may be consumed on reject"
+    );
+}
+
+#[test]
+fn read_accepts_a_prefix_exactly_at_the_cap() {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&(MAX_FRAME_BYTES as u32).to_be_bytes());
+    raw.extend_from_slice(&vec![7u8; MAX_FRAME_BYTES]);
+    let mut cursor = std::io::Cursor::new(raw);
+    let frame = read_frame(&mut cursor).expect("cap-sized prefix is legal");
+    assert_eq!(frame.len(), MAX_FRAME_BYTES);
+}
+
+#[test]
+fn poisoned_length_prefix_surfaces_as_a_typed_client_error() {
+    // A "server" that answers any request with a corrupt (oversized)
+    // length prefix. The client must fail its read with a typed
+    // ServeError::Io carrying InvalidData — before allocating the
+    // advertised 4 GiB.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Drain the request frame, then poison the response.
+        let _ = read_frame(&mut stream);
+        stream
+            .write_all(&u32::MAX.to_be_bytes())
+            .expect("write prefix");
+        let _ = stream.flush();
+    });
+    let mut client = WireClient::connect(addr).expect("connect");
+    let err = client
+        .classify("iris", &[0.1, 0.2])
+        .expect_err("corrupt response must be an error");
+    match err {
+        ServeError::Io(io) => assert_eq!(io.kind(), std::io::ErrorKind::InvalidData, "{io}"),
+        other => panic!("expected ServeError::Io, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}
