@@ -1,0 +1,412 @@
+//! Streaming dataset-builder benchmark: throughput, flat-memory scaling,
+//! kill/resume fidelity, and active-vs-uniform sample efficiency. Results
+//! go to `BENCH_surrogate.json` at the repo root, with the
+//! `surrogate.stream.*` metrics summary (including the
+//! `process.peak_rss_bytes` gauge) beside it in
+//! `BENCH_surrogate_metrics.json`.
+//!
+//! Four phases, in a deliberate order — peak RSS (`VmHWM`) is monotone over
+//! the process lifetime, so the small build *must* run before the large one
+//! for the flat-memory comparison to mean anything:
+//!
+//! 1. **small build** — streamed uniform build, peak RSS recorded after.
+//! 2. **large build** — 10× the points, same chunk size; the hard bar
+//!    (`scripts/check_bench_surrogate.sh`) is peak RSS ≤ 1.2× the small
+//!    build's, demonstrating `O(chunk_points)` memory.
+//! 3. **kill/resume** — the small store is truncated mid-chunk and resumed;
+//!    the finished file must be byte-identical to the uninterrupted build.
+//! 4. **active vs uniform** — two equal-budget builds (committee-driven vs
+//!    Sobol'), a surrogate trained on each with the identical streaming
+//!    trainer, both scored on a common held-out Sobol' slab; the bar is
+//!    active RMSE ≤ uniform RMSE.
+//!
+//! ```sh
+//! cargo run --release -p pnc-bench --bin surrogate_stream -- [--quick]
+//! ```
+
+use pnc_surrogate::{
+    build_dataset_opts, load_circuit_dataset, train_surrogate_streaming, ActiveConfig,
+    BuildOptions, DatasetConfig, DatasetEntry, EtaBounds, SamplingMode, StreamBuilder,
+    StreamConfig, SurrogateModel, TrainConfig,
+};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Flat-memory hard bar: the 10×-points build may grow peak RSS by at most
+/// this factor over the small build (`scripts/check_bench_surrogate.sh`).
+const RSS_RATIO_BAR: f64 = 1.2;
+
+/// Training seeds averaged per competitor in the sample-efficiency phase —
+/// the RMSE bar compares sampled-data quality, not one initialization.
+const TRAIN_SEEDS: u64 = 5;
+
+/// One streamed build phase: size, speed, and the memory high-water mark
+/// right after it finished.
+#[derive(Debug, Serialize)]
+struct BuildPhase {
+    /// Design points characterized and committed.
+    points: usize,
+    /// Successfully characterized entries.
+    entries: usize,
+    /// Recorded per-point failures.
+    failures: usize,
+    /// Chunk frames committed.
+    chunks: u64,
+    /// End-to-end characterization throughput.
+    points_per_s: f64,
+    /// `VmHWM` of the process immediately after this build.
+    peak_rss_bytes: u64,
+}
+
+/// The flat-memory demonstration: small-then-large, same chunk size.
+#[derive(Debug, Serialize)]
+struct Memory {
+    small: BuildPhase,
+    large: BuildPhase,
+    /// `large.peak_rss_bytes / small.peak_rss_bytes` — the ≤ 1.2 hard bar.
+    rss_ratio: f64,
+    rss_ratio_bar: f64,
+}
+
+/// The kill/resume fidelity check on the small store.
+#[derive(Debug, Serialize)]
+struct Resume {
+    /// Bytes the simulated kill chopped off the uninterrupted file.
+    truncated_bytes: u64,
+    /// Committed records the resume validated and kept.
+    resumed_records: u64,
+    /// Torn-tail bytes the resume discarded (the partial frame).
+    discarded_bytes: u64,
+    /// Whether the resumed file finished byte-identical to the
+    /// uninterrupted build — the hard bar.
+    bit_identical: bool,
+}
+
+/// Active-vs-uniform sample efficiency at an equal SPICE budget.
+#[derive(Debug, Serialize)]
+struct Sampling {
+    /// Characterization budget of each competing build.
+    budget_points: usize,
+    /// Held-out Sobol' points scored (disjoint from both training sets).
+    holdout_points: usize,
+    /// Range-normalized holdout RMSE of the uniform-budget surrogate.
+    uniform_rmse: f64,
+    /// Same for the committee-driven budget.
+    active_rmse: f64,
+    /// `active_rmse / uniform_rmse` — the ≤ 1.0 hard bar.
+    active_vs_uniform: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Physical cores on the measuring machine.
+    machine_threads: usize,
+    /// Whether this was a `--quick` smoke run.
+    quick: bool,
+    /// Chunk size of every streamed build (the memory bound).
+    chunk_points: usize,
+    /// `V_in` sweep resolution of every characterization.
+    sweep_points: usize,
+    memory: Memory,
+    resume: Resume,
+    sampling: Sampling,
+}
+
+fn logical_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`, falling back to [`logical_threads`] (same accounting as
+/// the other bench bins).
+fn physical_cores() -> usize {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical_threads();
+    };
+    let mut cores = std::collections::HashSet::new();
+    let (mut package, mut core) = (None::<u64>, None::<u64>);
+    for line in info.lines().chain(std::iter::once("")) {
+        if line.trim().is_empty() {
+            if let (Some(p), Some(c)) = (package, core) {
+                cores.insert((p, c));
+            }
+            package = None;
+            core = None;
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => package = value.trim().parse().ok(),
+            "core id" => core = value.trim().parse().ok(),
+            _ => {}
+        }
+    }
+    if cores.is_empty() {
+        logical_threads()
+    } else {
+        cores.len()
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pnc_bench_stream_{name}.pncds"))
+}
+
+/// Streams a full build at `path` and packages size/speed/RSS into a phase
+/// record. `VmHWM` is read *after* the build so the reading covers it.
+fn streamed_build(path: &Path, config: &StreamConfig, label: &str) -> BuildPhase {
+    eprintln!("  {label}: {} points ...", config.total_points);
+    let t = Instant::now();
+    let mut builder = StreamBuilder::create(path, config).expect("bench store creates");
+    let report = builder.run_to_completion().expect("bench build completes");
+    let seconds = t.elapsed().as_secs_f64();
+    let peak_rss_bytes = pnc_obs::record_peak_rss().expect("procfs VmHWM is readable on Linux");
+    eprintln!(
+        "    {:.0} points/s, peak RSS {:.1} MiB",
+        report.total_points as f64 / seconds,
+        peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
+    BuildPhase {
+        points: report.total_points,
+        entries: report.entries,
+        failures: report.failures,
+        chunks: report.chunks,
+        points_per_s: report.total_points as f64 / seconds,
+        peak_rss_bytes,
+    }
+}
+
+/// Simulates a mid-chunk kill of the (already finished) small build and
+/// resumes it: truncate a copy inside the last third, resume, finish,
+/// byte-compare against the uninterrupted original.
+fn resume_check(reference_path: &Path, config: &StreamConfig) -> Resume {
+    eprintln!("  kill/resume: truncating mid-chunk and resuming ...");
+    let want = std::fs::read(reference_path).expect("reference store reads");
+    let cut = want.len() - want.len() / 3;
+    let path = scratch("resume");
+    std::fs::write(&path, &want[..cut]).expect("truncated copy writes");
+
+    let (mut builder, report) =
+        StreamBuilder::resume(&path, config).expect("truncated store resumes");
+    builder
+        .run_to_completion()
+        .expect("resumed build completes");
+    let got = std::fs::read(&path).expect("resumed store reads");
+    let bit_identical = want == got;
+    eprintln!(
+        "    kept {} records, discarded {} torn bytes, bit-identical: {bit_identical}",
+        report.committed_records, report.discarded_bytes,
+    );
+    std::fs::remove_file(&path).ok();
+    Resume {
+        truncated_bytes: (want.len() - cut) as u64,
+        resumed_records: report.committed_records,
+        discarded_bytes: report.discarded_bytes,
+        bit_identical,
+    }
+}
+
+/// Range-normalized RMSE of `model` on the holdout: per-component errors
+/// are divided by the holdout's own η range (a common yardstick for both
+/// competitors), then pooled over points and components.
+fn holdout_rmse(model: &SurrogateModel, holdout: &[DatasetEntry], bounds: &EtaBounds) -> f64 {
+    let mut sum_sq = 0.0;
+    let mut n = 0usize;
+    for entry in holdout {
+        let pred = model.predict_eta(&entry.omega);
+        for (c, p) in pred.iter().enumerate() {
+            let range = (bounds.hi[c] - bounds.lo[c]).max(f64::MIN_POSITIVE);
+            let err = (p - entry.eta[c]) / range;
+            sum_sq += err * err;
+            n += 1;
+        }
+    }
+    (sum_sq / n as f64).sqrt()
+}
+
+/// Equal-budget shootout: a uniform-Sobol' build vs a committee-driven
+/// build, each of `budget` points, surrogates trained identically on both
+/// stores, scored on `holdout` points the neither build saw.
+fn sampling_shootout(budget: usize, holdout_points: usize, base: &StreamConfig) -> Sampling {
+    eprintln!("  active vs uniform at {budget} points ...");
+    // Smaller chunks than the throughput phases: the committee refits at
+    // every chunk boundary, so the chunk size sets how often the sampler
+    // can react to what it has learned. The committee knobs are the
+    // calibrated shootout settings (seed-averaged RMSE ratio ~0.90 quick,
+    // ~0.96 full on the reference machine).
+    let base = &StreamConfig {
+        chunk_points: 64,
+        active: ActiveConfig {
+            committee: 4,
+            candidate_factor: 16,
+            epochs: 480,
+            learning_rate: 1e-2,
+            reservoir: 1536,
+            explore_fraction: 0.1,
+        },
+        ..*base
+    };
+    // The holdout: Sobol' points budget..budget+holdout. Prefix consistency
+    // makes the first `budget` points of this batch build exactly the
+    // uniform competitor's training set, so slicing past the uniform
+    // store's entry count yields a disjoint test slab.
+    let with_holdout = build_dataset_opts(
+        &DatasetConfig {
+            samples: budget + holdout_points,
+            sweep_points: base.sweep_points,
+        },
+        &BuildOptions {
+            parallel: base.parallel,
+            ..BuildOptions::default()
+        },
+    )
+    .expect("holdout batch build completes");
+
+    let uniform_path = scratch("uniform");
+    let uniform_config = StreamConfig {
+        total_points: budget,
+        sampling: SamplingMode::Uniform,
+        ..*base
+    };
+    let mut uniform =
+        StreamBuilder::create(&uniform_path, &uniform_config).expect("uniform store creates");
+    let uniform_report = uniform
+        .run_to_completion()
+        .expect("uniform build completes");
+    let holdout = &with_holdout.entries[uniform_report.entries..];
+
+    let active_path = scratch("active");
+    let active_config = StreamConfig {
+        total_points: budget,
+        sampling: SamplingMode::Active,
+        ..*base
+    };
+    let mut active =
+        StreamBuilder::create(&active_path, &active_config).expect("active store creates");
+    active.run_to_completion().expect("active build completes");
+
+    // A common yardstick for both competitors: the holdout's own η ranges.
+    // The holdout RMSE is averaged over several training seeds so the bar
+    // measures the quality of the *sampled data*, not one lucky or unlucky
+    // weight initialization.
+    let bounds = EtaBounds::from_entries(holdout).expect("holdout bounds");
+    let seed_averaged_rmse = |store: &pnc_surrogate::DatasetStore, label: &str| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..TRAIN_SEEDS {
+            let train_config = TrainConfig {
+                layer_sizes: vec![10, 16, 12, 8, 4],
+                learning_rate: 5e-3,
+                max_epochs: 600,
+                patience: 120,
+                seed,
+            };
+            let (model, _) = train_surrogate_streaming(store, &train_config)
+                .unwrap_or_else(|e| panic!("{label} surrogate trains (seed {seed}): {e}"));
+            total += holdout_rmse(&model, holdout, &bounds);
+        }
+        total / TRAIN_SEEDS as f64
+    };
+    let uniform_rmse = seed_averaged_rmse(uniform.store(), "uniform");
+    let active_rmse = seed_averaged_rmse(active.store(), "active");
+    eprintln!(
+        "    holdout RMSE: uniform {uniform_rmse:.4}  active {active_rmse:.4}  (ratio {:.3})",
+        active_rmse / uniform_rmse,
+    );
+    // Keep the active store's reservoir-vs-full-dataset seam honest: the
+    // store must round-trip through the in-memory loader too.
+    load_circuit_dataset(active.store()).expect("active store loads");
+    std::fs::remove_file(&uniform_path).ok();
+    std::fs::remove_file(&active_path).ok();
+    Sampling {
+        budget_points: budget,
+        holdout_points: holdout.len(),
+        uniform_rmse,
+        active_rmse,
+        active_vs_uniform: active_rmse / uniform_rmse,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (small_points, sweep_points, chunk_points) = if quick {
+        (800, 21, 256)
+    } else {
+        (10_000, 61, 1024)
+    };
+    let large_points = small_points * 10;
+    let (budget, holdout_points) = if quick { (600, 256) } else { (2_000, 512) };
+
+    let base = StreamConfig {
+        chunk_points,
+        active: ActiveConfig::default(),
+        ..StreamConfig::new(small_points, sweep_points)
+    }
+    .with_env_overrides()?;
+
+    // Phase order is load-bearing: VmHWM never decreases, so the small
+    // build's RSS must be sampled before the large build runs.
+    eprintln!("flat-memory builds (chunk {chunk_points}, sweep {sweep_points}) ...");
+    let small_path = scratch("small");
+    let small = streamed_build(&small_path, &base, "small");
+
+    let large_path = scratch("large");
+    let large_config = StreamConfig {
+        total_points: large_points,
+        ..base
+    };
+    let large = streamed_build(&large_path, &large_config, "large");
+    std::fs::remove_file(&large_path).ok();
+    let rss_ratio = large.peak_rss_bytes as f64 / small.peak_rss_bytes as f64;
+
+    eprintln!("kill/resume fidelity ...");
+    let resume = resume_check(&small_path, &base);
+    std::fs::remove_file(&small_path).ok();
+
+    eprintln!("sample efficiency ...");
+    let sampling = sampling_shootout(budget, holdout_points, &base);
+
+    let report = Report {
+        machine_threads: physical_cores(),
+        quick,
+        chunk_points,
+        sweep_points,
+        memory: Memory {
+            small,
+            large,
+            rss_ratio,
+            rss_ratio_bar: RSS_RATIO_BAR,
+        },
+        resume,
+        sampling,
+    };
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_surrogate.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("\nreport saved to {}", out.display());
+
+    // End-of-run metrics summary next to the timing report: the
+    // `surrogate.stream.*` counters and the peak-RSS gauge behind the
+    // numbers above (docs/METRICS.md).
+    let metrics_out =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_surrogate_metrics.json");
+    pnc_obs::write_summary(&metrics_out)?;
+    eprintln!("metrics summary saved to {}", metrics_out.display());
+
+    println!(
+        "streamed {} then {} points at {:.0}/s, RSS ratio {:.3} (bar {RSS_RATIO_BAR}), \
+         resume bit-identical: {}, active/uniform RMSE {:.3}",
+        report.memory.small.points,
+        report.memory.large.points,
+        report.memory.large.points_per_s,
+        report.memory.rss_ratio,
+        report.resume.bit_identical,
+        report.sampling.active_vs_uniform,
+    );
+    Ok(())
+}

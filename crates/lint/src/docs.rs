@@ -20,10 +20,11 @@ pub struct Docs {
     pub readme: Option<DocFile>,
 }
 
-/// Metric names catalogued in the `## Counters` and `## Histograms` tables
-/// of METRICS.md, with the 1-based line of each row. Only those two
-/// sections are read: sink events and summary files are named elsewhere in
-/// the document and are not `Counter`/`Histogram` constructors.
+/// Metric names catalogued in the `## Counters`, `## Histograms` and
+/// `## Gauges` tables of METRICS.md, with the 1-based line of each row.
+/// Only those sections are read: sink events and summary files are named
+/// elsewhere in the document and are not `Counter`/`Histogram`/`Gauge`
+/// constructors.
 pub fn metric_names(md: &str) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     let mut in_metric_section = false;
@@ -31,7 +32,8 @@ pub fn metric_names(md: &str) -> Vec<(String, u32)> {
         let lineno = idx as u32 + 1;
         if let Some(header) = line.strip_prefix("## ") {
             let header = header.trim();
-            in_metric_section = header == "Counters" || header == "Histograms";
+            in_metric_section =
+                header == "Counters" || header == "Histograms" || header == "Gauges";
             continue;
         }
         if !in_metric_section {

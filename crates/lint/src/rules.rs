@@ -328,8 +328,8 @@ fn forbid_unsafe_kept(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// A metric-name literal found in code: `Counter::new("…")` or
-/// `Histogram::new("…")` outside test code.
+/// A metric-name literal found in code: `Counter::new("…")`,
+/// `Histogram::new("…")` or `Gauge::new("…")` outside test code.
 #[derive(Debug)]
 struct MetricUse {
     name: String,
@@ -346,7 +346,7 @@ fn collect_metric_uses(files: &[SourceFile]) -> Vec<MetricUse> {
         }
         let toks = code(file);
         for w in toks.windows(6) {
-            if (w[0].is_ident("Counter") || w[0].is_ident("Histogram"))
+            if (w[0].is_ident("Counter") || w[0].is_ident("Histogram") || w[0].is_ident("Gauge"))
                 && w[1].is_punct(':')
                 && w[2].is_punct(':')
                 && w[3].is_ident("new")
@@ -390,7 +390,7 @@ fn metric_key_drift(files: &[SourceFile], docs: &Docs, out: &mut Vec<Finding>) {
                 m.line,
                 m.col,
                 format!(
-                    "metric `{}` is not catalogued in the Counters/Histograms tables of {}",
+                    "metric `{}` is not catalogued in the Counters/Histograms/Gauges tables of {}",
                     m.name, metrics_md.path
                 ),
             ));
@@ -404,8 +404,8 @@ fn metric_key_drift(files: &[SourceFile], docs: &Docs, out: &mut Vec<Finding>) {
                 *line,
                 1,
                 format!(
-                    "documented metric `{name}` has no Counter::new/Histogram::new call site \
-                     in the workspace"
+                    "documented metric `{name}` has no Counter::new/Histogram::new/Gauge::new \
+                     call site in the workspace"
                 ),
             ));
         }

@@ -19,12 +19,20 @@ use crate::source::{FileKind, SourceFile};
 use std::collections::BTreeMap;
 
 /// The functions the oracle registry must always pin: the cross-backend
-/// agreement oracles designated in docs/SOLVERS.md and DESIGN.md. The
-/// registry may pin more; it may not pin fewer.
+/// agreement oracles designated in docs/SOLVERS.md and DESIGN.md, plus the
+/// streaming-equivalence anchors of DESIGN.md §17 — the batch dataset
+/// builder the streamed build must reproduce bit-identically, the shared
+/// per-point characterization kernel, and the two store codecs whose byte
+/// layout the on-disk format version pins. The registry may pin more; it
+/// may not pin fewer.
 pub const REQUIRED_ORACLES: &[&str] = &[
     "Matrix::matmul_reference",
     "Graph::backward_reference",
     "DcSolver::newton_dense",
+    "build_dataset_opts",
+    "characterize_point",
+    "StoreMeta::encode",
+    "StoreRecord::encode",
 ];
 
 /// Crates where `[]` indexing and panicking slice methods count as panic

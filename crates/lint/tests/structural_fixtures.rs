@@ -11,6 +11,7 @@ use pnc_lint::baseline::OracleEntry;
 use pnc_lint::docs::Docs;
 use pnc_lint::engine::analyze;
 use pnc_lint::fingerprint::fn_fingerprint;
+use pnc_lint::structural::REQUIRED_ORACLES;
 use pnc_lint::{FileKind, Finding, SourceFile, Status};
 use std::collections::BTreeMap;
 
@@ -66,11 +67,11 @@ fn unedited_oracle_matches_its_pinned_hash() {
     let frozen = include_str!("fixtures/oracle_frozen.rs");
     let oracles = registry(&fixture_hash(frozen), "fixture freeze");
     let findings = run(ORACLE_PATH, "pnc-linalg", frozen, &oracles);
-    // The pinned fn is clean; the only oracle-freeze findings are the two
+    // The pinned fn is clean; the only oracle-freeze findings are the
     // *other* required oracles this one-file workspace cannot contain,
     // reported against the registry file itself.
     let freeze = new_rule_findings(&findings, "oracle-freeze");
-    assert_eq!(freeze.len(), 2, "{freeze:#?}");
+    assert_eq!(freeze.len(), REQUIRED_ORACLES.len() - 1, "{freeze:#?}");
     assert!(
         freeze
             .iter()

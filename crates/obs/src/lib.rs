@@ -16,6 +16,10 @@
 //!   histogram on drop. Wall time is inherently nondeterministic, so
 //!   duration histograms are *excluded* from the determinism contract
 //!   (their `count` is still deterministic).
+//! * [`Gauge`] — a named running-maximum measurement for environment
+//!   readings such as peak RSS ([`record_peak_rss`]). Like wall time,
+//!   gauge *values* come from the operating system and sit outside the
+//!   determinism contract; names and registration stay deterministic.
 //! * [`sink`] — an opt-in JSON-lines event stream, selected with the
 //!   `PNC_OBS` environment variable (`jsonl:<path>` or `stderr`). Off by
 //!   default: a disabled sink is one relaxed atomic load per [`sink::emit`]
@@ -47,12 +51,14 @@
 #![deny(missing_docs)]
 
 mod metrics;
+mod process;
 pub mod sink;
 mod span;
 
 pub use metrics::{
-    reset, snapshot, write_summary, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
-    MetricsSnapshot,
+    reset, snapshot, write_summary, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
+    HistogramSnapshot, MetricsSnapshot,
 };
+pub use process::{peak_rss_bytes, record_peak_rss};
 pub use sink::FieldValue;
 pub use span::Span;

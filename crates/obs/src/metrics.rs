@@ -194,6 +194,87 @@ impl Histogram {
     }
 }
 
+/// A named `u64` level metric holding an order-independent **running
+/// maximum** — the gauge flavor that fits the determinism contract, because
+/// `max` commutes like the histogram extrema do.
+///
+/// The canonical use is process peak RSS ([`crate::record_peak_rss`]):
+/// a measurement of the *environment* rather than of the computation, so —
+/// like the `_seconds` histograms — a gauge's **value** is exempt from the
+/// bit-identical-across-thread-counts contract; its registration and name
+/// are not. See `docs/METRICS.md` ("Gauges").
+///
+/// # Examples
+///
+/// ```
+/// use pnc_obs::Gauge;
+///
+/// static WATERMARK: Gauge = Gauge::new("doc.watermark");
+/// WATERMARK.record(10);
+/// WATERMARK.record(7); // lower: ignored
+/// assert_eq!(WATERMARK.value(), Some(10));
+/// ```
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    /// Whether any value has been recorded (distinguishes "never measured"
+    /// from a genuine zero).
+    set: AtomicBool,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Creates a gauge. Use as a `static` initializer; the gauge
+    /// self-registers in the process-wide registry on first use.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            set: AtomicBool::new(false),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The metric name (dot-separated, catalogued in `docs/METRICS.md`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records a measurement; the gauge keeps the maximum seen so far.
+    pub fn record(&'static self, v: u64) {
+        self.ensure_registered();
+        self.value.fetch_max(v, Ordering::Relaxed);
+        self.set.store(true, Ordering::Release);
+    }
+
+    /// The largest recorded value, or `None` if nothing was recorded yet.
+    pub fn value(&self) -> Option<u64> {
+        self.set
+            .load(Ordering::Acquire)
+            .then(|| self.value.load(Ordering::Relaxed))
+    }
+
+    /// Registers the gauge without recording a value (see
+    /// [`Counter::register`]).
+    pub fn register(&'static self) {
+        self.ensure_registered();
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry()
+                .gauges
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(self);
+        }
+    }
+}
+
 /// CAS loop replacing the stored extremum when `better(new, current)` holds.
 /// The final value depends only on the *set* of observations, never on their
 /// order — which keeps histograms inside the determinism contract.
@@ -230,6 +311,7 @@ fn bucket_upper_bound(idx: usize) -> Option<f64> {
 struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
     histograms: Mutex<Vec<&'static Histogram>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
 }
 
 fn registry() -> &'static Registry {
@@ -237,6 +319,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
     })
 }
 
@@ -265,6 +348,15 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(Option<f64>, u64)>,
 }
 
+/// Point-in-time value of one [`Gauge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Largest recorded value, `None` when never recorded.
+    pub value: Option<u64>,
+}
+
 /// A deterministic, name-sorted snapshot of every registered metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -272,6 +364,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<CounterSnapshot>,
     /// All registered histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// All registered gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -288,19 +382,29 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// The recorded value of the gauge called `name`, if registered and
+    /// ever recorded.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .and_then(|g| g.value)
+    }
+
     /// Serializes the snapshot as a stable JSON object:
     ///
     /// ```json
     /// {
     ///   "counters": {"name": value, ...},
     ///   "histograms": {"name": {"count": n, "min": x, "max": x,
-    ///                           "buckets": [[upper_bound, count], ...]}, ...}
+    ///                           "buckets": [[upper_bound, count], ...]}, ...},
+    ///   "gauges": {"name": value_or_null, ...}
     /// }
     /// ```
     ///
     /// Keys are sorted by metric name; a `null` bucket bound marks the
     /// non-positive and overflow buckets. Non-finite min/max serialize as
-    /// `null`.
+    /// `null`, as does a gauge that was registered but never recorded.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         for (i, c) in self.counters.iter().enumerate() {
@@ -328,6 +432,17 @@ impl MetricsSnapshot {
                 out.push_str(&format!("[{}, {}]", json_f64_opt(*bound), count));
             }
             out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let value = match g.value {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!("\n    \"{}\": {}", escape(g.name), value));
         }
         out.push_str("\n  }\n}\n");
         out
@@ -411,9 +526,21 @@ pub fn snapshot() -> MetricsSnapshot {
         })
         .collect();
     histograms.sort_by_key(|h| h.name);
+    let mut gauges: Vec<GaugeSnapshot> = reg
+        .gauges
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(|g| GaugeSnapshot {
+            name: g.name,
+            value: g.value(),
+        })
+        .collect();
+    gauges.sort_by_key(|g| g.name);
     MetricsSnapshot {
         counters,
         histograms,
+        gauges,
     }
 }
 
@@ -443,6 +570,15 @@ pub fn reset() {
         h.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
         h.max_bits
             .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+    for g in reg
+        .gauges
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
+        g.set.store(false, Ordering::Relaxed);
+        g.value.store(0, Ordering::Relaxed);
     }
 }
 
@@ -497,5 +633,27 @@ mod tests {
         assert_eq!(json_f64_opt(Some(f64::NAN)), "null");
         assert_eq!(json_f64_opt(Some(0.5)), "0.5");
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn gauge_keeps_the_maximum_and_distinguishes_unset_from_zero() {
+        static TEST_MAX_GAUGE: Gauge = Gauge::new("test.gauge.max");
+        assert_eq!(TEST_MAX_GAUGE.value(), None);
+        TEST_MAX_GAUGE.record(7);
+        TEST_MAX_GAUGE.record(3);
+        assert_eq!(TEST_MAX_GAUGE.value(), Some(7));
+        TEST_MAX_GAUGE.record(11);
+        assert_eq!(TEST_MAX_GAUGE.value(), Some(11));
+        let snap = snapshot();
+        assert_eq!(snap.gauge("test.gauge.max"), Some(11));
+    }
+
+    #[test]
+    fn never_recorded_gauge_serializes_as_null() {
+        static TEST_UNSET_GAUGE: Gauge = Gauge::new("test.gauge.unset");
+        TEST_UNSET_GAUGE.register();
+        let snap = snapshot();
+        assert_eq!(snap.gauge("test.gauge.unset"), None);
+        assert!(snap.to_json().contains("\"test.gauge.unset\": null"));
     }
 }

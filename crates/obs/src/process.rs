@@ -1,0 +1,76 @@
+//! Process-level resource measurements (peak RSS).
+//!
+//! These readings come from the operating system, not from the computation,
+//! so — like wall-clock durations — their *values* sit outside the
+//! determinism contract. Only the gauge's name and registration are
+//! deterministic.
+
+use crate::metrics::Gauge;
+
+/// Peak resident-set size of this process in bytes, as reported by the
+/// kernel (`VmHWM`). Recorded by [`record_peak_rss`]; `None` until then.
+static PEAK_RSS: Gauge = Gauge::new("process.peak_rss_bytes");
+
+/// Reads the process's peak resident-set size (high-water mark) in bytes
+/// from `/proc/self/status`.
+///
+/// Returns `None` on platforms without procfs or if the `VmHWM` line is
+/// missing or malformed. The value is monotone over the process lifetime:
+/// the kernel never lowers the high-water mark.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Reads the peak RSS and records it into the `process.peak_rss_bytes`
+/// gauge, returning the reading. Call at measurement points (for example
+/// after each benchmark phase); the gauge keeps the maximum across calls.
+pub fn record_peak_rss() -> Option<u64> {
+    let bytes = peak_rss_bytes()?;
+    PEAK_RSS.record(bytes);
+    Some(bytes)
+}
+
+/// Extracts the `VmHWM` value (in bytes) from the contents of
+/// `/proc/self/status`. The kernel formats the line as
+/// `VmHWM:\t    1772 kB`.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let rest = line.strip_prefix("VmHWM:")?.trim();
+    let kib_text = rest.strip_suffix("kB")?.trim();
+    let kib: u64 = kib_text.parse().ok()?;
+    kib.checked_mul(1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_kernel_formatted_vm_hwm_line() {
+        let status = "Name:\tpnc\nVmPeak:\t  10000 kB\nVmHWM:\t    1772 kB\nVmRSS:\t    1500 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(1772 * 1024));
+    }
+
+    #[test]
+    fn missing_or_malformed_lines_yield_none() {
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("VmRSS:\t 12 kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t twelve kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t 12 MB\n"), None);
+    }
+
+    #[test]
+    fn reading_and_recording_peak_rss_works_on_linux() {
+        // The workspace only targets Linux in CI; keep the assertion soft so
+        // the test is a no-op on exotic platforms without procfs.
+        if let Some(bytes) = record_peak_rss() {
+            assert!(bytes > 0);
+            // The gauge keeps the max, and VmHWM is monotone, so the
+            // snapshot is at least this reading (concurrent tests may have
+            // recorded a later, larger one).
+            let snap = crate::snapshot();
+            assert!(snap.gauge("process.peak_rss_bytes") >= Some(bytes));
+        }
+    }
+}

@@ -105,30 +105,16 @@ impl EtaBounds {
     ///
     /// # Errors
     ///
-    /// Returns [`SurrogateError::BadDataset`] if `entries` is empty or some
-    /// η component is constant (which would make normalization degenerate).
+    /// Returns [`SurrogateError::BadDataset`] if `entries` is empty or an η
+    /// value is non-finite, and the typed
+    /// [`SurrogateError::DegenerateEta`] if some η component is constant
+    /// (which would turn [`EtaBounds::normalize`] into a divide-by-zero).
     pub fn from_entries(entries: &[DatasetEntry]) -> Result<Self, SurrogateError> {
-        if entries.is_empty() {
-            return Err(SurrogateError::BadDataset {
-                detail: "no entries".into(),
-            });
-        }
-        let mut lo = [f64::INFINITY; 4];
-        let mut hi = [f64::NEG_INFINITY; 4];
+        let mut acc = EtaBoundsAccumulator::new();
         for e in entries {
-            for k in 0..4 {
-                lo[k] = lo[k].min(e.eta[k]);
-                hi[k] = hi[k].max(e.eta[k]);
-            }
+            acc.observe(&e.eta)?;
         }
-        for k in 0..4 {
-            if hi[k] <= lo[k] || hi[k].is_nan() || lo[k].is_nan() {
-                return Err(SurrogateError::BadDataset {
-                    detail: format!("eta component {k} is constant at {}", lo[k]),
-                });
-            }
-        }
-        Ok(EtaBounds { lo, hi })
+        acc.finish()
     }
 
     /// Normalizes η to `[0, 1]^4`.
@@ -147,6 +133,95 @@ impl EtaBounds {
             out[k] = self.lo[k] + eta_norm[k] * (self.hi[k] - self.lo[k]);
         }
         out
+    }
+}
+
+/// Online min/max accumulator behind [`EtaBounds`], for streaming builds
+/// that never hold the full dataset: observe each entry's η as it lands,
+/// then [`finish`](EtaBoundsAccumulator::finish) into validated bounds.
+///
+/// Min/max are order-independent extrema, so the accumulated bounds are
+/// **bit-identical** to [`EtaBounds::from_entries`] over the same entries in
+/// any order — the refit-free normalization contract of the streaming
+/// pipeline (DESIGN.md §17): no second pass over the data is ever needed to
+/// normalize targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EtaBoundsAccumulator {
+    lo: [f64; 4],
+    hi: [f64; 4],
+    count: usize,
+}
+
+impl Default for EtaBoundsAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EtaBoundsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        EtaBoundsAccumulator {
+            lo: [f64::INFINITY; 4],
+            hi: [f64::NEG_INFINITY; 4],
+            count: 0,
+        }
+    }
+
+    /// Entries observed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Folds one η observation into the running extrema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::BadDataset`] if a component is non-finite —
+    /// a NaN would silently pass through `min`/`max` and poison
+    /// normalization much later, so it is rejected at the door.
+    pub fn observe(&mut self, eta: &[f64; 4]) -> Result<(), SurrogateError> {
+        for (k, &v) in eta.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(SurrogateError::BadDataset {
+                    detail: format!(
+                        "eta component {k} is non-finite ({v}) at entry {}",
+                        self.count
+                    ),
+                });
+            }
+            self.lo[k] = self.lo[k].min(v);
+            self.hi[k] = self.hi[k].max(v);
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Validates and returns the accumulated bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::BadDataset`] when no entries were observed
+    /// and the typed [`SurrogateError::DegenerateEta`] when a component
+    /// never varied (normalizing by a zero range would yield NaN).
+    pub fn finish(&self) -> Result<EtaBounds, SurrogateError> {
+        if self.count == 0 {
+            return Err(SurrogateError::BadDataset {
+                detail: "no entries".into(),
+            });
+        }
+        for k in 0..4 {
+            if self.hi[k] <= self.lo[k] {
+                return Err(SurrogateError::DegenerateEta {
+                    component: k,
+                    value: self.lo[k],
+                });
+            }
+        }
+        Ok(EtaBounds {
+            lo: self.lo,
+            hi: self.hi,
+        })
     }
 }
 
@@ -278,6 +353,40 @@ pub struct BuildOptions<'a> {
     pub solver_factory: Option<&'a (dyn Fn(usize) -> DcSolver + Sync)>,
 }
 
+/// Characterizes one design point: build the netlist, sweep the DC transfer
+/// curve, fit Eq. 2. This is the per-point physics shared — call for call —
+/// by the batch builder below and the streaming builder
+/// ([`crate::StreamBuilder`]), which is what makes a streamed dataset
+/// bit-identical to the batch oracle at any chunking.
+pub(crate) fn characterize_point(
+    index: usize,
+    omega: &[f64; OMEGA_DIM],
+    grid: &[f64],
+    solver_factory: Option<&(dyn Fn(usize) -> DcSolver + Sync)>,
+) -> Result<DatasetEntry, FailureRecord> {
+    let fail = |stage: FailureStage, cause: String| FailureRecord {
+        index,
+        omega: *omega,
+        stage,
+        cause,
+    };
+    let params = NonlinearCircuitParams::from_array(*omega);
+    let mut circuit =
+        PtanhCircuit::build(&params).map_err(|e| fail(FailureStage::Build, e.to_string()))?;
+    if let Some(factory) = solver_factory {
+        circuit.set_solver(factory(index));
+    }
+    let curve = circuit
+        .transfer_curve(grid)
+        .map_err(|e| fail(FailureStage::Sweep, e.to_string()))?;
+    let fit = fit_ptanh(&curve).map_err(|e| fail(FailureStage::Fit, e.to_string()))?;
+    Ok(DatasetEntry {
+        omega: *omega,
+        eta: fit.curve.eta,
+        fit_rmse: fit.rmse,
+    })
+}
+
 /// [`build_dataset_with`] with full [`BuildOptions`].
 ///
 /// # Errors
@@ -319,35 +428,11 @@ pub fn build_dataset_opts(
     // sees one item) can key the solver factory and the failure records on
     // the scheduling-independent sample index.
     let indexed: Vec<(usize, [f64; OMEGA_DIM])> = omegas.into_iter().enumerate().collect();
-    let fail = |index: usize, omega: &[f64; OMEGA_DIM], stage: FailureStage, cause: String| {
-        FailureRecord {
-            index,
-            omega: *omega,
-            stage,
-            cause,
-        }
-    };
-    let results: Vec<Result<DatasetEntry, FailureRecord>> =
-        options
-            .parallel
-            .ordered_par_map(&indexed, |(index, omega)| {
-                let params = NonlinearCircuitParams::from_array(*omega);
-                let mut circuit = PtanhCircuit::build(&params)
-                    .map_err(|e| fail(*index, omega, FailureStage::Build, e.to_string()))?;
-                if let Some(factory) = options.solver_factory {
-                    circuit.set_solver(factory(*index));
-                }
-                let curve = circuit
-                    .transfer_curve(&grid)
-                    .map_err(|e| fail(*index, omega, FailureStage::Sweep, e.to_string()))?;
-                let fit = fit_ptanh(&curve)
-                    .map_err(|e| fail(*index, omega, FailureStage::Fit, e.to_string()))?;
-                Ok(DatasetEntry {
-                    omega: *omega,
-                    eta: fit.curve.eta,
-                    fit_rmse: fit.rmse,
-                })
-            });
+    let results: Vec<Result<DatasetEntry, FailureRecord>> = options
+        .parallel
+        .ordered_par_map(&indexed, |(index, omega)| {
+            characterize_point(*index, omega, &grid, options.solver_factory)
+        });
 
     let mut entries = Vec::with_capacity(results.len());
     let mut failures = Vec::new();
@@ -475,6 +560,65 @@ mod tests {
             fit_rmse: 0.0,
         };
         assert!(EtaBounds::from_entries(&[e, e]).is_err());
+    }
+
+    /// Regression: a constant η column must surface as the typed
+    /// `DegenerateEta` error naming the component — never reach `normalize`
+    /// where the zero range would silently produce NaN.
+    #[test]
+    fn constant_eta_column_is_a_typed_error_not_nan() {
+        let entry = |c: f64| DatasetEntry {
+            omega: [1.0; OMEGA_DIM],
+            eta: [c, 1.0 + c, 0.25, 2.0 * c + 0.1],
+            fit_rmse: 0.0,
+        };
+        // Component 2 is constant at 0.25; the others vary.
+        let entries = [entry(0.1), entry(0.4), entry(0.9)];
+        match EtaBounds::from_entries(&entries) {
+            Err(SurrogateError::DegenerateEta { component, value }) => {
+                assert_eq!(component, 2);
+                assert_eq!(value, 0.25);
+            }
+            other => panic!("expected DegenerateEta, got {other:?}"),
+        }
+    }
+
+    /// A NaN η must be rejected at observation time: `f64::min`/`max`
+    /// silently ignore NaN, so without the explicit check a poisoned entry
+    /// would produce plausible-looking bounds and NaN normalized targets.
+    #[test]
+    fn non_finite_eta_is_rejected_at_the_door() {
+        let good = DatasetEntry {
+            omega: [1.0; OMEGA_DIM],
+            eta: [0.1, 0.2, 0.3, 0.4],
+            fit_rmse: 0.0,
+        };
+        let mut bad = good;
+        bad.eta[1] = f64::NAN;
+        let err = EtaBounds::from_entries(&[good, bad]).unwrap_err();
+        assert!(
+            matches!(err, SurrogateError::BadDataset { .. }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    /// The streaming accumulator must reproduce the batch bounds bit-for-bit
+    /// regardless of observation order (min/max are order-independent).
+    #[test]
+    fn accumulator_matches_batch_bounds_bitwise() {
+        let data = tiny_dataset();
+        let batch = EtaBounds::from_entries(&data.entries).unwrap();
+        let mut acc = EtaBoundsAccumulator::new();
+        for e in data.entries.iter().rev() {
+            acc.observe(&e.eta).unwrap();
+        }
+        let streamed = acc.finish().unwrap();
+        for k in 0..4 {
+            assert_eq!(batch.lo[k].to_bits(), streamed.lo[k].to_bits());
+            assert_eq!(batch.hi[k].to_bits(), streamed.hi[k].to_bits());
+        }
+        assert_eq!(acc.count(), data.entries.len());
     }
 
     #[test]

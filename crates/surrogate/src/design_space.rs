@@ -68,34 +68,7 @@ impl DesignSpace {
     /// Returns [`SurrogateError::Qmc`] only if the Sobol' generator cannot be
     /// constructed (never, for 7 dimensions).
     pub fn sample(&self, n: usize) -> Result<Vec<[f64; OMEGA_DIM]>, SurrogateError> {
-        let mut sobol = Sobol::new(OMEGA_DIM)?;
-        let mut out = Vec::with_capacity(n);
-        // The acceptance rate of the two inequality constraints is ≈ 0.5, so
-        // this loop terminates quickly; the hard cap guards against
-        // pathological edits to the bounds.
-        let mut attempts = 0usize;
-        let max_attempts = 100 * n.max(64);
-        while out.len() < n && attempts < max_attempts {
-            attempts += 1;
-            let unit = sobol.next_point();
-            let mut omega = [0.0; OMEGA_DIM];
-            for (k, u) in unit.iter().enumerate() {
-                omega[k] = self.lo[k] + u * (self.hi[k] - self.lo[k]);
-            }
-            if omega[1] < omega[0] && omega[3] < omega[2] {
-                out.push(omega);
-            }
-        }
-        if out.len() < n {
-            return Err(SurrogateError::BadDataset {
-                detail: format!(
-                    "could only draw {} of {} feasible design points",
-                    out.len(),
-                    n
-                ),
-            });
-        }
-        Ok(out)
+        DesignSampler::new(self)?.next_batch(n)
     }
 
     /// Extends ω with the three ratio features of Sec. III-A:
@@ -200,6 +173,106 @@ impl DesignSpace {
         let range_node = g.constant(pnc_linalg::Matrix::row_vector(&range));
         let shifted = g.sub(ext, lo_node)?;
         Ok(g.div(shifted, range_node)?)
+    }
+}
+
+/// Incremental form of [`DesignSpace::sample`]: carries the Sobol' state
+/// across calls, so the concatenation of any sequence of
+/// [`next_batch`](DesignSampler::next_batch) calls is **exactly** the prefix
+/// a single batch [`DesignSpace::sample`] of the same total would return.
+/// This is what lets the streaming builder (`StreamBuilder`) chunk the work
+/// arbitrarily and still be bit-identical to the frozen batch oracle.
+///
+/// # Examples
+///
+/// ```
+/// use pnc_surrogate::{DesignSampler, DesignSpace};
+///
+/// # fn main() -> Result<(), pnc_surrogate::SurrogateError> {
+/// let space = DesignSpace::paper();
+/// let batch = space.sample(30)?;
+/// let mut sampler = DesignSampler::new(&space)?;
+/// let mut chunked = sampler.next_batch(11)?;
+/// chunked.extend(sampler.next_batch(19)?);
+/// assert_eq!(batch, chunked);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSampler {
+    space: DesignSpace,
+    sobol: Sobol,
+    drawn: usize,
+}
+
+impl DesignSampler {
+    /// Starts the deterministic feasible-point sequence of `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::Qmc`] only if the Sobol' generator cannot
+    /// be constructed (never, for 7 dimensions).
+    pub fn new(space: &DesignSpace) -> Result<Self, SurrogateError> {
+        Ok(DesignSampler {
+            space: space.clone(),
+            sobol: Sobol::new(OMEGA_DIM)?,
+            drawn: 0,
+        })
+    }
+
+    /// Feasible points drawn so far across all batches.
+    pub fn drawn(&self) -> usize {
+        self.drawn
+    }
+
+    /// Draws the next `n` feasible points of the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SurrogateError::BadDataset`] if the rejection loop cannot
+    /// find `n` feasible points within a generous attempt cap (only possible
+    /// after pathological edits to the bounds).
+    pub fn next_batch(&mut self, n: usize) -> Result<Vec<[f64; OMEGA_DIM]>, SurrogateError> {
+        let mut out = Vec::with_capacity(n);
+        // The acceptance rate of the two inequality constraints is ≈ 0.5, so
+        // this loop terminates quickly; the hard cap guards against
+        // pathological edits to the bounds.
+        let mut attempts = 0usize;
+        let max_attempts = 100 * n.max(64);
+        while out.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let unit = self.sobol.next_point();
+            let mut omega = [0.0; OMEGA_DIM];
+            for (k, u) in unit.iter().enumerate() {
+                omega[k] = self.space.lo[k] + u * (self.space.hi[k] - self.space.lo[k]);
+            }
+            if omega[1] < omega[0] && omega[3] < omega[2] {
+                out.push(omega);
+            }
+        }
+        if out.len() < n {
+            return Err(SurrogateError::BadDataset {
+                detail: format!(
+                    "could only draw {} of {} feasible design points",
+                    out.len(),
+                    n
+                ),
+            });
+        }
+        self.drawn += n;
+        Ok(out)
+    }
+
+    /// Advances the sequence past `n` points without returning them — how a
+    /// resumed streaming build fast-forwards to the first uncommitted point.
+    /// Drawing is orders of magnitude cheaper than characterizing, so a
+    /// resume replays the sequence instead of persisting generator state.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DesignSampler::next_batch`].
+    pub fn skip(&mut self, n: usize) -> Result<(), SurrogateError> {
+        self.next_batch(n).map(|_| ())
     }
 }
 

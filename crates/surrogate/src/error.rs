@@ -18,6 +18,27 @@ pub enum SurrogateError {
         /// Human-readable description.
         detail: String,
     },
+    /// An η component is constant (or non-finite) over the dataset, so
+    /// min–max normalization would divide by zero. Carried as its own typed
+    /// variant so callers can distinguish "your design-space slice is
+    /// degenerate" from other dataset problems.
+    DegenerateEta {
+        /// Which of the four η components (0-based).
+        component: usize,
+        /// The constant (or offending non-finite) value.
+        value: f64,
+    },
+    /// A streaming-configuration knob was invalid (unknown
+    /// `PNC_SURROGATE_SAMPLING` value, zero chunk size, malformed
+    /// `PNC_SURROGATE_CHUNK`). Never silently defaulted — the
+    /// `PNC_INFER_PRECISION` precedent.
+    Config {
+        /// Human-readable description naming the knob and its value.
+        detail: String,
+    },
+    /// The on-disk dataset store rejected an operation (corruption, version
+    /// mismatch, resume against a different configuration).
+    Store(crate::StoreError),
     /// Model (de)serialization failed.
     Serde(serde_json::Error),
     /// File I/O failed while saving or loading a model.
@@ -32,6 +53,13 @@ impl fmt::Display for SurrogateError {
             SurrogateError::Fit(e) => write!(f, "curve fit failed: {e}"),
             SurrogateError::Autodiff(e) => write!(f, "autodiff failure: {e}"),
             SurrogateError::BadDataset { detail } => write!(f, "bad dataset: {detail}"),
+            SurrogateError::DegenerateEta { component, value } => write!(
+                f,
+                "degenerate dataset: eta component {component} is constant at {value} \
+                 (min-max normalization would divide by zero)"
+            ),
+            SurrogateError::Config { detail } => write!(f, "bad configuration: {detail}"),
+            SurrogateError::Store(e) => write!(f, "dataset store: {e}"),
             SurrogateError::Serde(e) => write!(f, "model serialization failed: {e}"),
             SurrogateError::Io(e) => write!(f, "model file i/o failed: {e}"),
         }
@@ -47,8 +75,17 @@ impl std::error::Error for SurrogateError {
             SurrogateError::Autodiff(e) => Some(e),
             SurrogateError::Serde(e) => Some(e),
             SurrogateError::Io(e) => Some(e),
-            SurrogateError::BadDataset { .. } => None,
+            SurrogateError::Store(e) => Some(e),
+            SurrogateError::BadDataset { .. }
+            | SurrogateError::DegenerateEta { .. }
+            | SurrogateError::Config { .. } => None,
         }
+    }
+}
+
+impl From<crate::StoreError> for SurrogateError {
+    fn from(e: crate::StoreError) -> Self {
+        SurrogateError::Store(e)
     }
 }
 

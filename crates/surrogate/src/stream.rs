@@ -1,0 +1,846 @@
+//! Streaming, resumable dataset builder — bounded memory at any build size.
+//!
+//! The batch builder ([`crate::build_dataset_opts`]) materializes every
+//! sample in RAM; at ROADMAP item 2's production scale (10⁶ points) that is
+//! neither necessary nor survivable. [`StreamBuilder`] does the same work in
+//! fixed-size chunks:
+//!
+//! * each chunk's points are drawn, characterized in parallel
+//!   ([`ParallelConfig::ordered_par_map`], same per-point physics via the
+//!   shared `characterize_point`), and committed to the append-only
+//!   [`DatasetStore`] before the next chunk starts;
+//! * peak memory is `O(chunk_points)`, independent of the total build size
+//!   (the `surrogate_stream` bench demonstrates flat RSS from 10k to 100k
+//!   points);
+//! * in [`SamplingMode::Uniform`] the point sequence is the *same* Sobol'
+//!   rejection stream the batch oracle draws ([`DesignSampler`]), so a
+//!   streamed dataset is **bit-identical** to the batch build at every chunk
+//!   size and thread count;
+//! * a killed build resumes from the last committed chunk
+//!   ([`StreamBuilder::resume`]) and finishes byte-identical to an
+//!   uninterrupted run — sampler state is replayed, not persisted;
+//! * in [`SamplingMode::Active`] each chunk's points are chosen by
+//!   committee disagreement ([`crate::active`]) so the SPICE budget
+//!   concentrates where the surrogate is worst.
+//!
+//! The full contract (determinism, store format, resume semantics) is
+//! DESIGN.md §17.
+
+use crate::active::{self, ActiveConfig, Committee, Reservoir};
+use crate::dataset::characterize_point;
+use crate::store::{DatasetStore, ResumeReport, SamplingMode, StoreMeta, StoreRecord};
+use crate::{
+    CircuitDataset, DesignSampler, DesignSpace, EtaBounds, EtaBoundsAccumulator, SurrogateError,
+    OMEGA_DIM,
+};
+use pnc_linalg::ParallelConfig;
+use pnc_obs::{Counter, Histogram, Span};
+use pnc_spice::sweep::linspace;
+use pnc_spice::DcSolver;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+// Observability: streaming-build progress and active-sampling diagnostics.
+// Catalogued in docs/METRICS.md.
+static OBS_CHUNKS: Counter = Counter::new("surrogate.stream.chunks");
+static OBS_POINTS: Counter = Counter::new("surrogate.stream.points");
+static OBS_RESUMED_POINTS: Counter = Counter::new("surrogate.stream.resumed_points");
+static OBS_DISCARDED_BYTES: Counter = Counter::new("surrogate.stream.discarded_bytes");
+static OBS_ACTIVE_CANDIDATES: Counter = Counter::new("surrogate.stream.active_candidates");
+static OBS_CHUNK_SECONDS: Histogram = Histogram::new("surrogate.stream.chunk_seconds");
+static OBS_DISAGREEMENT: Histogram = Histogram::new("surrogate.stream.disagreement");
+
+fn obs_register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        OBS_CHUNKS.register();
+        OBS_POINTS.register();
+        OBS_RESUMED_POINTS.register();
+        OBS_DISCARDED_BYTES.register();
+        OBS_ACTIVE_CANDIDATES.register();
+        OBS_CHUNK_SECONDS.register();
+        OBS_DISAGREEMENT.register();
+    });
+}
+
+/// Configuration of a streaming build. The fields that shape the dataset
+/// (`total_points`, `chunk_points`, `sweep_points`, `sampling`, `seed`,
+/// `max_failure_fraction`) are recorded in the store header and must match
+/// on resume; `parallel` and `active` only shape *how* the same points are
+/// computed.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Target number of design points (the paper's batch build uses 10 000;
+    /// ROADMAP item 2 aims at 10⁶).
+    pub total_points: usize,
+    /// Points characterized and committed per chunk — the memory bound.
+    pub chunk_points: usize,
+    /// `V_in` grid points per transfer-curve sweep.
+    pub sweep_points: usize,
+    /// How design points are chosen.
+    pub sampling: SamplingMode,
+    /// Base seed of the deterministic per-chunk seed schedule (active mode;
+    /// uniform mode's Sobol' stream is seed-free like the batch oracle).
+    pub seed: u64,
+    /// Abort threshold on the failed-point fraction (same default 5 % as the
+    /// batch builder).
+    pub max_failure_fraction: f64,
+    /// Per-chunk thread configuration.
+    pub parallel: ParallelConfig,
+    /// Committee knobs for [`SamplingMode::Active`].
+    pub active: ActiveConfig,
+}
+
+impl StreamConfig {
+    /// Environment variable overriding [`StreamConfig::chunk_points`].
+    pub const CHUNK_ENV_VAR: &'static str = "PNC_SURROGATE_CHUNK";
+
+    /// A default configuration: 1024-point chunks, uniform sampling, the
+    /// batch builder's 5 % failure threshold, automatic thread count.
+    pub fn new(total_points: usize, sweep_points: usize) -> Self {
+        StreamConfig {
+            total_points,
+            chunk_points: 1024,
+            sweep_points,
+            sampling: SamplingMode::Uniform,
+            seed: 0,
+            max_failure_fraction: 0.05,
+            parallel: ParallelConfig::automatic(),
+            active: ActiveConfig::default(),
+        }
+    }
+
+    /// Parses a `PNC_SURROGATE_CHUNK` value.
+    ///
+    /// # Errors
+    ///
+    /// [`SurrogateError::Config`] unless the value is a positive integer.
+    pub fn parse_chunk(raw: &str) -> Result<usize, SurrogateError> {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(SurrogateError::Config {
+                detail: format!(
+                    "{}={raw:?} is not a positive chunk size",
+                    Self::CHUNK_ENV_VAR
+                ),
+            }),
+        }
+    }
+
+    /// Applies the environment overrides: `PNC_SURROGATE_CHUNK` for the
+    /// chunk size and `PNC_SURROGATE_SAMPLING` for the sampling mode.
+    ///
+    /// # Errors
+    ///
+    /// [`SurrogateError::Config`] on a malformed value — never a silent
+    /// fallback.
+    pub fn with_env_overrides(mut self) -> Result<Self, SurrogateError> {
+        if let Ok(raw) = std::env::var(Self::CHUNK_ENV_VAR) {
+            if !raw.trim().is_empty() {
+                self.chunk_points = Self::parse_chunk(&raw)?;
+            }
+        }
+        self.sampling = SamplingMode::from_env()?;
+        Ok(self)
+    }
+
+    fn meta(&self, space: &DesignSpace) -> StoreMeta {
+        StoreMeta {
+            total_points: self.total_points as u64,
+            chunk_points: self.chunk_points as u64,
+            sweep_points: self.sweep_points as u32,
+            sampling: self.sampling,
+            seed: self.seed,
+            max_failure_fraction: self.max_failure_fraction,
+            space: space.clone(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), SurrogateError> {
+        if self.total_points == 0 {
+            return Err(SurrogateError::Config {
+                detail: "total_points must be positive".into(),
+            });
+        }
+        if self.chunk_points == 0 {
+            return Err(SurrogateError::Config {
+                detail: "chunk_points must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What one [`StreamBuilder::next_chunk`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSummary {
+    /// Index of the committed chunk.
+    pub chunk_index: u64,
+    /// Design points attempted in this chunk.
+    pub points: usize,
+    /// Points characterized successfully.
+    pub entries: usize,
+    /// Points that failed (recorded, not dropped).
+    pub failures: usize,
+}
+
+/// Summary of a completed streaming build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamReport {
+    /// Design points attempted (equals the configured total).
+    pub total_points: usize,
+    /// Successfully characterized entries.
+    pub entries: usize,
+    /// Recorded failures.
+    pub failures: usize,
+    /// Chunk frames committed.
+    pub chunks: u64,
+    /// Points that were already committed when this builder started
+    /// (non-zero only after a resume).
+    pub resumed_points: u64,
+    /// Torn-tail bytes discarded at resume time.
+    pub discarded_bytes: u64,
+    /// Streaming η bounds over all entries (bit-identical to the batch
+    /// [`EtaBounds::from_entries`] — the refit-free normalization contract).
+    pub eta_bounds: EtaBounds,
+}
+
+/// The streaming dataset builder. See the module docs for the contract.
+pub struct StreamBuilder<'a> {
+    config: StreamConfig,
+    space: DesignSpace,
+    store: DatasetStore,
+    sampler: DesignSampler,
+    grid: Vec<f64>,
+    reservoir: Reservoir,
+    acc: EtaBoundsAccumulator,
+    failures: u64,
+    resumed: ResumeReport,
+    solver_factory: Option<&'a (dyn Fn(usize) -> DcSolver + Sync)>,
+}
+
+impl<'a> StreamBuilder<'a> {
+    /// Starts a fresh build, creating (truncating) the store at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Config validation and store-creation failures.
+    pub fn create(path: &Path, config: &StreamConfig) -> Result<Self, SurrogateError> {
+        config.validate()?;
+        obs_register();
+        let space = DesignSpace::paper();
+        let store = DatasetStore::create(path, &config.meta(&space))?;
+        Self::assemble(
+            *config,
+            space,
+            store,
+            ResumeReport {
+                committed_chunks: 0,
+                committed_records: 0,
+                discarded_bytes: 0,
+            },
+        )
+    }
+
+    /// Resumes a killed build from `path`: validates the committed prefix
+    /// (discarding a torn tail), checks that `config` matches the store
+    /// header, replays the committed records to rebuild the in-memory state
+    /// (η accumulator, failure count, active-sampling reservoir, sampler
+    /// position), and is then ready to continue **bit-identically** to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Typed store errors for corruption/mismatch; config validation.
+    pub fn resume(
+        path: &Path,
+        config: &StreamConfig,
+    ) -> Result<(Self, ResumeReport), SurrogateError> {
+        config.validate()?;
+        obs_register();
+        let space = DesignSpace::paper();
+        let (store, report) = DatasetStore::open_resumable(path)?;
+        store
+            .check_meta(&config.meta(&space))
+            .map_err(SurrogateError::from)?;
+        OBS_RESUMED_POINTS.add(report.committed_records);
+        OBS_DISCARDED_BYTES.add(report.discarded_bytes);
+        let builder = Self::assemble(*config, space, store, report)?;
+        Ok((builder, report))
+    }
+
+    /// [`StreamBuilder::resume`] when the store exists, otherwise
+    /// [`StreamBuilder::create`].
+    ///
+    /// # Errors
+    ///
+    /// Same contracts as the two constructors.
+    pub fn open_or_create(
+        path: &Path,
+        config: &StreamConfig,
+    ) -> Result<(Self, ResumeReport), SurrogateError> {
+        if path.exists() {
+            Self::resume(path, config)
+        } else {
+            let builder = Self::create(path, config)?;
+            Ok((
+                builder,
+                ResumeReport {
+                    committed_chunks: 0,
+                    committed_records: 0,
+                    discarded_bytes: 0,
+                },
+            ))
+        }
+    }
+
+    /// Installs a per-sample DC solver override (fault injection in tests,
+    /// custom recovery policies), keyed on the scheduling-invariant global
+    /// sample index — same mechanism as
+    /// [`BuildOptions::solver_factory`](crate::BuildOptions::solver_factory).
+    pub fn with_solver_factory(mut self, factory: &'a (dyn Fn(usize) -> DcSolver + Sync)) -> Self {
+        self.solver_factory = Some(factory);
+        self
+    }
+
+    fn assemble(
+        config: StreamConfig,
+        space: DesignSpace,
+        store: DatasetStore,
+        resumed: ResumeReport,
+    ) -> Result<Self, SurrogateError> {
+        let mut sampler = DesignSampler::new(&space)?;
+        let mut acc = EtaBoundsAccumulator::new();
+        let mut reservoir = Reservoir::new(config.active.reservoir);
+        let mut failures = 0u64;
+        // Replay the committed prefix chunk by chunk (bounded memory): the
+        // streaming state is a pure fold over the records, so the rebuilt
+        // state is exactly what the uninterrupted build had here.
+        for chunk in 0..store.committed_chunks() {
+            for record in store.read_chunk(chunk)? {
+                match record {
+                    StoreRecord::Entry { index, entry } => {
+                        acc.observe(&entry.eta)?;
+                        reservoir.offer(index, &entry);
+                    }
+                    StoreRecord::Failure(_) => failures += 1,
+                }
+            }
+        }
+        if config.sampling == SamplingMode::Uniform && store.committed_records() > 0 {
+            // Fast-forward the Sobol' stream past the committed points.
+            sampler.skip(store.committed_records() as usize)?;
+        }
+        let grid = linspace(0.0, pnc_spice::circuits::VDD, config.sweep_points.max(5));
+        Ok(StreamBuilder {
+            config,
+            space,
+            store,
+            sampler,
+            grid,
+            reservoir,
+            acc,
+            failures,
+            resumed,
+            solver_factory: None,
+        })
+    }
+
+    /// The underlying store (committed chunks/records, path, header).
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
+    }
+
+    /// Whether the build has reached its configured total.
+    pub fn is_complete(&self) -> bool {
+        self.store.committed_records() >= self.config.total_points as u64
+    }
+
+    /// The deterministic per-chunk seed schedule (active-mode candidate
+    /// draws and committee seeds).
+    fn chunk_seed(&self, chunk_index: u64) -> u64 {
+        active::splitmix64(
+            self.config
+                .seed
+                .wrapping_add((chunk_index.wrapping_add(1)).wrapping_mul(0x2545_f491_4f6c_dd1d)),
+        )
+    }
+
+    /// Draws, characterizes, and commits the next chunk. Returns `None`
+    /// when the build is already complete.
+    ///
+    /// # Errors
+    ///
+    /// Sampling/store failures, a non-finite fitted η, or the failure
+    /// fraction crossing [`StreamConfig::max_failure_fraction`] (the
+    /// streamed equivalent of the batch builder's final threshold — checked
+    /// incrementally so a doomed 10⁶-point run aborts early).
+    pub fn next_chunk(&mut self) -> Result<Option<ChunkSummary>, SurrogateError> {
+        let done = self.store.committed_records();
+        let total = self.config.total_points as u64;
+        if done >= total {
+            return Ok(None);
+        }
+        let span = Span::new(&OBS_CHUNK_SECONDS);
+        let n = ((total - done) as usize).min(self.config.chunk_points);
+        let chunk_index = self.store.committed_chunks();
+
+        let omegas = match self.config.sampling {
+            SamplingMode::Uniform => self.sampler.next_batch(n)?,
+            SamplingMode::Active => {
+                let chunk_seed = self.chunk_seed(chunk_index);
+                let committee = Committee::train(
+                    &self.space,
+                    &self.reservoir,
+                    &self.config.active,
+                    active::splitmix64(chunk_seed),
+                )?;
+                match committee {
+                    Some(committee) => {
+                        let (points, mean_disagreement) = active::select_chunk(
+                            &committee,
+                            &self.space,
+                            n,
+                            &self.config.active,
+                            chunk_seed,
+                        )?;
+                        OBS_ACTIVE_CANDIDATES
+                            .add((n * self.config.active.candidate_factor.max(2)) as u64);
+                        OBS_DISAGREEMENT.observe(mean_disagreement);
+                        points
+                    }
+                    // Too little data for a committee yet: uniform draws
+                    // from the same deterministic per-chunk stream.
+                    None => {
+                        let mut rng = StdRng::seed_from_u64(chunk_seed);
+                        active::draw_uniform(&self.space, &mut rng, n)?
+                    }
+                }
+            }
+        };
+
+        let indexed: Vec<(usize, [f64; OMEGA_DIM])> = omegas
+            .into_iter()
+            .enumerate()
+            .map(|(i, omega)| (done as usize + i, omega))
+            .collect();
+        let solver_factory = self.solver_factory;
+        let grid = &self.grid;
+        let results = self
+            .config
+            .parallel
+            .ordered_par_map(&indexed, |(index, omega)| {
+                characterize_point(*index, omega, grid, solver_factory)
+            });
+
+        let mut records = Vec::with_capacity(n);
+        let mut entries = 0usize;
+        let mut chunk_failures = 0usize;
+        for ((index, _), result) in indexed.iter().zip(results) {
+            match result {
+                Ok(entry) => {
+                    self.acc.observe(&entry.eta)?;
+                    self.reservoir.offer(*index as u64, &entry);
+                    records.push(StoreRecord::Entry {
+                        index: *index as u64,
+                        entry,
+                    });
+                    entries += 1;
+                }
+                Err(failure) => {
+                    self.failures += 1;
+                    chunk_failures += 1;
+                    records.push(StoreRecord::Failure(failure));
+                }
+            }
+        }
+        self.store.append_chunk(&records)?;
+        OBS_CHUNKS.increment();
+        OBS_POINTS.add(n as u64);
+        drop(span);
+
+        if self.failures as f64 > self.config.max_failure_fraction * total as f64 {
+            return Err(SurrogateError::BadDataset {
+                detail: format!(
+                    "{} of {} attempted circuit characterizations failed \
+                     (threshold {} over {total} points); committed prefix kept at {}",
+                    self.failures,
+                    self.store.committed_records(),
+                    self.config.max_failure_fraction,
+                    self.store.path().display(),
+                ),
+            });
+        }
+        Ok(Some(ChunkSummary {
+            chunk_index,
+            points: n,
+            entries,
+            failures: chunk_failures,
+        }))
+    }
+
+    /// Runs [`next_chunk`](StreamBuilder::next_chunk) to completion and
+    /// summarizes.
+    ///
+    /// # Errors
+    ///
+    /// Chunk failures, plus [`SurrogateError::DegenerateEta`] /
+    /// [`SurrogateError::BadDataset`] if the finished dataset cannot be
+    /// normalized — the same end-state contract as the batch builder.
+    pub fn run_to_completion(&mut self) -> Result<StreamReport, SurrogateError> {
+        while self.next_chunk()?.is_some() {}
+        self.report()
+    }
+
+    /// Summarizes a completed build.
+    ///
+    /// # Errors
+    ///
+    /// [`SurrogateError::Config`] if called before completion; η-bounds
+    /// validation errors as in [`EtaBounds::from_entries`].
+    pub fn report(&self) -> Result<StreamReport, SurrogateError> {
+        if !self.is_complete() {
+            return Err(SurrogateError::Config {
+                detail: format!(
+                    "build is not complete: {} of {} points committed",
+                    self.store.committed_records(),
+                    self.config.total_points
+                ),
+            });
+        }
+        let eta_bounds = self.acc.finish()?;
+        Ok(StreamReport {
+            total_points: self.config.total_points,
+            entries: self.acc.count(),
+            failures: self.failures as usize,
+            chunks: self.store.committed_chunks(),
+            resumed_points: self.resumed.committed_records,
+            discarded_bytes: self.resumed.discarded_bytes,
+            eta_bounds,
+        })
+    }
+}
+
+/// Materializes a completed store into the in-memory [`CircuitDataset`] the
+/// batch builder returns — the bridge used by the batch-equivalence tests
+/// and by consumers whose dataset still fits in RAM. (At production scale,
+/// train from the store directly with
+/// [`train_surrogate_streaming`](crate::train_surrogate_streaming).)
+///
+/// # Errors
+///
+/// Store read/validation failures; η-bounds validation as in
+/// [`EtaBounds::from_entries`].
+pub fn load_circuit_dataset(store: &DatasetStore) -> Result<CircuitDataset, SurrogateError> {
+    let (entries, failures) = store.load_all()?;
+    let eta_bounds = EtaBounds::from_entries(&entries)?;
+    Ok(CircuitDataset {
+        space: store.meta().space.clone(),
+        entries,
+        eta_bounds,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset_opts, BuildOptions, DatasetConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pnc_stream_{name}.pncds"))
+    }
+
+    fn small_config(total: usize, chunk: usize) -> StreamConfig {
+        StreamConfig {
+            chunk_points: chunk,
+            parallel: ParallelConfig::serial(),
+            ..StreamConfig::new(total, 21)
+        }
+    }
+
+    fn batch_oracle(samples: usize) -> CircuitDataset {
+        build_dataset_opts(
+            &DatasetConfig {
+                samples,
+                sweep_points: 21,
+            },
+            &BuildOptions {
+                parallel: ParallelConfig::serial(),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streamed_build_is_bit_identical_to_batch_oracle() {
+        let batch = batch_oracle(40);
+        for chunk in [7usize, 16, 40, 64] {
+            for threads in [1usize, 2, 8] {
+                let path = tmp(&format!("equiv_{chunk}_{threads}"));
+                let config = StreamConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..small_config(40, chunk)
+                };
+                let mut builder = StreamBuilder::create(&path, &config).unwrap();
+                let report = builder.run_to_completion().unwrap();
+                let streamed = load_circuit_dataset(builder.store()).unwrap();
+                assert_eq!(
+                    batch, streamed,
+                    "chunk={chunk} threads={threads} diverged from the batch oracle"
+                );
+                // Streaming bounds must equal the batch bounds bitwise.
+                for k in 0..4 {
+                    assert_eq!(
+                        report.eta_bounds.lo[k].to_bits(),
+                        batch.eta_bounds.lo[k].to_bits()
+                    );
+                    assert_eq!(
+                        report.eta_bounds.hi[k].to_bits(),
+                        batch.eta_bounds.hi[k].to_bits()
+                    );
+                }
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    fn faulting_factory(bad: &'static [usize]) -> impl Fn(usize) -> DcSolver + Sync {
+        move |index| {
+            let mut solver = DcSolver::new();
+            if bad.contains(&index) {
+                solver.fault_injection =
+                    Some(pnc_spice::FaultInjection::unrecoverable_at(vec![0.5]));
+            }
+            solver
+        }
+    }
+
+    #[test]
+    fn streamed_failures_match_batch_oracle_across_chunkings() {
+        const BAD: &[usize] = &[3, 17, 22];
+        let factory = faulting_factory(BAD);
+        let batch = build_dataset_opts(
+            &DatasetConfig {
+                samples: 40,
+                sweep_points: 21,
+            },
+            &BuildOptions {
+                parallel: ParallelConfig::serial(),
+                max_failure_fraction: Some(0.2),
+                solver_factory: Some(&factory),
+            },
+        )
+        .unwrap();
+        for chunk in [9usize, 40] {
+            let path = tmp(&format!("faults_{chunk}"));
+            let config = StreamConfig {
+                max_failure_fraction: 0.2,
+                ..small_config(40, chunk)
+            };
+            let mut builder = StreamBuilder::create(&path, &config)
+                .unwrap()
+                .with_solver_factory(&factory);
+            builder.run_to_completion().unwrap();
+            let streamed = load_circuit_dataset(builder.store()).unwrap();
+            assert_eq!(batch, streamed, "chunk={chunk}");
+            assert_eq!(streamed.failures.len(), BAD.len());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn resume_from_chunk_boundary_is_byte_identical() {
+        let config = small_config(36, 9);
+        // Uninterrupted reference.
+        let ref_path = tmp("resume_ref");
+        let mut reference = StreamBuilder::create(&ref_path, &config).unwrap();
+        reference.run_to_completion().unwrap();
+        let want = std::fs::read(&ref_path).unwrap();
+
+        // Killed at a chunk boundary: run two chunks, drop the builder.
+        let path = tmp("resume_boundary");
+        let mut builder = StreamBuilder::create(&path, &config).unwrap();
+        builder.next_chunk().unwrap().unwrap();
+        builder.next_chunk().unwrap().unwrap();
+        drop(builder);
+
+        let (mut resumed, report) = StreamBuilder::resume(&path, &config).unwrap();
+        assert_eq!(report.committed_chunks, 2);
+        assert_eq!(report.committed_records, 18);
+        assert_eq!(report.discarded_bytes, 0);
+        let stream_report = resumed.run_to_completion().unwrap();
+        assert_eq!(stream_report.resumed_points, 18);
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(want, got, "resumed store differs from uninterrupted build");
+        std::fs::remove_file(&ref_path).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_from_mid_chunk_truncation_is_byte_identical() {
+        let config = small_config(36, 9);
+        let ref_path = tmp("resume_midref");
+        let mut reference = StreamBuilder::create(&ref_path, &config).unwrap();
+        reference.run_to_completion().unwrap();
+        let want = std::fs::read(&ref_path).unwrap();
+
+        // A kill mid-write leaves a prefix of the uninterrupted byte
+        // stream: simulate it by truncating inside the third frame.
+        let path = tmp("resume_mid");
+        let cut = want.len() - (want.len() / 3);
+        std::fs::write(&path, &want[..cut]).unwrap();
+
+        let (mut resumed, report) = StreamBuilder::resume(&path, &config).unwrap();
+        assert!(report.discarded_bytes > 0, "expected a torn tail");
+        assert!(report.committed_records < 36);
+        assert_eq!(report.committed_records % 9, 0, "whole chunks only");
+        resumed.run_to_completion().unwrap();
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(
+            want, got,
+            "recovered store differs from uninterrupted build"
+        );
+        std::fs::remove_file(&ref_path).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let config = small_config(36, 9);
+        let path = tmp("resume_mismatch");
+        let mut builder = StreamBuilder::create(&path, &config).unwrap();
+        builder.next_chunk().unwrap();
+        drop(builder);
+        let other = StreamConfig { seed: 99, ..config };
+        let Err(err) = StreamBuilder::resume(&path, &other) else {
+            panic!("resume with a mismatched config must fail");
+        };
+        assert!(
+            matches!(
+                err,
+                SurrogateError::Store(crate::StoreError::MetaMismatch { .. })
+            ),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn active_mode_is_deterministic_and_complete() {
+        let run = |path: &Path| {
+            let config = StreamConfig {
+                sampling: SamplingMode::Active,
+                seed: 11,
+                active: ActiveConfig {
+                    epochs: 30,
+                    reservoir: 256,
+                    ..ActiveConfig::default()
+                },
+                ..small_config(48, 12)
+            };
+            let mut builder = StreamBuilder::create(path, &config).unwrap();
+            builder.run_to_completion().unwrap()
+        };
+        let a_path = tmp("active_a");
+        let b_path = tmp("active_b");
+        let ra = run(&a_path);
+        let rb = run(&b_path);
+        assert_eq!(ra, rb);
+        assert_eq!(ra.entries + ra.failures, 48);
+        let a = std::fs::read(&a_path).unwrap();
+        let b = std::fs::read(&b_path).unwrap();
+        assert_eq!(
+            a, b,
+            "active builds must be deterministic under a fixed seed"
+        );
+        std::fs::remove_file(&a_path).ok();
+        std::fs::remove_file(&b_path).ok();
+    }
+
+    #[test]
+    fn active_mode_resume_is_byte_identical() {
+        let config = StreamConfig {
+            sampling: SamplingMode::Active,
+            seed: 5,
+            active: ActiveConfig {
+                epochs: 30,
+                reservoir: 256,
+                ..ActiveConfig::default()
+            },
+            ..small_config(48, 12)
+        };
+        let ref_path = tmp("active_ref");
+        let mut reference = StreamBuilder::create(&ref_path, &config).unwrap();
+        reference.run_to_completion().unwrap();
+        let want = std::fs::read(&ref_path).unwrap();
+
+        let path = tmp("active_resume");
+        let mut builder = StreamBuilder::create(&path, &config).unwrap();
+        builder.next_chunk().unwrap().unwrap();
+        builder.next_chunk().unwrap().unwrap();
+        drop(builder);
+        let (mut resumed, _) = StreamBuilder::resume(&path, &config).unwrap();
+        resumed.run_to_completion().unwrap();
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(
+            want, got,
+            "active resume must replay the same committee choices"
+        );
+        std::fs::remove_file(&ref_path).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failure_threshold_aborts_but_keeps_committed_prefix() {
+        const BAD: &[usize] = &[0, 1, 2, 3, 4];
+        let factory = faulting_factory(BAD);
+        let path = tmp("threshold");
+        let config = small_config(20, 5);
+        let mut builder = StreamBuilder::create(&path, &config)
+            .unwrap()
+            .with_solver_factory(&factory);
+        let err = builder.run_to_completion().unwrap_err();
+        assert!(matches!(err, SurrogateError::BadDataset { .. }), "{err:?}");
+        assert!(err.to_string().contains("committed prefix"), "{err}");
+        // The committed chunk survives for post-mortem.
+        let store = DatasetStore::open_readonly(&path).unwrap();
+        assert!(store.committed_records() >= 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_env_parsing_is_strict() {
+        assert_eq!(StreamConfig::parse_chunk("512").unwrap(), 512);
+        assert_eq!(StreamConfig::parse_chunk(" 64 ").unwrap(), 64);
+        for bad in ["0", "-3", "many", "1.5", ""] {
+            let err = StreamConfig::parse_chunk(bad).unwrap_err();
+            assert!(
+                matches!(err, SurrogateError::Config { .. }),
+                "{bad:?} → {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_summaries_add_up() {
+        let path = tmp("summaries");
+        let config = small_config(22, 8);
+        let mut builder = StreamBuilder::create(&path, &config).unwrap();
+        let mut points = 0;
+        let mut chunks = 0;
+        while let Some(summary) = builder.next_chunk().unwrap() {
+            assert_eq!(summary.points, summary.entries + summary.failures);
+            points += summary.points;
+            chunks += 1;
+        }
+        assert_eq!(points, 22);
+        assert_eq!(chunks, 3, "22 points in chunks of 8 → 8+8+6");
+        let report = builder.report().unwrap();
+        assert_eq!(report.entries + report.failures, 22);
+        assert_eq!(report.chunks, 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

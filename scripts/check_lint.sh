@@ -4,8 +4,10 @@
 #   1. `pnc-lint check` runs clean on the tree (ratchet baseline applied)
 #      and regenerates artifacts/lint_report.json — which must match the
 #      committed copy, so the report can never go stale.
-#   2. The oracle registry in lint_baseline.json pins all three frozen
-#      reference implementations (oracle-freeze's non-negotiable floor).
+#   2. The oracle registry in lint_baseline.json pins every required
+#      frozen reference implementation (oracle-freeze's floor): the three
+#      cross-backend agreement oracles plus the streaming-equivalence
+#      anchors of DESIGN.md §17.
 #   3. The check itself stays fast: under 10 s of wall time, so the lint
 #      job never becomes the long pole.
 #
@@ -33,7 +35,11 @@ fi
 # --- 2. oracle registry completeness ------------------------------------
 for oracle in "Matrix::matmul_reference" \
               "Graph::backward_reference" \
-              "DcSolver::newton_dense"; do
+              "DcSolver::newton_dense" \
+              "build_dataset_opts" \
+              "characterize_point" \
+              "StoreMeta::encode" \
+              "StoreRecord::encode"; do
     if ! grep -q "$oracle" lint_baseline.json; then
         echo "ORACLE REGISTRY: required oracle '$oracle' is not pinned in" >&2
         echo "lint_baseline.json; run update-oracles --justify '<why>'" >&2
